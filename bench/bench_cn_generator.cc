@@ -1,0 +1,74 @@
+// Ablation A2 — candidate network generation (the DISCOVER-extension of
+// Section 4): throughput and network counts versus the size bound Z and the
+// number of keywords, on the DBLP schema.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cn/cn_generator.h"
+#include "cn/ctssn.h"
+
+namespace {
+
+void BM_Generate(benchmark::State& state) {
+  auto& fixture = xk::bench::DblpBench::Get();
+  const int z = static_cast<int>(state.range(0));
+  const int keywords = static_cast<int>(state.range(1));
+
+  // Keywords on author names (and titles for the 3rd keyword).
+  const xk::schema::SchemaGraph& schema = fixture.db().schema();
+  xk::schema::SchemaNodeId author = *schema.NodeByUniqueLabel("author");
+  xk::schema::SchemaNodeId title = *schema.NodeByUniqueLabel("title");
+  std::vector<std::vector<xk::schema::SchemaNodeId>> keyword_nodes;
+  for (int k = 0; k < keywords; ++k) {
+    keyword_nodes.push_back(k % 2 == 0 ? std::vector<xk::schema::SchemaNodeId>{author}
+                                       : std::vector<xk::schema::SchemaNodeId>{
+                                             author, title});
+  }
+
+  xk::cn::CnGeneratorOptions options;
+  options.max_size = z;
+  xk::cn::CnGenerator generator(&schema, options);
+
+  size_t networks = 0;
+  for (auto _ : state) {
+    auto cns = generator.Generate(keyword_nodes);
+    benchmark::DoNotOptimize(cns);
+    networks = cns.ok() ? cns->size() : 0;
+  }
+  state.counters["networks"] = benchmark::Counter(static_cast<double>(networks));
+}
+
+void BM_Reduce(benchmark::State& state) {
+  auto& fixture = xk::bench::DblpBench::Get();
+  const xk::schema::SchemaGraph& schema = fixture.db().schema();
+  xk::schema::SchemaNodeId author = *schema.NodeByUniqueLabel("author");
+  xk::cn::CnGeneratorOptions options;
+  options.max_size = static_cast<int>(state.range(0));
+  xk::cn::CnGenerator generator(&schema, options);
+  auto cns = generator.Generate({{author}, {author}});
+  XK_CHECK(cns.ok());
+
+  for (auto _ : state) {
+    for (const xk::cn::CandidateNetwork& cn : *cns) {
+      auto reduced = xk::cn::ReduceToCtssn(cn, schema, fixture.db().tss());
+      benchmark::DoNotOptimize(reduced);
+    }
+  }
+  state.counters["networks"] = benchmark::Counter(static_cast<double>(cns->size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Generate)
+    ->ArgNames({"Z", "keywords"})
+    ->Args({4, 2})
+    ->Args({6, 2})
+    ->Args({8, 2})
+    ->Args({4, 3})
+    ->Args({6, 3})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Reduce)->ArgName("Z")->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Ablation A1 — the space side of Section 5.1's trade-off: fragments, rows
+// and bytes of each decomposition, plus build time. The paper's qualitative
+// claims to check: the maximal/complete decompositions are dominated by MVD
+// fragments whose relations exhibit multivalued blow-up, while the XKeyword
+// decomposition buys the same join bound with mostly inlined fragments.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "decomp/classify.h"
+#include "decomp/relation_builder.h"
+
+int main() {
+  using namespace xk;
+  auto& fixture = bench::DblpBench::Get();
+  const schema::TssGraph& tss = fixture.db().tss();
+  const storage::Catalog& catalog = fixture.xk().catalog();
+
+  std::printf("Decomposition space (DBLP, B=2, M=6, L=2):\n");
+  std::printf("%-16s %6s %6s %6s %6s %12s %10s\n", "decomposition", "frags",
+              "4NF", "inl", "MVD", "rows", "MB");
+
+  for (const char* name :
+       {"XKeyword", "Complete", "MinClust", "MinNClustIndx", "MinNClustNIndx",
+        "Inlined", "combination"}) {
+    auto d = fixture.xk().GetDecomposition(name);
+    if (!d.ok()) continue;
+    int by_class[3] = {0, 0, 0};
+    size_t rows = 0;
+    size_t bytes = 0;
+    for (const decomp::Fragment& f : (*d)->fragments) {
+      ++by_class[static_cast<int>(decomp::Classify(f, tss))];
+      auto table = catalog.GetTable(decomp::RelationName(**d, f));
+      if (table.ok()) {
+        rows += (*table)->NumRows();
+        bytes += (*table)->MemoryBytes();
+      }
+    }
+    std::printf("%-16s %6zu %6d %6d %6d %12zu %10.1f\n", name,
+                (*d)->fragments.size(), by_class[0], by_class[1], by_class[2],
+                rows, static_cast<double>(bytes) / 1e6);
+  }
+
+  // Theorem 5.1 sweep: fragment size bound L vs join bound B for M = 6.
+  std::printf("\nTheorem 5.1: L = ceil(M/(B+1)) for M = 6:\n");
+  for (int b = 0; b <= 5; ++b) {
+    std::printf("  B=%d -> L=%d\n", b, decomp::FragmentSizeBound(6, b));
+  }
+
+  // Build-time of the Figure-12 algorithm per (B, M).
+  std::printf("\nFigure-12 decomposition build time:\n");
+  for (int m : {4, 5, 6}) {
+    for (int b : {1, 2, 3}) {
+      Stopwatch sw;
+      auto d = decomp::MakeXKeyword(tss, b, m);
+      if (!d.ok()) continue;
+      std::printf("  B=%d M=%d: %7.1f ms, %3zu fragments\n", b, m,
+                  sw.ElapsedMillis(), d->fragments.size());
+    }
+  }
+  return 0;
+}

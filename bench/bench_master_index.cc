@@ -1,0 +1,51 @@
+// Ablation A3 — the master index (Section 4, item 1): build throughput over
+// the DBLP database and containing-list probe latency for keywords of
+// different frequencies.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "keyword/master_index.h"
+#include "schema/validator.h"
+
+namespace {
+
+void BM_Build(benchmark::State& state) {
+  auto& fixture = xk::bench::DblpBench::Get();
+  auto validation =
+      xk::schema::Validate(fixture.db().graph(), fixture.db().schema());
+  XK_CHECK(validation.ok());
+  size_t postings = 0;
+  for (auto _ : state) {
+    xk::keyword::MasterIndex index = xk::keyword::MasterIndex::Build(
+        fixture.db().graph(), *validation, fixture.xk().objects());
+    benchmark::DoNotOptimize(index);
+    postings = index.NumPostings();
+  }
+  state.counters["postings"] = benchmark::Counter(static_cast<double>(postings));
+  state.counters["postings/s"] = benchmark::Counter(
+      static_cast<double>(postings), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_Probe(benchmark::State& state, const std::string& keyword) {
+  auto& fixture = xk::bench::DblpBench::Get();
+  const xk::keyword::MasterIndex& index = fixture.xk().master_index();
+  size_t hits = 0;
+  for (auto _ : state) {
+    const auto& list = index.ContainingList(keyword);
+    benchmark::DoNotOptimize(list);
+    hits = list.size();
+  }
+  state.counters["postings"] = benchmark::Counter(static_cast<double>(hits));
+  state.SetLabel(keyword);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Build)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Probe, frequent, std::string("ullman"));
+BENCHMARK_CAPTURE(BM_Probe, tag, std::string("paper"));
+BENCHMARK_CAPTURE(BM_Probe, rare, std::string("author173"));
+BENCHMARK_CAPTURE(BM_Probe, missing, std::string("nosuchword"));
+
+BENCHMARK_MAIN();

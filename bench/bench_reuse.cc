@@ -1,0 +1,52 @@
+// Ablation A5 — common-subexpression reuse across candidate networks
+// (Section 4's optimizer decision (b)): full-result execution with and
+// without the shared materialization of keyword-filtered relation scans.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "engine/full_executor.h"
+
+namespace {
+
+void BM_FullResults(benchmark::State& state, bool reuse) {
+  auto& fixture = xk::bench::DblpBench::Get();
+  const auto& prepared = fixture.Prepared("MinNClustNIndx", /*z=*/8);
+
+  xk::engine::FullExecutorOptions options;
+  options.mode = xk::engine::FullMode::kHashJoin;
+  options.enable_reuse = reuse;
+  options.max_network_size = static_cast<int>(state.range(0));
+
+  uint64_t reuse_hits = 0;
+  uint64_t probes = 0;
+  for (auto _ : state) {
+    for (const xk::engine::PreparedQuery& q : prepared) {
+      xk::engine::ExecutionStats stats;
+      xk::engine::FullExecutor executor(options);
+      benchmark::DoNotOptimize(executor.Run(q, &stats));
+      reuse_hits += stats.reuse_hits;
+      probes += stats.probes.probes;
+    }
+  }
+  state.counters["reuse_hits"] = benchmark::Counter(
+      static_cast<double>(reuse_hits) / static_cast<double>(state.iterations()));
+  state.counters["scans"] = benchmark::Counter(
+      static_cast<double>(probes) / static_cast<double>(state.iterations()));
+  state.SetLabel(reuse ? "with reuse" : "no reuse");
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_FullResults, with_reuse, true)
+    ->ArgName("maxCTSSN")
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FullResults, no_reuse, false)
+    ->ArgName("maxCTSSN")
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

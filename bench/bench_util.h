@@ -1,0 +1,115 @@
+// Copyright (c) the XKeyword authors.
+//
+// Shared fixture for the Section-7 experiment benches: the DBLP-like
+// database of the paper (synthetic citations, ~20 per paper), loaded once
+// with every decomposition of Figure 15/16 materialized:
+//
+//   XKeyword       — Figure-12 algorithm, B = 2, M = 6
+//   Complete       — all useful fragments of size L = 2
+//   MinClust       — minimal, clustered per direction
+//   MinNClustIndx  — minimal, hash index per attribute
+//   MinNClustNIndx — minimal, no indexes (and index use disabled)
+//   Inlined        — XKeyword minus redundant single-edge fragments (16b)
+//   combination    — Inlined ∪ minimal (16b)
+//
+// Query workload: two-keyword queries over author names, mixing frequent
+// (Zipf-head) and rarer names, as in the paper's experiments.
+
+#ifndef XK_BENCH_BENCH_UTIL_H_
+#define XK_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "datagen/dblp_gen.h"
+#include "engine/xkeyword.h"
+
+namespace xk::bench {
+
+class DblpBench {
+ public:
+  static DblpBench& Get() {
+    static DblpBench* instance = new DblpBench();
+    return *instance;
+  }
+
+  const datagen::DblpDatabase& db() const { return *db_; }
+  engine::XKeyword& xk() { return *xk_; }
+  const std::vector<std::vector<std::string>>& queries() const { return queries_; }
+
+  /// Prepared queries for a decomposition, cached (preparation — CN
+  /// generation + planning — is shared across series points, as the paper's
+  /// experiments time execution under different physical designs).
+  const std::vector<engine::PreparedQuery>& Prepared(const std::string& decomposition,
+                                                     int z) {
+    std::string key = decomposition + "/" + std::to_string(z);
+    auto it = prepared_.find(key);
+    if (it != prepared_.end()) return it->second;
+    engine::QueryOptions options;
+    options.max_size_z = z;
+    std::vector<engine::PreparedQuery> prepared;
+    for (const auto& q : queries_) {
+      auto p = xk_->Prepare(q, decomposition, options);
+      XK_CHECK(p.ok());
+      prepared.push_back(p.MoveValueUnsafe());
+    }
+    return prepared_.emplace(std::move(key), std::move(prepared)).first->second;
+  }
+
+ private:
+  DblpBench() {
+    datagen::DblpConfig config;
+    config.num_conferences = 10;
+    config.years_per_conference = 6;
+    config.avg_papers_per_year = 20;
+    config.avg_citations_per_paper = 20.0;  // the paper's citation fanout
+    config.author_vocab = 200;
+    config.title_vocab = 200;
+    config.seed = 2003;
+    db_ = datagen::DblpDatabase::Generate(config).MoveValueUnsafe();
+    xk_ = engine::XKeyword::Load(&db_->graph(), &db_->schema(), &db_->tss())
+              .MoveValueUnsafe();
+
+    decomp::Decomposition minimal = decomp::MakeMinimal(
+        db_->tss(), decomp::PhysicalDesign::kClusterPerDirection);
+    decomp::Decomposition inlined =
+        decomp::MakeInlined(db_->tss(), /*B=*/2, /*M=*/6).MoveValueUnsafe();
+    decomp::Decomposition combination =
+        decomp::Combine(inlined, minimal, db_->tss(), "combination");
+
+    XK_CHECK(xk_->AddDecomposition(
+                    decomp::MakeXKeyword(db_->tss(), /*B=*/2, /*M=*/6)
+                        .MoveValueUnsafe())
+                 .ok());
+    XK_CHECK(xk_->AddDecomposition(
+                    decomp::MakeComplete(db_->tss(), /*L=*/2).MoveValueUnsafe())
+                 .ok());
+    XK_CHECK(xk_->AddDecomposition(minimal).ok());
+    XK_CHECK(xk_->AddDecomposition(decomp::MakeMinimal(
+                                       db_->tss(),
+                                       decomp::PhysicalDesign::kHashIndexPerColumn))
+                 .ok());
+    XK_CHECK(xk_->AddDecomposition(
+                    decomp::MakeMinimal(db_->tss(), decomp::PhysicalDesign::kNone,
+                                        /*use_indexes_at_runtime=*/false))
+                 .ok());
+    XK_CHECK(xk_->AddDecomposition(std::move(inlined)).ok());
+    XK_CHECK(xk_->AddDecomposition(std::move(combination)).ok());
+
+    // Two-keyword author queries: Zipf-frequent heads plus rarer tails.
+    queries_ = {{"ullman", "widom"},   {"gray", "codd"},
+                {"garcia", "suciu"},   {"molina", "author23"},
+                {"author31", "gray"},  {"stonebraker", "author47"}};
+  }
+
+  std::unique_ptr<datagen::DblpDatabase> db_;
+  std::unique_ptr<engine::XKeyword> xk_;
+  std::vector<std::vector<std::string>> queries_;
+  std::map<std::string, std::vector<engine::PreparedQuery>> prepared_;
+};
+
+}  // namespace xk::bench
+
+#endif  // XK_BENCH_BENCH_UTIL_H_

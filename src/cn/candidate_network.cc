@@ -1,0 +1,80 @@
+#include "cn/candidate_network.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace xk::cn {
+
+std::vector<std::vector<int>> CandidateNetwork::Adjacency() const {
+  std::vector<std::vector<int>> adj(nodes.size());
+  for (size_t e = 0; e < edges.size(); ++e) {
+    adj[static_cast<size_t>(edges[e].from)].push_back(static_cast<int>(e));
+    adj[static_cast<size_t>(edges[e].to)].push_back(static_cast<int>(e));
+  }
+  return adj;
+}
+
+namespace {
+
+std::string NodeLabel(const CnNode& n) {
+  std::string out = StrFormat("%d", n.schema_node);
+  if (!n.keywords.empty()) {
+    out += "^";
+    for (int k : n.keywords) out += StrFormat("%d,", k);
+  }
+  return out;
+}
+
+std::string Encode(const CandidateNetwork& cn,
+                   const std::vector<std::vector<int>>& adj, int root,
+                   int via_edge) {
+  std::vector<std::string> child_codes;
+  for (int ei : adj[static_cast<size_t>(root)]) {
+    if (ei == via_edge) continue;
+    const CnEdge& e = cn.edges[static_cast<size_t>(ei)];
+    int child = e.from == root ? e.to : e.from;
+    char dir = e.from == root ? '>' : '<';
+    child_codes.push_back(StrFormat("%c%d", dir, e.edge) +
+                          Encode(cn, adj, child, ei));
+  }
+  std::sort(child_codes.begin(), child_codes.end());
+  std::string code = "[" + NodeLabel(cn.nodes[static_cast<size_t>(root)]);
+  for (const std::string& c : child_codes) code += c;
+  code += "]";
+  return code;
+}
+
+}  // namespace
+
+std::string CandidateNetwork::CanonicalKey() const {
+  auto adj = Adjacency();
+  std::string best;
+  for (int r = 0; r < num_nodes(); ++r) {
+    std::string code = Encode(*this, adj, r, -1);
+    if (best.empty() || code < best) best = std::move(code);
+  }
+  return best;
+}
+
+std::string CandidateNetwork::ToString(const schema::SchemaGraph& schema) const {
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += " ";
+    out += StrFormat("%zu:%s", i, schema.label(nodes[i].schema_node).c_str());
+    if (!nodes[i].keywords.empty()) {
+      out += "^{";
+      for (size_t j = 0; j < nodes[i].keywords.size(); ++j) {
+        if (j > 0) out += ",";
+        out += StrFormat("%d", nodes[i].keywords[j]);
+      }
+      out += "}";
+    }
+  }
+  for (const CnEdge& e : edges) {
+    out += StrFormat(" (%d-[%d]->%d)", e.from, e.edge, e.to);
+  }
+  return out;
+}
+
+}  // namespace xk::cn

@@ -1,0 +1,188 @@
+#include "cn/ctssn.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xk::cn {
+
+using schema::PathHop;
+using schema::SchemaGraph;
+using schema::SchemaNodeId;
+using schema::TssGraph;
+using schema::TssId;
+
+std::string Ctssn::ToString(const TssGraph& tss) const {
+  std::string out = tree.ToString(tss);
+  for (int v = 0; v < num_nodes(); ++v) {
+    for (const CtssnKeyword& kw : node_keywords[static_cast<size_t>(v)]) {
+      out += StrFormat(" %d:k%d@%s", v, kw.keyword,
+                       tss.schema().label(kw.schema_node).c_str());
+    }
+  }
+  out += StrFormat(" score=%d", cn_size);
+  return out;
+}
+
+namespace {
+
+/// Union-find over CN occurrences.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<size_t>(n)) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<size_t>(i)] = i;
+  }
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[static_cast<size_t>(Find(a))] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+Result<Ctssn> ReduceToCtssn(const CandidateNetwork& cn, const SchemaGraph& schema,
+                            const TssGraph& tss) {
+  (void)schema;  // typed interface kept for symmetry with the generator
+  const int n = cn.num_nodes();
+  auto seg_of = [&](int occ) {
+    return tss.SegmentOfSchemaNode(cn.nodes[static_cast<size_t>(occ)].schema_node);
+  };
+
+  // 1. Merge occurrences joined by intra-segment edges.
+  UnionFind uf(n);
+  for (const CnEdge& e : cn.edges) {
+    TssId tf = seg_of(e.from);
+    TssId tt = seg_of(e.to);
+    if (tf != schema::kNoTss && tf == tt) uf.Union(e.from, e.to);
+  }
+
+  // 2. Assign CTSSN node indexes to groups of mapped occurrences.
+  Ctssn out;
+  out.cn_size = cn.size();
+  std::unordered_map<int, int> group_to_node;  // uf root -> ctssn node
+  std::vector<int> occ_to_node(static_cast<size_t>(n), -1);
+  for (int v = 0; v < n; ++v) {
+    TssId t = seg_of(v);
+    if (t == schema::kNoTss) continue;  // dummy
+    int root = uf.Find(v);
+    auto it = group_to_node.find(root);
+    int node;
+    if (it == group_to_node.end()) {
+      node = out.tree.num_nodes();
+      out.tree.nodes.push_back(t);
+      out.node_keywords.emplace_back();
+      group_to_node.emplace(root, node);
+    } else {
+      node = it->second;
+    }
+    occ_to_node[static_cast<size_t>(v)] = node;
+    for (int k : cn.nodes[static_cast<size_t>(v)].keywords) {
+      out.node_keywords[static_cast<size_t>(node)].push_back(
+          CtssnKeyword{k, cn.nodes[static_cast<size_t>(v)].schema_node});
+    }
+  }
+  if (out.tree.nodes.empty()) {
+    return Status::InvalidArgument("network has no mapped occurrence");
+  }
+
+  // 3. Walk maximal dummy chains (and direct inter-segment edges) to CTSSN
+  // edges. Chains are identified by their CN edge sets to avoid re-emission
+  // from the far end.
+  auto adj = cn.Adjacency();
+  std::set<std::vector<int>> emitted_chains;
+  std::vector<bool> dummy_consumed(static_cast<size_t>(n), false);
+
+  Status failure = Status::OK();
+  for (int u = 0; u < n && failure.ok(); ++u) {
+    if (occ_to_node[static_cast<size_t>(u)] == -1) continue;  // start mapped only
+    for (int ei0 : adj[static_cast<size_t>(u)]) {
+      // Walk away from u until the next mapped occurrence.
+      std::vector<PathHop> hops;
+      std::vector<int> chain_edges;
+      int prev = u;
+      int ei = ei0;
+      int cur;
+      while (true) {
+        const CnEdge& e = cn.edges[static_cast<size_t>(ei)];
+        bool forward = e.from == prev;
+        cur = forward ? e.to : e.from;
+        hops.push_back(PathHop{e.edge, forward});
+        chain_edges.push_back(ei);
+        if (occ_to_node[static_cast<size_t>(cur)] != -1) break;  // mapped: stop
+        // Dummy: must be a pass-through of degree 2.
+        const std::vector<int>& inc = adj[static_cast<size_t>(cur)];
+        if (inc.size() != 2) {
+          failure = Status::NotSupported(StrFormat(
+              "dummy occurrence %d has degree %zu (no path-shaped TSS edge "
+              "matches)",
+              cur, inc.size()));
+          break;
+        }
+        dummy_consumed[static_cast<size_t>(cur)] = true;
+        int next_ei = inc[0] == ei ? inc[1] : inc[0];
+        prev = cur;
+        ei = next_ei;
+      }
+      if (!failure.ok()) break;
+
+      if (occ_to_node[static_cast<size_t>(cur)] != -1 &&
+          uf.Find(cur) == uf.Find(u) && hops.size() == 1) {
+        continue;  // intra-segment edge, already merged
+      }
+
+      std::vector<int> chain_key = chain_edges;
+      std::sort(chain_key.begin(), chain_key.end());
+      if (emitted_chains.contains(chain_key)) continue;
+
+      // Match hops against a TSS edge in this walking direction.
+      SchemaNodeId from_schema = cn.nodes[static_cast<size_t>(u)].schema_node;
+      SchemaNodeId to_schema = cn.nodes[static_cast<size_t>(cur)].schema_node;
+      schema::TssEdgeId match = -1;
+      for (schema::TssEdgeId te = 0; te < tss.NumEdges(); ++te) {
+        const schema::TssEdge& edge = tss.edge(te);
+        if (edge.from_schema == from_schema && edge.to_schema == to_schema &&
+            edge.path == hops) {
+          match = te;
+          break;
+        }
+      }
+      if (match == -1) continue;  // the reverse walk from `cur` will match
+
+      emitted_chains.insert(std::move(chain_key));
+      out.tree.edges.push_back(schema::TssTreeEdge{
+          occ_to_node[static_cast<size_t>(u)], occ_to_node[static_cast<size_t>(cur)],
+          match});
+    }
+  }
+  XK_RETURN_NOT_OK(failure);
+
+  // Every dummy must have been consumed by some chain, and every chain must
+  // have matched a TSS edge.
+  for (int v = 0; v < n; ++v) {
+    if (occ_to_node[static_cast<size_t>(v)] == -1 &&
+        !dummy_consumed[static_cast<size_t>(v)]) {
+      return Status::InvalidArgument(
+          StrFormat("dummy occurrence %d not on any segment-to-segment path", v));
+    }
+  }
+  XK_RETURN_NOT_OK(out.tree.Validate(tss));
+  for (auto& kws : out.node_keywords) {
+    std::sort(kws.begin(), kws.end(), [](const CtssnKeyword& a, const CtssnKeyword& b) {
+      return a.keyword < b.keyword;
+    });
+  }
+  return out;
+}
+
+}  // namespace xk::cn

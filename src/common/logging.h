@@ -1,0 +1,73 @@
+// Copyright (c) the XKeyword authors.
+//
+// Minimal leveled logging plus CHECK macros. Logging defaults to warnings and
+// above so tests and benchmarks stay quiet; severity is process-global.
+
+#ifndef XK_COMMON_LOGGING_H_
+#define XK_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <sstream>
+#include <string>
+
+namespace xk {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum level emitted to stderr. Returns the previous level.
+LogLevel SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// A kFatal message aborts the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a disabled log statement's stream operands.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+}  // namespace internal
+}  // namespace xk
+
+#define XK_LOG(level) \
+  ::xk::internal::LogMessage(::xk::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check, active in all build types: databases should fail loudly.
+#define XK_CHECK(cond)                                              \
+  (cond) ? (void)0                                                  \
+         : (void)(::xk::internal::LogMessage(::xk::LogLevel::kFatal, __FILE__, \
+                                             __LINE__)              \
+                  << "Check failed: " #cond " ")
+
+#define XK_CHECK_EQ(a, b) XK_CHECK((a) == (b))
+#define XK_CHECK_NE(a, b) XK_CHECK((a) != (b))
+#define XK_CHECK_LT(a, b) XK_CHECK((a) < (b))
+#define XK_CHECK_LE(a, b) XK_CHECK((a) <= (b))
+#define XK_CHECK_GT(a, b) XK_CHECK((a) > (b))
+#define XK_CHECK_GE(a, b) XK_CHECK((a) >= (b))
+
+#define XK_DCHECK(cond) assert(cond)
+
+#endif  // XK_COMMON_LOGGING_H_

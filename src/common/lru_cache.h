@@ -1,0 +1,79 @@
+// Copyright (c) the XKeyword authors.
+//
+// Fixed-capacity LRU cache. Section 6 of the paper: "XKeyword uses a fixed
+// size cache for each keyword query to store past results and if the cache
+// gets full, the queries are re-sent to the DBMS." The top-k executor keys
+// this cache by (subplan id, join binding) and stores the subplan's output.
+
+#ifndef XK_COMMON_LRU_CACHE_H_
+#define XK_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace xk {
+
+/// Single-threaded LRU map from K to V with an entry-count capacity.
+/// (Each executor thread owns its own cache, matching the per-query cache of
+/// the paper, so no synchronization is needed here.)
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns a pointer to the cached value and refreshes its recency, or
+  /// nullptr on a miss. The pointer is invalidated by the next Put.
+  const V* Get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites; evicts the least-recently-used entry when full.
+  void Put(const K& key, V value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (capacity_ == 0) return;
+    if (map_.size() >= capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+  }
+
+  void Clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = most recent
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace xk
+
+#endif  // XK_COMMON_LRU_CACHE_H_

@@ -1,0 +1,53 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace xk {
+
+int64_t Random::Uniform(int64_t lo, int64_t hi) {
+  XK_DCHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Random::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Random::OneIn(int n) { return Uniform(1, n) == 1; }
+
+std::string Random::Word(int length) {
+  std::string out;
+  out.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + Uniform(0, 25)));
+  }
+  return out;
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double theta) : n_(n) {
+  XK_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double norm = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    norm += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += (1.0 / std::pow(static_cast<double>(i + 1), theta)) / norm;
+    cdf_[i] = acc;
+  }
+  cdf_[n - 1] = 1.0;  // guard against floating point drift
+}
+
+size_t ZipfDistribution::Sample(Random* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(std::distance(cdf_.begin(), it));
+}
+
+}  // namespace xk

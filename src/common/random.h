@@ -1,0 +1,65 @@
+// Copyright (c) the XKeyword authors.
+//
+// Deterministic random utilities for data generation and property tests.
+// A fixed seed must reproduce a bit-identical dataset across runs so that
+// benchmark series are comparable.
+
+#ifndef XK_COMMON_RANDOM_H_
+#define XK_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace xk {
+
+/// Wraps a 64-bit Mersenne engine with the distributions data generation needs.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial.
+  bool OneIn(int n);
+
+  /// Picks a uniform element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[static_cast<size_t>(Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  /// Lower-case alphabetic word of the given length.
+  std::string Word(int length);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-distributed ranks in [0, n). Used to give keyword vocabularies the
+/// skew of real text: a handful of very frequent words plus a long tail, so
+/// keyword selectivities in the benchmarks span several orders of magnitude.
+class ZipfDistribution {
+ public:
+  /// `theta` is the skew (0 = uniform, ~0.99 = heavy Zipf as in YCSB).
+  ZipfDistribution(size_t n, double theta);
+
+  size_t Sample(Random* rng) const;
+
+  size_t n() const { return n_; }
+
+ private:
+  size_t n_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n_
+};
+
+}  // namespace xk
+
+#endif  // XK_COMMON_RANDOM_H_

@@ -1,0 +1,77 @@
+// Copyright (c) the XKeyword authors.
+//
+// Result<T>: a value or a Status, in the Arrow tradition. Use together with
+// XK_ASSIGN_OR_RETURN to chain fallible computations without exceptions.
+
+#ifndef XK_COMMON_RESULT_H_
+#define XK_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace xk {
+
+/// Holds either a T or a non-OK Status describing why no T was produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a (non-OK) status.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The failure status; Status::OK() when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Accessors. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  /// Moves the value out of the result. Must only be called when ok().
+  T MoveValueUnsafe() { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T ValueOr(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace xk
+
+#define XK_CONCAT_IMPL(x, y) x##y
+#define XK_CONCAT(x, y) XK_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on failure returns its status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define XK_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  auto XK_CONCAT(_xk_result_, __LINE__) = (rexpr);                  \
+  if (!XK_CONCAT(_xk_result_, __LINE__).ok())                       \
+    return XK_CONCAT(_xk_result_, __LINE__).status();               \
+  lhs = XK_CONCAT(_xk_result_, __LINE__).MoveValueUnsafe()
+
+#endif  // XK_COMMON_RESULT_H_

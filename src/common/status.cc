@@ -1,0 +1,84 @@
+#include "common/status.h"
+
+namespace xk {
+
+namespace {
+const std::string kEmptyMessage;
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid argument";
+    case StatusCode::kNotFound: return "not found";
+    case StatusCode::kAlreadyExists: return "already exists";
+    case StatusCode::kOutOfRange: return "out of range";
+    case StatusCode::kCorruption: return "corruption";
+    case StatusCode::kNotSupported: return "not supported";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kResourceExhausted: return "resource exhausted";
+    case StatusCode::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string msg) {
+  if (code != StatusCode::kOk) {
+    rep_ = std::make_unique<Rep>(Rep{code, std::move(msg)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.rep_ != nullptr) rep_ = std::make_unique<Rep>(*other.rep_);
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    rep_ = other.rep_ == nullptr ? nullptr : std::make_unique<Rep>(*other.rep_);
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return rep_ == nullptr ? kEmptyMessage : rep_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+Status Status::InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status Status::NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status Status::AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status Status::OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+Status Status::Corruption(std::string msg) {
+  return Status(StatusCode::kCorruption, std::move(msg));
+}
+Status Status::NotSupported(std::string msg) {
+  return Status(StatusCode::kNotSupported, std::move(msg));
+}
+Status Status::Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+Status Status::ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+Status Status::Aborted(std::string msg) {
+  return Status(StatusCode::kAborted, std::move(msg));
+}
+
+}  // namespace xk

@@ -1,0 +1,100 @@
+// Copyright (c) the XKeyword authors.
+//
+// Status: lightweight error model in the Arrow / RocksDB tradition. Functions
+// that can fail return a Status (or a Result<T>, see result.h) instead of
+// throwing; hot paths stay exception-free.
+
+#ifndef XK_COMMON_STATUS_H_
+#define XK_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace xk {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kCorruption = 5,      // malformed input data (e.g. XML parse errors)
+  kNotSupported = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+  kAborted = 9,
+};
+
+/// Returns the canonical lower-case name of a status code ("ok", "not found", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// The outcome of an operation: OK, or a code plus a human-readable message.
+///
+/// A Status is cheap to copy in the OK case (a single null pointer); failure
+/// states carry a heap-allocated message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status Corruption(std::string msg);
+  static Status NotSupported(std::string msg);
+  static Status Internal(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+  static Status Aborted(std::string msg);
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+  /// The message attached at construction; empty for OK.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<Rep> rep_;  // null == OK
+};
+
+}  // namespace xk
+
+/// Propagates a non-OK Status to the caller.
+#define XK_RETURN_NOT_OK(expr)                \
+  do {                                        \
+    ::xk::Status _xk_status = (expr);         \
+    if (!_xk_status.ok()) return _xk_status;  \
+  } while (false)
+
+#endif  // XK_COMMON_STATUS_H_

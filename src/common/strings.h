@@ -1,0 +1,43 @@
+// Copyright (c) the XKeyword authors.
+//
+// Small string utilities used across the system: tokenization for the master
+// index, joining/splitting for debug output, case folding for keyword match.
+
+#ifndef XK_COMMON_STRINGS_H_
+#define XK_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xk {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// ASCII lower-casing (keyword matching is case-insensitive, like the paper's
+/// full-text master index).
+std::string ToLower(std::string_view s);
+
+/// Breaks `text` into lower-cased alphanumeric tokens; everything else is a
+/// separator. "Set of VCR and DVD" -> {"set", "of", "vcr", "and", "dvd"}.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// True if `text` contains `token` as a whole (case-insensitive) word.
+bool ContainsToken(std::string_view text, std::string_view token);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace xk
+
+#endif  // XK_COMMON_STRINGS_H_

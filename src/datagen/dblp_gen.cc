@@ -1,0 +1,163 @@
+#include "datagen/dblp_gen.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace xk::datagen {
+
+using schema::SchemaGraph;
+using schema::SchemaNodeId;
+using schema::TssGraph;
+
+namespace {
+
+struct DblpSchemaNodes {
+  SchemaNodeId conference, conf_name;
+  SchemaNodeId confyear, year;
+  SchemaNodeId paper, title, pages, url;
+  SchemaNodeId author;
+  SchemaNodeId cite;  // dummy
+};
+
+DblpSchemaNodes BuildNodesAndEdges(SchemaGraph* s) {
+  DblpSchemaNodes n;
+  n.conference = s->AddNode("conference");
+  n.conf_name = s->AddNode("name");
+  n.confyear = s->AddNode("confyear");
+  n.year = s->AddNode("year");
+  n.paper = s->AddNode("paper");
+  n.title = s->AddNode("title");
+  n.pages = s->AddNode("pages");
+  n.url = s->AddNode("url");
+  n.author = s->AddNode("author");
+  n.cite = s->AddNode("cite");
+
+  auto add_c = [&](SchemaNodeId a, SchemaNodeId b, bool many) {
+    XK_CHECK(s->AddContainmentEdge(a, b, many).ok());
+  };
+  add_c(n.conference, n.conf_name, false);
+  add_c(n.conference, n.confyear, true);
+  add_c(n.confyear, n.year, false);
+  add_c(n.confyear, n.paper, true);
+  add_c(n.paper, n.title, false);
+  add_c(n.paper, n.pages, false);
+  add_c(n.paper, n.url, false);
+  add_c(n.paper, n.author, true);
+  add_c(n.paper, n.cite, true);
+  XK_CHECK(s->AddReferenceEdge(n.cite, n.paper, /*max_occurs_many=*/false).ok());
+  return n;
+}
+
+Result<std::unique_ptr<TssGraph>> BuildTss(const SchemaGraph& schema,
+                                           const DblpSchemaNodes& n) {
+  auto tss = std::make_unique<TssGraph>(&schema);
+  XK_ASSIGN_OR_RETURN(schema::TssId c,
+                      tss->AddSegment("Conf", n.conference, {n.conf_name}));
+  XK_ASSIGN_OR_RETURN(schema::TssId y, tss->AddSegment("Year", n.confyear, {n.year}));
+  XK_ASSIGN_OR_RETURN(schema::TssId p, tss->AddSegment("Paper", n.paper,
+                                                       {n.title, n.pages, n.url}));
+  XK_ASSIGN_OR_RETURN(schema::TssId a, tss->AddSegment("Author", n.author));
+  XK_RETURN_NOT_OK(tss->Finalize());
+
+  auto annotate = [&](schema::TssId from, schema::TssId to, const char* fwd,
+                      const char* rev) {
+    auto e = tss->FindEdge(from, to);
+    if (e.ok()) XK_CHECK(tss->AnnotateEdge(*e, fwd, rev).ok());
+  };
+  annotate(c, y, "in year", "of conference");
+  annotate(y, p, "contains paper", "in issue");
+  annotate(p, a, "by author", "of paper");
+  annotate(p, p, "cites", "is cited by");
+  return tss;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TssGraph>> BuildDblpSchema(SchemaGraph* schema) {
+  DblpSchemaNodes nodes = BuildNodesAndEdges(schema);
+  return BuildTss(*schema, nodes);
+}
+
+Result<std::unique_ptr<DblpDatabase>> DblpDatabase::Generate(
+    const DblpConfig& config) {
+  auto db = std::unique_ptr<DblpDatabase>(new DblpDatabase());
+  DblpSchemaNodes n = BuildNodesAndEdges(&db->schema_);
+  XK_ASSIGN_OR_RETURN(db->tss_, BuildTss(db->schema_, n));
+
+  Random rng(config.seed);
+  ZipfDistribution author_dist(static_cast<size_t>(config.author_vocab), 0.9);
+  ZipfDistribution word_dist(static_cast<size_t>(config.title_vocab), 0.9);
+
+  static const char* kSeedAuthors[] = {"ullman", "widom", "garcia", "molina",
+                                       "gray", "stonebraker", "codd", "date",
+                                       "abiteboul", "suciu"};
+  static const char* kSeedWords[] = {"keyword", "search",  "xml",     "graph",
+                                     "index",   "query",   "storage", "proximity",
+                                     "join",    "semistructured"};
+  for (int i = 0; i < config.author_vocab; ++i) {
+    db->author_names_.push_back(i < 10 ? kSeedAuthors[i] : StrFormat("author%d", i));
+  }
+  for (int i = 0; i < config.title_vocab; ++i) {
+    db->title_words_.push_back(i < 10 ? kSeedWords[i] : StrFormat("topic%d", i));
+  }
+
+  xml::XmlGraph& g = db->graph_;
+  std::vector<xml::NodeId> papers;
+
+  for (int c = 0; c < config.num_conferences; ++c) {
+    xml::NodeId conf = g.AddNode("conference");
+    xml::NodeId name = g.AddNode("name", StrFormat("conf%d", c));
+    XK_CHECK(g.AddContainmentEdge(conf, name).ok());
+    for (int y = 0; y < config.years_per_conference; ++y) {
+      xml::NodeId confyear = g.AddNode("confyear");
+      xml::NodeId year = g.AddNode("year", StrFormat("%d", 1999 + y));
+      XK_CHECK(g.AddContainmentEdge(conf, confyear).ok());
+      XK_CHECK(g.AddContainmentEdge(confyear, year).ok());
+      int num_papers = static_cast<int>(
+          rng.Uniform(1, static_cast<int64_t>(2 * config.avg_papers_per_year)));
+      for (int p = 0; p < num_papers; ++p) {
+        xml::NodeId paper = g.AddNode("paper");
+        std::string title;
+        for (int w = 0; w < config.title_words; ++w) {
+          if (w > 0) title += " ";
+          title += db->title_words_[word_dist.Sample(&rng)];
+        }
+        xml::NodeId title_node = g.AddNode("title", title);
+        xml::NodeId pages = g.AddNode(
+            "pages", StrFormat("%lld-%lld", static_cast<long long>(rng.Uniform(1, 400)),
+                               static_cast<long long>(rng.Uniform(401, 800))));
+        xml::NodeId url = g.AddNode(
+            "url", StrFormat("http://dblp/%zu", papers.size()));
+        XK_CHECK(g.AddContainmentEdge(confyear, paper).ok());
+        XK_CHECK(g.AddContainmentEdge(paper, title_node).ok());
+        XK_CHECK(g.AddContainmentEdge(paper, pages).ok());
+        XK_CHECK(g.AddContainmentEdge(paper, url).ok());
+        int num_authors = static_cast<int>(
+            rng.Uniform(1, static_cast<int64_t>(2 * config.avg_authors_per_paper)));
+        for (int a = 0; a < num_authors; ++a) {
+          xml::NodeId author =
+              g.AddNode("author", db->author_names_[author_dist.Sample(&rng)]);
+          XK_CHECK(g.AddContainmentEdge(paper, author).ok());
+        }
+        papers.push_back(paper);
+      }
+    }
+  }
+
+  // Citations: uniform random targets, the paper's own methodology.
+  for (xml::NodeId paper : papers) {
+    int cites = static_cast<int>(
+        rng.Uniform(0, static_cast<int64_t>(2 * config.avg_citations_per_paper)));
+    for (int c = 0; c < cites; ++c) {
+      xml::NodeId target = rng.Pick(papers);
+      if (target == paper) continue;  // no self-citations
+      xml::NodeId cite = g.AddNode("cite");
+      XK_CHECK(g.AddContainmentEdge(paper, cite).ok());
+      XK_CHECK(g.AddReferenceEdge(cite, target).ok());
+    }
+  }
+  return db;
+}
+
+}  // namespace xk::datagen

@@ -1,0 +1,259 @@
+#include "datagen/tpch_gen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace xk::datagen {
+
+using schema::NodeKind;
+using schema::SchemaGraph;
+using schema::SchemaNodeId;
+using schema::TssGraph;
+
+namespace {
+
+/// Schema node handles used by the generator.
+struct TpchSchemaNodes {
+  SchemaNodeId person, person_name, nation;
+  SchemaNodeId service_call, sc_descr, sc_date;
+  SchemaNodeId order, order_date;
+  SchemaNodeId lineitem, quantity, shipdate, supplier, line;
+  SchemaNodeId part, part_key, part_name, sub;
+  SchemaNodeId product, prodkey, pr_descr;
+};
+
+TpchSchemaNodes BuildNodesAndEdges(SchemaGraph* s) {
+  TpchSchemaNodes n;
+  n.person = s->AddNode("person");
+  n.person_name = s->AddNode("name");
+  n.nation = s->AddNode("nation");
+  n.service_call = s->AddNode("service_call");
+  n.sc_descr = s->AddNode("descr");
+  n.sc_date = s->AddNode("date");
+  n.order = s->AddNode("order");
+  n.order_date = s->AddNode("date");
+  n.lineitem = s->AddNode("lineitem");
+  n.quantity = s->AddNode("quantity");
+  n.shipdate = s->AddNode("shipdate");
+  n.supplier = s->AddNode("supplier");
+  n.line = s->AddNode("line", NodeKind::kChoice);
+  n.part = s->AddNode("part");
+  n.part_key = s->AddNode("key");
+  n.part_name = s->AddNode("name");
+  n.sub = s->AddNode("sub");
+  n.product = s->AddNode("product");
+  n.prodkey = s->AddNode("prodkey");
+  n.pr_descr = s->AddNode("descr");
+
+  auto add_c = [&](SchemaNodeId a, SchemaNodeId b, bool many) {
+    XK_CHECK(s->AddContainmentEdge(a, b, many).ok());
+  };
+  auto add_r = [&](SchemaNodeId a, SchemaNodeId b) {
+    XK_CHECK(s->AddReferenceEdge(a, b, /*max_occurs_many=*/false).ok());
+  };
+  add_c(n.person, n.person_name, false);
+  add_c(n.person, n.nation, false);
+  add_c(n.person, n.service_call, true);
+  add_c(n.service_call, n.sc_descr, false);
+  add_c(n.service_call, n.sc_date, false);
+  add_c(n.person, n.order, true);
+  add_c(n.order, n.order_date, false);
+  add_c(n.order, n.lineitem, true);
+  add_c(n.lineitem, n.quantity, false);
+  add_c(n.lineitem, n.shipdate, false);
+  add_c(n.lineitem, n.supplier, false);
+  add_r(n.supplier, n.person);
+  add_c(n.lineitem, n.line, false);
+  add_r(n.line, n.part);
+  add_r(n.line, n.product);
+  add_c(n.part, n.part_key, false);
+  add_c(n.part, n.part_name, false);
+  add_c(n.part, n.sub, true);
+  add_r(n.sub, n.part);
+  add_c(n.product, n.prodkey, false);
+  add_c(n.product, n.pr_descr, false);
+  return n;
+}
+
+Result<std::unique_ptr<TssGraph>> BuildTss(const SchemaGraph& schema,
+                                           const TpchSchemaNodes& n) {
+  auto tss = std::make_unique<TssGraph>(&schema);
+  XK_ASSIGN_OR_RETURN(schema::TssId p,
+                      tss->AddSegment("P", n.person, {n.person_name, n.nation}));
+  XK_ASSIGN_OR_RETURN(schema::TssId s, tss->AddSegment("S", n.service_call,
+                                                       {n.sc_descr, n.sc_date}));
+  XK_ASSIGN_OR_RETURN(schema::TssId o, tss->AddSegment("O", n.order, {n.order_date}));
+  XK_ASSIGN_OR_RETURN(schema::TssId l, tss->AddSegment("L", n.lineitem,
+                                                       {n.quantity, n.shipdate}));
+  XK_ASSIGN_OR_RETURN(schema::TssId pa,
+                      tss->AddSegment("Pa", n.part, {n.part_key, n.part_name}));
+  XK_ASSIGN_OR_RETURN(schema::TssId pr, tss->AddSegment("Pr", n.product,
+                                                        {n.prodkey, n.pr_descr}));
+  XK_RETURN_NOT_OK(tss->Finalize());
+
+  auto annotate = [&](schema::TssId a, schema::TssId b, const char* fwd,
+                      const char* rev) {
+    auto e = tss->FindEdge(a, b);
+    if (e.ok()) XK_CHECK(tss->AnnotateEdge(*e, fwd, rev).ok());
+    return e.ok();
+  };
+  annotate(p, s, "issued", "issued by");
+  annotate(p, o, "placed", "placed by");
+  annotate(o, l, "contains", "is contained");
+  annotate(l, p, "supplied by", "supplier");
+  annotate(l, pa, "line", "line of");
+  annotate(l, pr, "line", "line of");
+  annotate(pa, pa, "sub-part", "sub-part of");
+  return tss;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TssGraph>> BuildTpchSchema(SchemaGraph* schema) {
+  TpchSchemaNodes nodes = BuildNodesAndEdges(schema);
+  return BuildTss(*schema, nodes);
+}
+
+Result<std::unique_ptr<TpchDatabase>> TpchDatabase::Generate(
+    const TpchConfig& config) {
+  auto db = std::unique_ptr<TpchDatabase>(new TpchDatabase());
+  TpchSchemaNodes n = BuildNodesAndEdges(&db->schema_);
+  XK_ASSIGN_OR_RETURN(db->tss_, BuildTss(db->schema_, n));
+
+  Random rng(config.seed);
+  ZipfDistribution part_name_dist(static_cast<size_t>(config.part_name_vocab), 0.8);
+  ZipfDistribution person_name_dist(static_cast<size_t>(config.person_name_vocab),
+                                    0.8);
+
+  // Vocabularies. A fixed electronics-flavored prefix pool keeps the paper's
+  // running examples ("TV", "VCR", "DVD", "John") expressible.
+  static const char* kPartWords[] = {"tv",    "vcr",   "dvd",   "radio", "tuner",
+                                     "amp",   "cable", "remote", "screen", "antenna",
+                                     "speaker", "deck"};
+  static const char* kFirstNames[] = {"john", "mike", "mary", "anna",  "peter",
+                                      "laura", "james", "nina", "oscar", "wendy"};
+  static const char* kNations[] = {"us", "france", "japan", "brazil", "india"};
+
+  db->part_names_.clear();
+  for (int i = 0; i < config.part_name_vocab; ++i) {
+    std::string name = i < 12 ? kPartWords[i]
+                              : StrFormat("part%c%c", 'a' + i % 26, 'a' + (i / 26) % 26);
+    db->part_names_.push_back(name);
+  }
+  db->person_names_.clear();
+  for (int i = 0; i < config.person_name_vocab; ++i) {
+    std::string name =
+        i < 10 ? kFirstNames[i] : StrFormat("user%d", i);
+    db->person_names_.push_back(name);
+  }
+
+  xml::XmlGraph& g = db->graph_;
+  auto count = [&rng](double avg) {
+    return static_cast<int>(rng.Uniform(0, static_cast<int64_t>(2 * avg)));
+  };
+
+  // Parts (roots) with recursive sub-part references.
+  std::vector<xml::NodeId> parts;
+  for (int i = 0; i < config.num_parts; ++i) {
+    xml::NodeId part = g.AddNode("part");
+    xml::NodeId key = g.AddNode("key", StrFormat("%d", 1000 + i));
+    xml::NodeId name = g.AddNode(
+        "name", db->part_names_[part_name_dist.Sample(&rng)]);
+    XK_CHECK(g.AddContainmentEdge(part, key).ok());
+    XK_CHECK(g.AddContainmentEdge(part, name).ok());
+    parts.push_back(part);
+  }
+  for (int i = 0; i < config.num_parts; ++i) {
+    int subs = count(config.avg_subparts_per_part);
+    for (int j = 0; j < subs; ++j) {
+      // Reference a strictly later part: keeps the part hierarchy acyclic,
+      // as bill-of-material data is.
+      if (i + 1 >= config.num_parts) break;
+      int target = static_cast<int>(
+          rng.Uniform(i + 1, config.num_parts - 1));
+      xml::NodeId sub = g.AddNode("sub");
+      XK_CHECK(g.AddContainmentEdge(parts[static_cast<size_t>(i)], sub).ok());
+      XK_CHECK(g.AddReferenceEdge(sub, parts[static_cast<size_t>(target)]).ok());
+    }
+  }
+
+  // Products.
+  std::vector<xml::NodeId> products;
+  for (int i = 0; i < config.num_products; ++i) {
+    xml::NodeId product = g.AddNode("product");
+    xml::NodeId key = g.AddNode("prodkey", StrFormat("%d", 2000 + i));
+    std::string descr =
+        StrFormat("set of %s and %s",
+                  db->part_names_[part_name_dist.Sample(&rng)].c_str(),
+                  db->part_names_[part_name_dist.Sample(&rng)].c_str());
+    xml::NodeId d = g.AddNode("descr", descr);
+    XK_CHECK(g.AddContainmentEdge(product, key).ok());
+    XK_CHECK(g.AddContainmentEdge(product, d).ok());
+    products.push_back(product);
+  }
+
+  // Persons with service calls, orders, lineitems.
+  std::vector<xml::NodeId> persons;
+  for (int i = 0; i < config.num_persons; ++i) {
+    xml::NodeId person = g.AddNode("person");
+    xml::NodeId name = g.AddNode(
+        "name", db->person_names_[person_name_dist.Sample(&rng)]);
+    xml::NodeId nation = g.AddNode("nation", kNations[rng.Uniform(0, 4)]);
+    XK_CHECK(g.AddContainmentEdge(person, name).ok());
+    XK_CHECK(g.AddContainmentEdge(person, nation).ok());
+    persons.push_back(person);
+  }
+  for (int i = 0; i < config.num_persons; ++i) {
+    xml::NodeId person = persons[static_cast<size_t>(i)];
+    int calls = count(config.avg_service_calls_per_person);
+    for (int c = 0; c < calls; ++c) {
+      xml::NodeId call = g.AddNode("service_call");
+      xml::NodeId descr = g.AddNode(
+          "descr", StrFormat("%s error",
+                             db->part_names_[part_name_dist.Sample(&rng)].c_str()));
+      xml::NodeId date = g.AddNode(
+          "date", StrFormat("2002-%02lld-%02lld", static_cast<long long>(rng.Uniform(1, 12)),
+                    static_cast<long long>(rng.Uniform(1, 28))));
+      XK_CHECK(g.AddContainmentEdge(person, call).ok());
+      XK_CHECK(g.AddContainmentEdge(call, descr).ok());
+      XK_CHECK(g.AddContainmentEdge(call, date).ok());
+    }
+    int orders = count(config.avg_orders_per_person);
+    for (int o = 0; o < orders; ++o) {
+      xml::NodeId order = g.AddNode("order");
+      xml::NodeId date = g.AddNode(
+          "date", StrFormat("2002-%02lld-%02lld", static_cast<long long>(rng.Uniform(1, 12)),
+                    static_cast<long long>(rng.Uniform(1, 28))));
+      XK_CHECK(g.AddContainmentEdge(person, order).ok());
+      XK_CHECK(g.AddContainmentEdge(order, date).ok());
+      int lines = count(config.avg_lineitems_per_order);
+      for (int l = 0; l < lines; ++l) {
+        xml::NodeId li = g.AddNode("lineitem");
+        xml::NodeId qty = g.AddNode("quantity", StrFormat("%lld", static_cast<long long>(rng.Uniform(1, 20))));
+        xml::NodeId ship = g.AddNode(
+            "shipdate",
+            StrFormat("2002-%02lld-%02lld", static_cast<long long>(rng.Uniform(1, 12)),
+                    static_cast<long long>(rng.Uniform(1, 28))));
+        xml::NodeId supplier = g.AddNode("supplier");
+        xml::NodeId line = g.AddNode("line");
+        XK_CHECK(g.AddContainmentEdge(order, li).ok());
+        XK_CHECK(g.AddContainmentEdge(li, qty).ok());
+        XK_CHECK(g.AddContainmentEdge(li, ship).ok());
+        XK_CHECK(g.AddContainmentEdge(li, supplier).ok());
+        XK_CHECK(g.AddContainmentEdge(li, line).ok());
+        XK_CHECK(g.AddReferenceEdge(supplier, rng.Pick(persons)).ok());
+        if (rng.NextDouble() < config.part_line_fraction || products.empty()) {
+          XK_CHECK(g.AddReferenceEdge(line, rng.Pick(parts)).ok());
+        } else {
+          XK_CHECK(g.AddReferenceEdge(line, rng.Pick(products)).ok());
+        }
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace xk::datagen

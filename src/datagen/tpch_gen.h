@@ -1,0 +1,73 @@
+// Copyright (c) the XKeyword authors.
+//
+// Synthetic generator for the TPC-H-derived XML database of Figures 1, 5 and
+// 6: persons placing orders of lineitems that reference parts (with
+// recursive sub-part references) or products, supplied by persons, plus
+// service calls. Substitutes for the paper's TPC-H-based dataset with the
+// same schema graph, target decomposition, and keyword-bearing fields.
+
+#ifndef XK_DATAGEN_TPCH_GEN_H_
+#define XK_DATAGEN_TPCH_GEN_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "schema/tss_graph.h"
+#include "xml/xml_graph.h"
+
+namespace xk::datagen {
+
+struct TpchConfig {
+  int num_persons = 50;
+  int num_parts = 80;
+  int num_products = 40;
+  /// Expected counts (each instance drawn uniformly in [0, 2*avg]).
+  double avg_orders_per_person = 2.0;
+  double avg_lineitems_per_order = 3.0;
+  double avg_service_calls_per_person = 1.0;
+  double avg_subparts_per_part = 1.5;
+  /// Fraction of lineitems whose `line` choice picks a part (vs product).
+  double part_line_fraction = 0.7;
+  /// Vocabulary sizes; smaller = more keyword collisions (denser results).
+  int part_name_vocab = 12;
+  int person_name_vocab = 25;
+  uint64_t seed = 42;
+};
+
+/// Owns the generated XML graph together with its schema and TSS graphs
+/// (the TSS graph holds a pointer into the schema, so the bundle is
+/// non-copyable and heap-allocated).
+class TpchDatabase {
+ public:
+  static Result<std::unique_ptr<TpchDatabase>> Generate(const TpchConfig& config);
+
+  TpchDatabase(const TpchDatabase&) = delete;
+  TpchDatabase& operator=(const TpchDatabase&) = delete;
+
+  const xml::XmlGraph& graph() const { return graph_; }
+  const schema::SchemaGraph& schema() const { return schema_; }
+  const schema::TssGraph& tss() const { return *tss_; }
+
+  /// Part names used, for building queries with known selectivity.
+  const std::vector<std::string>& part_names() const { return part_names_; }
+  const std::vector<std::string>& person_names() const { return person_names_; }
+
+ private:
+  TpchDatabase() = default;
+
+  xml::XmlGraph graph_;
+  schema::SchemaGraph schema_;
+  std::unique_ptr<schema::TssGraph> tss_;
+  std::vector<std::string> part_names_;
+  std::vector<std::string> person_names_;
+};
+
+/// Builds only the Figure-5 schema graph into `schema` and returns the TSS
+/// graph of Figure 6 over it (finalized, annotated). Used by tests that
+/// construct instances by hand.
+Result<std::unique_ptr<schema::TssGraph>> BuildTpchSchema(
+    schema::SchemaGraph* schema);
+
+}  // namespace xk::datagen
+
+#endif  // XK_DATAGEN_TPCH_GEN_H_

@@ -1,0 +1,61 @@
+#include "decomp/classify.h"
+
+namespace xk::decomp {
+
+using schema::Mult;
+using schema::OutwardMult;
+using schema::TssGraph;
+using schema::TssTree;
+
+bool IsKeyOccurrence(const TssTree& tree, const TssGraph& tss, int node) {
+  // DFS from `node`; every edge must be to-one in the direction away from it.
+  auto adj = tree.Adjacency();
+  std::vector<bool> seen(tree.nodes.size(), false);
+  std::vector<int> stack = {node};
+  seen[static_cast<size_t>(node)] = true;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (int ei : adj[static_cast<size_t>(v)]) {
+      const schema::TssTreeEdge& e = tree.edges[static_cast<size_t>(ei)];
+      int u = e.from == v ? e.to : e.from;
+      if (seen[static_cast<size_t>(u)]) continue;
+      if (OutwardMult(tree, tss, v, ei) != Mult::kOne) return false;
+      seen[static_cast<size_t>(u)] = true;
+      stack.push_back(u);
+    }
+  }
+  return true;
+}
+
+FragmentClass Classify(const TssTree& tree, const TssGraph& tss) {
+  auto adj = tree.Adjacency();
+
+  // MVD: an occurrence with two outward-to-many branches.
+  for (int v = 0; v < tree.num_nodes(); ++v) {
+    int many = 0;
+    for (int ei : adj[static_cast<size_t>(v)]) {
+      if (OutwardMult(tree, tss, v, ei) == Mult::kMany) ++many;
+    }
+    if (many >= 2) return FragmentClass::kMVD;
+  }
+
+  // 4NF vs inlined: every to-one edge must depart from a key occurrence.
+  for (int v = 0; v < tree.num_nodes(); ++v) {
+    bool has_to_one = false;
+    for (int ei : adj[static_cast<size_t>(v)]) {
+      if (OutwardMult(tree, tss, v, ei) == Mult::kOne) {
+        has_to_one = true;
+        break;
+      }
+    }
+    if (has_to_one && !IsKeyOccurrence(tree, tss, v)) return FragmentClass::kInlined;
+  }
+  return FragmentClass::k4NF;
+}
+
+bool IsUseless(const TssTree& tree, const TssGraph& tss) {
+  return !schema::IsStructurallyPossible(tree, tss);
+}
+
+}  // namespace xk::decomp

@@ -1,0 +1,46 @@
+// Copyright (c) the XKeyword authors.
+//
+// Fragment classification (Section 5.1, Theorem 5.3) and the useless-fragment
+// rules. With the multiplicity model of schema/multiplicity.h, Theorem 5.3
+// reduces to a local test:
+//
+//   A fragment has a non-trivial MVD  iff  some occurrence has two incident
+//   fragment edges both oriented outward-to-many — given that occurrence's
+//   binding the two branches vary independently, which is exactly
+//   X ->-> branch1 | branch2.
+//
+// A non-MVD fragment is 4NF iff every to-one edge departs from a *key*
+// occurrence (one that reaches every other occurrence via outward-to-one
+// paths); otherwise the relation has a non-key functional dependency and is
+// merely *inlined* (the inlined fragments of [5] the paper builds by
+// default). Validated against every worked example of the paper: POL is
+// inlined, OLPa is 4NF, SPO and PaLOLPa are MVD, single edges are 4NF.
+
+#ifndef XK_DECOMP_CLASSIFY_H_
+#define XK_DECOMP_CLASSIFY_H_
+
+#include "decomp/fragment.h"
+
+namespace xk::decomp {
+
+/// Theorem 5.3 + the 4NF/inlined split.
+FragmentClass Classify(const schema::TssTree& tree, const schema::TssGraph& tss);
+
+inline FragmentClass Classify(const Fragment& f, const schema::TssGraph& tss) {
+  return Classify(f.tree, tss);
+}
+
+/// True if occurrence `node` functionally determines every other occurrence
+/// (all edges on all paths leaving `node` are outward-to-one).
+bool IsKeyOccurrence(const schema::TssTree& tree, const schema::TssGraph& tss,
+                     int node);
+
+/// The useless-fragment rules of Section 5.1: a fragment no candidate TSS
+/// network can use because it admits no instances — i.e. it is structurally
+/// impossible (choice conflicts; two containment parents; forced duplicate
+/// neighbors through to-one edges).
+bool IsUseless(const schema::TssTree& tree, const schema::TssGraph& tss);
+
+}  // namespace xk::decomp
+
+#endif  // XK_DECOMP_CLASSIFY_H_

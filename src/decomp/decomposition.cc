@@ -1,0 +1,268 @@
+#include "decomp/decomposition.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xk::decomp {
+
+using schema::TssGraph;
+using schema::TssTree;
+using schema::TssTreeEdge;
+
+int Decomposition::FindFragment(const TssTree& tree, const TssGraph& tss) const {
+  std::string key = schema::CanonicalKey(tree, tss);
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    if (schema::CanonicalKey(fragments[i].tree, tss) == key) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int FragmentSizeBound(int max_network_size, int max_joins) {
+  XK_CHECK_GE(max_joins, 0);
+  XK_CHECK_GE(max_network_size, 1);
+  return (max_network_size + max_joins) / (max_joins + 1);  // ceil(M / (B+1))
+}
+
+namespace {
+
+Fragment MakeFragment(TssTree tree, const TssGraph& tss) {
+  Fragment f;
+  f.name = MakeFragmentName(tree, tss);
+  f.tree = std::move(tree);
+  return f;
+}
+
+/// All useful (possible) trees of size in [1, max_size].
+Result<std::vector<TssTree>> UsefulTrees(const TssGraph& tss, int max_size) {
+  EnumerateOptions opts;
+  opts.max_size = max_size;
+  opts.include_empty = false;
+  opts.skip_impossible = true;
+  return EnumerateTrees(tss, opts);
+}
+
+}  // namespace
+
+Decomposition MakeMinimal(const TssGraph& tss, PhysicalDesign physical,
+                          bool use_indexes_at_runtime) {
+  Decomposition d;
+  d.physical = physical;
+  d.use_indexes_at_runtime = use_indexes_at_runtime;
+  switch (physical) {
+    case PhysicalDesign::kClusterPerDirection: d.name = "MinClust"; break;
+    case PhysicalDesign::kHashIndexPerColumn: d.name = "MinNClustIndx"; break;
+    case PhysicalDesign::kNone: d.name = "MinNClustNIndx"; break;
+  }
+  for (schema::TssEdgeId e = 0; e < tss.NumEdges(); ++e) {
+    const schema::TssEdge& te = tss.edge(e);
+    TssTree tree;
+    tree.nodes = {te.from, te.to};
+    tree.edges = {TssTreeEdge{0, 1, e}};
+    d.fragments.push_back(MakeFragment(std::move(tree), tss));
+  }
+  return d;
+}
+
+Result<Decomposition> MakeComplete(const TssGraph& tss, int L) {
+  Decomposition d;
+  d.name = "Complete";
+  d.physical = PhysicalDesign::kClusterPerDirection;
+  XK_ASSIGN_OR_RETURN(std::vector<TssTree> trees, UsefulTrees(tss, L));
+  for (TssTree& tree : trees) {
+    d.fragments.push_back(MakeFragment(std::move(tree), tss));
+  }
+  return d;
+}
+
+Result<Decomposition> MakeMaximal(const TssGraph& tss, int M) {
+  Decomposition d;
+  d.name = "Maximal";
+  d.physical = PhysicalDesign::kClusterPerDirection;
+  XK_ASSIGN_OR_RETURN(std::vector<TssTree> trees, UsefulTrees(tss, M));
+  for (TssTree& tree : trees) {
+    d.fragments.push_back(MakeFragment(std::move(tree), tss));
+  }
+  return d;
+}
+
+namespace {
+
+/// Incremental coverage state for one candidate network: the edge-masks of
+/// every embedding of the decomposition-so-far, so testing a new fragment
+/// only runs the matcher for that fragment.
+struct NetworkCoverage {
+  const TssTree* tree;
+  std::vector<uint32_t> masks;
+
+  /// Minimum pieces to cover all edges given masks + extra; INT_MAX if
+  /// uncoverable. Networks have <= ~8 edges so the DP is tiny.
+  int MinPieces(const std::vector<uint32_t>& extra) const {
+    const uint32_t full = (1u << tree->size()) - 1;
+    constexpr int kInf = 1 << 29;
+    std::vector<int> dist(full + 1, kInf);
+    dist[0] = 0;
+    auto relax = [&](uint32_t mask, uint32_t bits) {
+      uint32_t next = mask | bits;
+      if (next != mask && dist[mask] + 1 < dist[next]) dist[next] = dist[mask] + 1;
+    };
+    for (uint32_t mask = 0; mask <= full; ++mask) {
+      if (dist[mask] == (1 << 29)) continue;
+      for (uint32_t bits : masks) relax(mask, bits);
+      for (uint32_t bits : extra) relax(mask, bits);
+    }
+    return dist[full];
+  }
+
+  bool CoveredWith(const std::vector<uint32_t>& extra, int max_joins) const {
+    int pieces = MinPieces(extra);
+    return pieces != (1 << 29) && pieces - 1 <= max_joins;
+  }
+};
+
+std::vector<uint32_t> EmbeddingMasks(const TssTree& frag, const TssTree& target,
+                                     const TssGraph& tss) {
+  std::vector<uint32_t> masks;
+  for (const Embedding& e : FindEmbeddings(frag, target, tss, 0)) {
+    masks.push_back(e.edge_mask);
+  }
+  return masks;
+}
+
+}  // namespace
+
+Result<Decomposition> MakeXKeyword(const TssGraph& tss, int B, int M) {
+  if (B < 0 || M < 1) return Status::InvalidArgument("need B >= 0, M >= 1");
+  const int L = FragmentSizeBound(M, B);
+
+  Decomposition d;
+  d.name = "XKeyword";
+  d.physical = PhysicalDesign::kClusterPerDirection;
+
+  XK_ASSIGN_OR_RETURN(std::vector<TssTree> all_trees, UsefulTrees(tss, M));
+
+  // Step 1: all non-MVD fragments of size <= L.
+  for (const TssTree& tree : all_trees) {
+    if (tree.size() > L) continue;
+    if (Classify(tree, tss) != FragmentClass::kMVD) {
+      d.fragments.push_back(MakeFragment(tree, tss));
+    }
+  }
+
+  // Step 2: candidate TSS networks of size <= M not covered with <= B joins.
+  // Embedding masks of the current decomposition are cached per network.
+  std::vector<NetworkCoverage> uncovered;
+  for (const TssTree& tree : all_trees) {
+    NetworkCoverage cov{&tree, {}};
+    for (const Fragment& f : d.fragments) {
+      std::vector<uint32_t> masks = EmbeddingMasks(f.tree, tree, tss);
+      cov.masks.insert(cov.masks.end(), masks.begin(), masks.end());
+    }
+    if (!cov.CoveredWith({}, B)) uncovered.push_back(std::move(cov));
+  }
+
+  auto adopt_fragment = [&](const TssTree& frag) {
+    d.fragments.push_back(MakeFragment(frag, tss));
+    std::vector<NetworkCoverage> still;
+    for (NetworkCoverage& cov : uncovered) {
+      std::vector<uint32_t> masks = EmbeddingMasks(frag, *cov.tree, tss);
+      cov.masks.insert(cov.masks.end(), masks.begin(), masks.end());
+      if (!cov.CoveredWith({}, B)) still.push_back(std::move(cov));
+    }
+    uncovered = std::move(still);
+  };
+
+  // Step 3: non-MVD fragments of size > L that help cover some remaining
+  // network (Figure 11: a bigger non-MVD fragment can displace an MVD one).
+  for (const TssTree& tree : all_trees) {
+    if (uncovered.empty()) break;
+    if (tree.size() <= L) continue;
+    if (Classify(tree, tss) == FragmentClass::kMVD) continue;
+    bool helps = false;
+    for (const NetworkCoverage& cov : uncovered) {
+      if (cov.CoveredWith(EmbeddingMasks(tree, *cov.tree, tss), B)) {
+        helps = true;
+        break;
+      }
+    }
+    if (helps) adopt_fragment(tree);
+  }
+
+  // Step 4: minimum number of MVD fragments of size <= L for the rest
+  // (greedy set cover — the exact problem is NP-complete).
+  std::vector<const TssTree*> mvd_candidates;
+  for (const TssTree& tree : all_trees) {
+    if (tree.size() <= L && Classify(tree, tss) == FragmentClass::kMVD) {
+      mvd_candidates.push_back(&tree);
+    }
+  }
+  while (!uncovered.empty()) {
+    const TssTree* best = nullptr;
+    size_t best_covers = 0;
+    for (const TssTree* candidate : mvd_candidates) {
+      size_t covers = 0;
+      for (const NetworkCoverage& cov : uncovered) {
+        if (cov.CoveredWith(EmbeddingMasks(*candidate, *cov.tree, tss), B)) {
+          ++covers;
+        }
+      }
+      if (covers > best_covers) {
+        best = candidate;
+        best_covers = covers;
+      }
+    }
+    if (best == nullptr) {
+      // No MVD fragment helps; the join bound B is unreachable for the
+      // remaining networks. They are still *evaluable* (Lemma 5.1 holds via
+      // the single-edge fragments of step 1), just with more joins.
+      XK_LOG(Warning) << d.name << ": " << uncovered.size()
+                      << " networks stay above the B=" << B << " join bound";
+      break;
+    }
+    adopt_fragment(*best);
+  }
+  return d;
+}
+
+Result<Decomposition> MakeInlined(const TssGraph& tss, int B, int M) {
+  XK_ASSIGN_OR_RETURN(Decomposition d, MakeXKeyword(tss, B, M));
+  d.name = "Inlined";
+  // Which TSS edges appear in fragments wider than one edge?
+  std::unordered_set<schema::TssEdgeId> covered_wide;
+  for (const Fragment& f : d.fragments) {
+    if (f.size() < 2) continue;
+    for (const TssTreeEdge& e : f.tree.edges) covered_wide.insert(e.tss_edge);
+  }
+  std::vector<Fragment> kept;
+  for (Fragment& f : d.fragments) {
+    if (f.size() == 1 && covered_wide.contains(f.tree.edges[0].tss_edge)) {
+      continue;  // a wider fragment serves this edge
+    }
+    kept.push_back(std::move(f));
+  }
+  d.fragments = std::move(kept);
+  return d;
+}
+
+Decomposition Combine(const Decomposition& a, const Decomposition& b,
+                      const TssGraph& tss, std::string name) {
+  Decomposition d;
+  d.name = std::move(name);
+  d.physical = a.physical;
+  d.use_indexes_at_runtime = a.use_indexes_at_runtime && b.use_indexes_at_runtime;
+  std::unordered_set<std::string> seen;
+  for (const Decomposition* src : {&a, &b}) {
+    for (const Fragment& f : src->fragments) {
+      if (seen.insert(schema::CanonicalKey(f.tree, tss)).second) {
+        d.fragments.push_back(f);
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace xk::decomp

@@ -1,0 +1,88 @@
+// Copyright (c) the XKeyword authors.
+//
+// Decompositions of the TSS graph (Definition 5.2) and the policies compared
+// in Section 7:
+//
+//   Minimal        — a fragment per TSS edge (B = M - 1 joins).
+//   XKeyword       — the Figure-12 algorithm: inlined, non-MVD fragments of
+//                    size <= L = ceil(M / (B+1)), bigger non-MVD fragments
+//                    where they remove the need for MVD fragments, and a
+//                    minimal set of MVD fragments for whatever remains.
+//   Complete       — every (useful) fragment of size <= L, MVD included.
+//   Maximal        — a fragment per possible CTSSN shape (zero joins; space
+//                    infeasible in practice; supported for small graphs).
+//
+// Physical designs attach per policy: clusterings per direction (MinClust,
+// XKeyword), single-attribute hash indexes (MinNClustIndx), or nothing
+// (MinNClustNIndx, which also forbids index use at run time).
+
+#ifndef XK_DECOMP_DECOMPOSITION_H_
+#define XK_DECOMP_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "decomp/classify.h"
+#include "decomp/coverage.h"
+#include "decomp/enumerate.h"
+
+namespace xk::decomp {
+
+/// How connection relations are clustered / indexed when materialized.
+enum class PhysicalDesign {
+  /// Physically cluster on the first column and add a composite index
+  /// (i, rest...) per further column — "all possible clusterings for each
+  /// fragment" via index-organized duplicates.
+  kClusterPerDirection,
+  /// Single-attribute hash index on every column.
+  kHashIndexPerColumn,
+  /// No indexes, no clustering.
+  kNone,
+};
+
+/// A named decomposition: fragments plus physical design.
+struct Decomposition {
+  std::string name;
+  std::vector<Fragment> fragments;
+  PhysicalDesign physical = PhysicalDesign::kClusterPerDirection;
+  /// When false, probes fall back to full scans even if indexes exist
+  /// (models a DBMS forbidden from using them).
+  bool use_indexes_at_runtime = true;
+
+  /// Index of a fragment with the same tree (canonical match), or -1.
+  int FindFragment(const schema::TssTree& tree, const schema::TssGraph& tss) const;
+};
+
+/// Theorem 5.1's fragment size bound: L = ceil(M / (B + 1)).
+int FragmentSizeBound(int max_network_size, int max_joins);
+
+/// Minimal decomposition: one fragment per TSS edge.
+Decomposition MakeMinimal(const schema::TssGraph& tss, PhysicalDesign physical,
+                          bool use_indexes_at_runtime = true);
+
+/// Complete decomposition: all useful fragments of size <= L (MVD included).
+Result<Decomposition> MakeComplete(const schema::TssGraph& tss, int L);
+
+/// Maximal decomposition: one fragment per possible network shape of size
+/// <= M (zero joins for every CTSSN). Exponential space; small graphs only.
+Result<Decomposition> MakeMaximal(const schema::TssGraph& tss, int M);
+
+/// The XKeyword decomposition algorithm (Figure 12), parameterized by the
+/// join bound B and the maximum candidate TSS network size M.
+Result<Decomposition> MakeXKeyword(const schema::TssGraph& tss, int B, int M);
+
+/// The "inlined" decomposition of the Figure-16(b) experiment: the XKeyword
+/// fragments with single-edge fragments dropped wherever a wider fragment
+/// already covers the edge. Adjacent-node probes must then scan wider
+/// relations, which is what makes it slower for on-demand expansion.
+Result<Decomposition> MakeInlined(const schema::TssGraph& tss, int B, int M);
+
+/// Union of two decompositions (fragments deduplicated); used for the
+/// "combination" strategy of the on-demand expansion experiment (Fig 16b).
+Decomposition Combine(const Decomposition& a, const Decomposition& b,
+                      const schema::TssGraph& tss, std::string name);
+
+}  // namespace xk::decomp
+
+#endif  // XK_DECOMP_DECOMPOSITION_H_

@@ -1,0 +1,41 @@
+// Copyright (c) the XKeyword authors.
+//
+// Enumeration of canonical TSS trees, used for (a) candidate fragments of a
+// decomposition (subtrees of unfolded TSS graphs are exactly the trees of
+// occurrences, Definition 5.1/5.2) and (b) the universe of candidate TSS
+// network shapes of size up to M that the Figure-12 algorithm must cover.
+
+#ifndef XK_DECOMP_ENUMERATE_H_
+#define XK_DECOMP_ENUMERATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/tss_tree.h"
+
+namespace xk::decomp {
+
+struct EnumerateOptions {
+  /// Maximum number of edges.
+  int max_size = 2;
+  /// Include the single-occurrence trees of size 0 (CTSSNs may be single
+  /// objects; fragments need at least one edge).
+  bool include_empty = false;
+  /// Drop structurally impossible trees (choice conflicts etc.) — they can
+  /// be neither CTSSNs nor useful fragments.
+  bool skip_impossible = true;
+  /// Safety valve against combinatorial explosion on dense TSS graphs.
+  size_t max_trees = 2'000'000;
+};
+
+/// All canonical trees over `tss` within the options' bounds. Trees are
+/// deduplicated up to isomorphism (respecting segments, TSS edge ids and
+/// directions) and returned in nondecreasing size order.
+/// Fails with ResourceExhausted if max_trees is exceeded.
+Result<std::vector<schema::TssTree>> EnumerateTrees(const schema::TssGraph& tss,
+                                                    const EnumerateOptions& options);
+
+}  // namespace xk::decomp
+
+#endif  // XK_DECOMP_ENUMERATE_H_

@@ -1,0 +1,35 @@
+#include "decomp/fragment.h"
+
+#include "common/strings.h"
+
+namespace xk::decomp {
+
+const char* FragmentClassToString(FragmentClass c) {
+  switch (c) {
+    case FragmentClass::k4NF: return "4NF";
+    case FragmentClass::kInlined: return "inlined";
+    case FragmentClass::kMVD: return "MVD";
+  }
+  return "?";
+}
+
+std::string Fragment::ColumnName(const schema::TssGraph& tss, int i) const {
+  return StrFormat("%s_%d", tss.name(tree.nodes[static_cast<size_t>(i)]).c_str(), i);
+}
+
+std::string MakeFragmentName(const schema::TssTree& tree,
+                             const schema::TssGraph& tss) {
+  std::string name = "F";
+  for (schema::TssId t : tree.nodes) {
+    name += "_";
+    name += tss.name(t);
+  }
+  // Disambiguate trees over the same multiset of segments by edge structure.
+  name += "_e";
+  for (const schema::TssTreeEdge& e : tree.edges) {
+    name += StrFormat("%d.%d.%d", e.from, e.tss_edge, e.to);
+  }
+  return name;
+}
+
+}  // namespace xk::decomp

@@ -1,0 +1,47 @@
+// Copyright (c) the XKeyword authors.
+//
+// Fragments of a TSS graph decomposition (Definition 5.2): subtrees of an
+// unfolded TSS graph. Each fragment is materialized as one connection
+// relation whose columns are the fragment's occurrences (target-object ids).
+
+#ifndef XK_DECOMP_FRAGMENT_H_
+#define XK_DECOMP_FRAGMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/tss_tree.h"
+
+namespace xk::decomp {
+
+/// Normal-form class of a fragment's connection relation (Section 5.1):
+/// single edges are 4NF; wider relations are 4NF, inlined (redundancy of the
+/// functional kind only), or MVD (non-trivial multivalued dependency,
+/// Theorem 5.3).
+enum class FragmentClass { k4NF, kInlined, kMVD };
+
+const char* FragmentClassToString(FragmentClass c);
+
+/// A fragment: a TssTree plus naming and the relation it maps to.
+struct Fragment {
+  schema::TssTree tree;
+  /// Stable name; also the connection relation's table name ("F_P_O_L").
+  std::string name;
+
+  int size() const { return tree.size(); }
+
+  /// Column name of occurrence `i` in the connection relation.
+  std::string ColumnName(const schema::TssGraph& tss, int i) const;
+
+  bool operator==(const Fragment& other) const {
+    return tree.nodes == other.tree.nodes && tree.edges == other.tree.edges;
+  }
+};
+
+/// Derives a deterministic fragment name from its tree.
+std::string MakeFragmentName(const schema::TssTree& tree,
+                             const schema::TssGraph& tss);
+
+}  // namespace xk::decomp
+
+#endif  // XK_DECOMP_FRAGMENT_H_

@@ -1,0 +1,337 @@
+#include "engine/expansion.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "decomp/coverage.h"
+#include "decomp/relation_builder.h"
+
+namespace xk::engine {
+
+ExpansionEngine::ExpansionEngine(const schema::TssGraph* tss,
+                                 const decomp::Decomposition* d,
+                                 const storage::Catalog* catalog)
+    : tss_(tss), decomposition_(d) {
+  XK_CHECK(tss != nullptr && d != nullptr && catalog != nullptr);
+  exec_options_.use_indexes = d->use_indexes_at_runtime;
+  // Per fragment, its materialized relation (if any).
+  fragment_tables_.resize(d->fragments.size(), nullptr);
+  for (size_t f = 0; f < d->fragments.size(); ++f) {
+    auto table = catalog->GetTable(decomp::RelationName(*d, d->fragments[f]));
+    if (table.ok()) fragment_tables_[f] = *table;
+  }
+  // For each TSS edge, the narrowest materialized fragment containing it.
+  for (size_t f = 0; f < d->fragments.size(); ++f) {
+    if (fragment_tables_[f] == nullptr) continue;
+    const decomp::Fragment& frag = d->fragments[f];
+    for (const schema::TssTreeEdge& e : frag.tree.edges) {
+      auto it = edge_access_.find(e.tss_edge);
+      if (it == edge_access_.end() ||
+          it->second.table->arity() > fragment_tables_[f]->arity()) {
+        edge_access_[e.tss_edge] =
+            EdgeAccess{fragment_tables_[f], e.from, e.to};
+      }
+    }
+  }
+}
+
+std::vector<storage::ObjectId> ExpansionEngine::Neighbors(
+    schema::TssEdgeId e, bool forward, storage::ObjectId o,
+    exec::ProbeStats* probes) const {
+  auto it = edge_access_.find(e);
+  XK_CHECK(it != edge_access_.end());
+  const EdgeAccess& access = it->second;
+  int bind_col = forward ? access.from_col : access.to_col;
+  int out_col = forward ? access.to_col : access.from_col;
+  storage::IdSet seen;
+  std::vector<storage::ObjectId> out;
+  exec::ForEachMatch(*access.table, {exec::ColumnBinding{bind_col, o}}, {},
+                     exec_options_,
+                     [&](storage::RowId r) {
+                       storage::ObjectId v = access.table->At(r, out_col);
+                       if (seen.insert(v).second) out.push_back(v);
+                       return true;
+                     },
+                     probes);
+  return out;
+}
+
+std::vector<ExpansionEngine::Piece> ExpansionEngine::PlanPieces(
+    const cn::Ctssn& ctssn, int occ, const opt::NodeFilters& filters) const {
+  const int num_edges = ctssn.tree.size();
+  std::vector<Piece> pieces;
+  std::vector<bool> edge_done(static_cast<size_t>(num_edges), false);
+  std::vector<bool> occ_bound(static_cast<size_t>(ctssn.num_nodes()), false);
+  occ_bound[static_cast<size_t>(occ)] = true;
+
+  // Precompute all usable embeddings of every materialized fragment.
+  struct Candidate {
+    size_t fragment;
+    decomp::Embedding embedding;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t f = 0; f < decomposition_->fragments.size(); ++f) {
+    if (fragment_tables_[f] == nullptr) continue;
+    for (decomp::Embedding& e : decomp::FindEmbeddings(
+             decomposition_->fragments[f].tree, ctssn.tree, *tss_,
+             static_cast<int>(f))) {
+      candidates.push_back(Candidate{f, std::move(e)});
+    }
+  }
+
+  int remaining = num_edges;
+  while (remaining > 0) {
+    // Pick the embedding that covers the most yet-uncovered edges while
+    // touching a bound occurrence, preferring pieces whose fresh occurrences
+    // carry keyword filters (they prune the search hardest). Overlapping
+    // already-covered edges is allowed — bound occurrences simply become
+    // extra equality filters.
+    const Candidate* best = nullptr;
+    int best_filtered = -1;
+    int best_edges = 0;
+    for (const Candidate& c : candidates) {
+      bool anchored = false;
+      for (int node : c.embedding.node_map) {
+        if (occ_bound[static_cast<size_t>(node)]) {
+          anchored = true;
+          break;
+        }
+      }
+      if (!anchored) continue;
+      int fresh = 0;
+      for (int e = 0; e < num_edges; ++e) {
+        if (((c.embedding.edge_mask >> e) & 1u) &&
+            !edge_done[static_cast<size_t>(e)]) {
+          ++fresh;
+        }
+      }
+      if (fresh == 0) continue;
+      int filtered = 0;
+      for (int node : c.embedding.node_map) {
+        if (!occ_bound[static_cast<size_t>(node)] &&
+            !filters[static_cast<size_t>(node)].empty()) {
+          ++filtered;
+        }
+      }
+      bool better = false;
+      if (filtered != best_filtered) {
+        better = filtered > best_filtered;
+      } else if (fresh != best_edges) {
+        better = fresh > best_edges;
+      } else if (best != nullptr) {
+        better = fragment_tables_[c.fragment]->arity() <
+                 fragment_tables_[best->fragment]->arity();
+      }
+      if (best == nullptr || better) {
+        best = &c;
+        best_filtered = filtered;
+        best_edges = fresh;
+      }
+    }
+    // Lemma 5.1: every real decomposition covers every edge.
+    XK_CHECK(best != nullptr);
+    Piece piece;
+    piece.table = fragment_tables_[best->fragment];
+    piece.col_to_occ = best->embedding.node_map;
+    pieces.push_back(std::move(piece));
+    for (int e = 0; e < num_edges; ++e) {
+      if ((best->embedding.edge_mask >> e) & 1u) {
+        edge_done[static_cast<size_t>(e)] = true;
+        --remaining;
+      }
+    }
+    for (int node : best->embedding.node_map) {
+      occ_bound[static_cast<size_t>(node)] = true;
+    }
+  }
+  return pieces;
+}
+
+namespace {
+
+/// Piece-at-a-time completion search: assign objects to every occurrence,
+/// anchored at the clicked occurrence, minimizing the number of nodes not
+/// already displayed (branch and bound; displayed completions first).
+class CompletionSearch {
+ public:
+  CompletionSearch(const std::vector<ExpansionEngine::Piece>& pieces,
+                   const cn::Ctssn& ctssn, const opt::NodeFilters& filters,
+                   const present::PresentationGraph& pg,
+                   const exec::ExecOptions& exec_options,
+                   exec::ProbeStats* probes)
+      : pieces_(pieces),
+        ctssn_(ctssn),
+        filters_(filters),
+        pg_(pg),
+        exec_options_(exec_options),
+        probes_(probes) {}
+
+  std::vector<storage::ObjectId> Run(int occ, storage::ObjectId candidate) {
+    best_.clear();
+    best_new_ = std::numeric_limits<int>::max();
+    assignment_.assign(ctssn_.tree.nodes.size(), storage::kInvalidId);
+    if (!PassesFilters(occ, candidate)) return {};
+    assignment_[static_cast<size_t>(occ)] = candidate;
+    Extend(0, pg_.IsDisplayed(occ, candidate) ? 0 : 1);
+    return best_;
+  }
+
+ private:
+  bool PassesFilters(int node, storage::ObjectId o) const {
+    for (const storage::IdSet* set : filters_[static_cast<size_t>(node)]) {
+      if (!set->contains(o)) return false;
+    }
+    return true;
+  }
+
+  void Extend(size_t pos, int new_nodes) {
+    if (new_nodes >= best_new_) return;  // bound
+    if (pos == pieces_.size()) {
+      best_ = assignment_;
+      best_new_ = new_nodes;
+      return;
+    }
+    const ExpansionEngine::Piece& piece = pieces_[pos];
+
+    // Bind already-assigned occurrences; remember the fresh columns.
+    std::vector<exec::ColumnBinding> bindings;
+    std::vector<int> fresh_cols;
+    for (size_t col = 0; col < piece.col_to_occ.size(); ++col) {
+      int node = piece.col_to_occ[col];
+      storage::ObjectId bound = assignment_[static_cast<size_t>(node)];
+      if (bound != storage::kInvalidId) {
+        bindings.push_back(exec::ColumnBinding{static_cast<int>(col), bound});
+      } else {
+        fresh_cols.push_back(static_cast<int>(col));
+      }
+    }
+
+    // Collect matching rows; score by how many fresh nodes are undisplayed,
+    // then extend in ascending score order ("connect to the presentation
+    // graph first").
+    struct Row {
+      std::vector<storage::ObjectId> fresh;
+      int undisplayed;
+    };
+    std::vector<Row> rows;
+    exec::ForEachMatch(
+        *piece.table, bindings, {}, exec_options_,
+        [&](storage::RowId r) {
+          Row row;
+          row.undisplayed = 0;
+          row.fresh.reserve(fresh_cols.size());
+          for (int col : fresh_cols) {
+            int node = piece.col_to_occ[static_cast<size_t>(col)];
+            storage::ObjectId v = piece.table->At(r, col);
+            if (!PassesFilters(node, v)) return true;
+            // Distinctness among same-segment occurrences.
+            for (size_t o2 = 0; o2 < assignment_.size(); ++o2) {
+              if (assignment_[o2] == v &&
+                  ctssn_.tree.nodes[o2] ==
+                      ctssn_.tree.nodes[static_cast<size_t>(node)]) {
+                return true;
+              }
+            }
+            if (!pg_.IsDisplayed(node, v)) ++row.undisplayed;
+            row.fresh.push_back(v);
+          }
+          rows.push_back(std::move(row));
+          return true;
+        },
+        probes_);
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row& a, const Row& b) {
+                       return a.undisplayed < b.undisplayed;
+                     });
+
+    for (const Row& row : rows) {
+      // Rows sharing fresh values across columns could break distinctness;
+      // re-check pairwise among the row's own fresh assignments.
+      bool self_dup = false;
+      for (size_t i = 0; i < fresh_cols.size() && !self_dup; ++i) {
+        for (size_t j = i + 1; j < fresh_cols.size(); ++j) {
+          int ni = piece.col_to_occ[static_cast<size_t>(fresh_cols[i])];
+          int nj = piece.col_to_occ[static_cast<size_t>(fresh_cols[j])];
+          if (row.fresh[i] == row.fresh[j] &&
+              ctssn_.tree.nodes[static_cast<size_t>(ni)] ==
+                  ctssn_.tree.nodes[static_cast<size_t>(nj)]) {
+            self_dup = true;
+            break;
+          }
+        }
+      }
+      if (self_dup) continue;
+      for (size_t i = 0; i < fresh_cols.size(); ++i) {
+        int node = piece.col_to_occ[static_cast<size_t>(fresh_cols[i])];
+        assignment_[static_cast<size_t>(node)] = row.fresh[i];
+      }
+      Extend(pos + 1, new_nodes + row.undisplayed);
+      for (size_t i = 0; i < fresh_cols.size(); ++i) {
+        int node = piece.col_to_occ[static_cast<size_t>(fresh_cols[i])];
+        assignment_[static_cast<size_t>(node)] = storage::kInvalidId;
+      }
+    }
+  }
+
+  const std::vector<ExpansionEngine::Piece>& pieces_;
+  const cn::Ctssn& ctssn_;
+  const opt::NodeFilters& filters_;
+  const present::PresentationGraph& pg_;
+  const exec::ExecOptions& exec_options_;
+  exec::ProbeStats* probes_;
+  std::vector<storage::ObjectId> assignment_;
+  std::vector<storage::ObjectId> best_;
+  int best_new_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<present::Mtton>> ExpansionEngine::ExpandNode(
+    const cn::Ctssn& ctssn, const opt::NodeFilters& filters, int ctssn_index,
+    int occ, const present::PresentationGraph& pg, Stats* stats) const {
+  if (occ < 0 || occ >= ctssn.num_nodes()) {
+    return Status::OutOfRange("bad occurrence");
+  }
+  exec::ProbeStats* probes = stats != nullptr ? &stats->probes : nullptr;
+
+  // Candidate objects of this role: keyword-filtered when annotated,
+  // otherwise everything adjacent to the current display.
+  std::vector<storage::ObjectId> candidates;
+  storage::IdSet seen;
+  if (!filters[static_cast<size_t>(occ)].empty()) {
+    const storage::IdSet* base = filters[static_cast<size_t>(occ)][0];
+    for (storage::ObjectId o : *base) {
+      if (seen.insert(o).second) candidates.push_back(o);
+    }
+  } else {
+    auto adj = ctssn.tree.Adjacency();
+    for (int ei : adj[static_cast<size_t>(occ)]) {
+      const schema::TssTreeEdge& e = ctssn.tree.edges[static_cast<size_t>(ei)];
+      int other = e.from == occ ? e.to : e.from;
+      bool incoming = e.to == occ;  // walk neighbor -> occ
+      for (const present::DisplayNode& dn : pg.Displayed()) {
+        if (dn.first != other) continue;
+        for (storage::ObjectId o :
+             Neighbors(e.tss_edge, incoming, dn.second, probes)) {
+          if (seen.insert(o).second) candidates.push_back(o);
+        }
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  if (stats != nullptr) stats->candidates += candidates.size();
+
+  std::vector<Piece> pieces = PlanPieces(ctssn, occ, filters);
+  std::vector<present::Mtton> out;
+  CompletionSearch search(pieces, ctssn, filters, pg, exec_options_, probes);
+  for (storage::ObjectId u : candidates) {
+    std::vector<storage::ObjectId> assignment = search.Run(occ, u);
+    if (assignment.empty()) continue;  // "If no connection was found ignore u"
+    out.push_back(present::Mtton{ctssn_index, std::move(assignment), ctssn.cn_size});
+    if (stats != nullptr) ++stats->expanded;
+  }
+  return out;
+}
+
+}  // namespace xk::engine

@@ -1,0 +1,83 @@
+// Copyright (c) the XKeyword authors.
+//
+// On-demand expansion of presentation graphs (Figure 13): when the user
+// clicks a node of role N, find the target objects of that role that can be
+// connected to all keywords "through PG(C) with l extra edges", preferring
+// minimal extensions. Runs against connection relations — the minimal
+// decomposition's per-edge relations make the adjacent-first probing cheap,
+// which is exactly the effect Figure 16(b) measures across decompositions.
+
+#ifndef XK_ENGINE_EXPANSION_H_
+#define XK_ENGINE_EXPANSION_H_
+
+#include <unordered_map>
+
+#include "decomp/decomposition.h"
+#include "engine/query_context.h"
+#include "present/presentation_graph.h"
+#include "storage/catalog.h"
+
+namespace xk::engine {
+
+class ExpansionEngine {
+ public:
+  /// Probes the relations of `d` inside `catalog`. Every TSS edge must be
+  /// covered by some fragment of `d` (Lemma 5.1 guarantees it for real
+  /// decompositions).
+  ExpansionEngine(const schema::TssGraph* tss, const decomp::Decomposition* d,
+                  const storage::Catalog* catalog);
+
+  struct Stats {
+    exec::ProbeStats probes;
+    uint64_t candidates = 0;
+    uint64_t expanded = 0;
+  };
+
+  /// Figure-13 expansion: for occurrence `occ` of `ctssn`, returns one
+  /// minimal-extension MTTON per connectable candidate object (existing
+  /// display nodes are preferred as connection points). The caller registers
+  /// the returned MTTONs with the presentation graph.
+  Result<std::vector<present::Mtton>> ExpandNode(
+      const cn::Ctssn& ctssn, const opt::NodeFilters& filters, int ctssn_index,
+      int occ, const present::PresentationGraph& pg, Stats* stats) const;
+
+  /// Objects adjacent to `o` across TSS edge `e` (in the edge direction when
+  /// `forward`), probed through the narrowest covering relation. Exposed for
+  /// tests.
+  std::vector<storage::ObjectId> Neighbors(schema::TssEdgeId e, bool forward,
+                                           storage::ObjectId o,
+                                           exec::ProbeStats* probes) const;
+
+  /// One anchored relation probe of the completion search: `table`'s column
+  /// `i` binds CTSSN occurrence `col_to_occ[i]`.
+  struct Piece {
+    const storage::Table* table;
+    std::vector<int> col_to_occ;
+  };
+
+  /// Greedy anchored tiling of the network's edges by the decomposition's
+  /// relations, starting from the clicked occurrence; pieces that bind
+  /// keyword-filtered occurrences come first (selective pruning). Minimal
+  /// decompositions yield per-edge probes; inlined ones bind several
+  /// occurrences per probe against wider relations — exactly the trade-off
+  /// Figure 16(b) measures.
+  std::vector<Piece> PlanPieces(const cn::Ctssn& ctssn, int occ,
+                                const opt::NodeFilters& filters) const;
+
+ private:
+  struct EdgeAccess {
+    const storage::Table* table;
+    int from_col;
+    int to_col;
+  };
+
+  const schema::TssGraph* tss_;
+  const decomp::Decomposition* decomposition_;
+  exec::ExecOptions exec_options_;
+  std::vector<const storage::Table*> fragment_tables_;
+  std::unordered_map<schema::TssEdgeId, EdgeAccess> edge_access_;
+};
+
+}  // namespace xk::engine
+
+#endif  // XK_ENGINE_EXPANSION_H_

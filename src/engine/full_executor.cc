@@ -1,0 +1,214 @@
+#include "engine/full_executor.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "engine/topk_executor.h"
+#include "exec/plan.h"
+
+namespace xk::engine {
+
+namespace {
+
+/// Occurrence groups of one segment with >= 2 members.
+std::vector<std::vector<int>> SameSegmentGroups(const cn::Ctssn& ctssn) {
+  std::map<schema::TssId, std::vector<int>> by_segment;
+  for (int v = 0; v < ctssn.num_nodes(); ++v) {
+    by_segment[ctssn.tree.nodes[static_cast<size_t>(v)]].push_back(v);
+  }
+  std::vector<std::vector<int>> groups;
+  for (auto& [seg, occs] : by_segment) {
+    (void)seg;
+    if (occs.size() >= 2) groups.push_back(std::move(occs));
+  }
+  return groups;
+}
+
+bool DistinctAcross(const std::vector<std::vector<int>>& groups,
+                    const std::vector<storage::ObjectId>& objs) {
+  for (const std::vector<int>& group : groups) {
+    for (size_t a = 0; a < group.size(); ++a) {
+      for (size_t b = a + 1; b < group.size(); ++b) {
+        if (objs[static_cast<size_t>(group[a])] ==
+            objs[static_cast<size_t>(group[b])]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Filtered scan of one step's relation (local filters only), materialized
+/// through the reuse cache.
+const std::vector<storage::Tuple>* FilteredScan(
+    const exec::JoinStep& step, const std::string& signature,
+    opt::MaterializedViewCache* cache, bool enable_reuse, ExecutionStats* stats) {
+  if (enable_reuse) {
+    const std::vector<storage::Tuple>* hit = cache->Get(signature);
+    if (hit != nullptr) return hit;
+  }
+  std::vector<storage::Tuple> rows;
+  exec::ExecOptions no_index{.use_indexes = false};
+  exec::ForEachMatch(*step.table, step.const_filters, step.in_filters, no_index,
+                     [&](storage::RowId r) {
+                       storage::TupleView row = step.table->Row(r);
+                       rows.emplace_back(row.begin(), row.end());
+                       return true;
+                     },
+                     stats != nullptr ? &stats->probes : nullptr);
+  return cache->Put(signature, std::move(rows));
+}
+
+/// Full hash-join evaluation of one plan with reuse of filtered scans.
+/// Intermediates are kept as per-step indexes into the filtered scans (one
+/// uint32 per step per row), so joins shuffle indexes, not tuples.
+void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
+                 bool enable_reuse, ExecutionStats* stats,
+                 const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
+  const std::vector<exec::JoinStep>& steps = plan.query.steps;
+  const size_t num_steps = steps.size();
+  auto groups = SameSegmentGroups(*plan.ctssn);
+
+  std::vector<const std::vector<storage::Tuple>*> scans(num_steps);
+  for (size_t i = 0; i < num_steps; ++i) {
+    scans[i] = FilteredScan(steps[i], plan.step_signatures[i], cache,
+                            enable_reuse, stats);
+  }
+
+  // Intermediate rows, flat: row r occupies [r*width, r*width + width).
+  size_t width = 1;
+  std::vector<uint32_t> current(scans[0]->size());
+  for (uint32_t r = 0; r < current.size(); ++r) current[r] = r;
+
+  for (size_t i = 1; i < num_steps && !current.empty(); ++i) {
+    const exec::JoinStep& s = steps[i];
+    const std::vector<storage::Tuple>& build_rows = *scans[i];
+    // Hash build side on its eq columns.
+    std::unordered_map<storage::Tuple, std::vector<uint32_t>, storage::TupleHash>
+        build;
+    build.reserve(build_rows.size());
+    storage::Tuple key(s.eq.size());
+    for (uint32_t r = 0; r < build_rows.size(); ++r) {
+      for (size_t k = 0; k < s.eq.size(); ++k) {
+        key[k] = build_rows[r][static_cast<size_t>(s.eq[k].first)];
+      }
+      build[key].push_back(r);
+    }
+    std::vector<uint32_t> next;
+    const size_t rows = current.size() / width;
+    for (size_t r = 0; r < rows; ++r) {
+      const uint32_t* left = &current[r * width];
+      for (size_t k = 0; k < s.eq.size(); ++k) {
+        const exec::ColumnRef& ref = s.eq[k].second;
+        key[k] = (*scans[static_cast<size_t>(ref.step)])[left[ref.step]]
+                     [static_cast<size_t>(ref.column)];
+      }
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (uint32_t right : it->second) {
+        next.insert(next.end(), left, left + width);
+        next.push_back(right);
+      }
+    }
+    current = std::move(next);
+    ++width;
+  }
+
+  std::vector<storage::ObjectId> objs(plan.node_source.size());
+  const size_t rows = current.size() / width;
+  for (size_t r = 0; r < rows; ++r) {
+    const uint32_t* row = &current[r * width];
+    for (size_t node = 0; node < plan.node_source.size(); ++node) {
+      const exec::ColumnRef& src = plan.node_source[node];
+      objs[node] = (*scans[static_cast<size_t>(src.step)])[row[src.step]]
+                       [static_cast<size_t>(src.column)];
+    }
+    if (!DistinctAcross(groups, objs)) continue;
+    if (stats != nullptr) ++stats->results;
+    if (!emit(objs)) break;
+  }
+}
+
+void RunIndexNestedLoop(
+    const opt::CtssnPlan& plan, const exec::ExecOptions& exec_options,
+    ExecutionStats* stats,
+    const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
+  auto groups = SameSegmentGroups(*plan.ctssn);
+  exec::NestedLoopExecutor executor(&plan.query, exec_options);
+  std::vector<storage::ObjectId> objs(plan.node_source.size());
+  Status st = executor.Run([&](const std::vector<storage::TupleView>& rows) {
+    for (size_t node = 0; node < plan.node_source.size(); ++node) {
+      const exec::ColumnRef& src = plan.node_source[node];
+      objs[node] = rows[static_cast<size_t>(src.step)][static_cast<size_t>(src.column)];
+    }
+    if (!DistinctAcross(groups, objs)) return true;
+    if (stats != nullptr) ++stats->results;
+    return emit(objs);
+  });
+  XK_CHECK(st.ok());
+  if (stats != nullptr) stats->probes.Add(executor.stats());
+}
+
+}  // namespace
+
+Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query,
+                                                      ExecutionStats* stats) {
+  std::vector<present::Mtton> results;
+  opt::MaterializedViewCache cache;
+
+  for (size_t p = 0; p < query.plans.size(); ++p) {
+    const opt::CtssnPlan& plan = query.plans[p];
+    if (options_.max_network_size > 0 &&
+        query.ctssns[p].tree.size() > options_.max_network_size) {
+      continue;
+    }
+    auto emit = [&](const std::vector<storage::ObjectId>& objs) {
+      results.push_back(
+          present::Mtton{static_cast<int>(p), objs, query.ctssns[p].cn_size});
+      return true;
+    };
+    if (plan.query.steps.empty()) {
+      EvaluateSingleObjectPlan(query, p, emit);
+      continue;
+    }
+    FullMode mode = options_.mode;
+    if (mode == FullMode::kAuto) {
+      bool indexed = query.exec_options.use_indexes;
+      if (indexed) {
+        indexed = false;
+        for (const exec::JoinStep& s : plan.query.steps) {
+          if (s.table->HasAnyIndex() || s.table->IsClustered()) {
+            indexed = true;
+            break;
+          }
+        }
+      }
+      mode = indexed ? FullMode::kIndexNestedLoop : FullMode::kHashJoin;
+    }
+    if (mode == FullMode::kIndexNestedLoop) {
+      RunIndexNestedLoop(plan, query.exec_options, stats, emit);
+    } else {
+      RunHashJoin(plan, &cache, options_.enable_reuse, stats, emit);
+    }
+  }
+
+  std::stable_sort(results.begin(), results.end(),
+                   [](const present::Mtton& a, const present::Mtton& b) {
+                     if (a.score != b.score) return a.score < b.score;
+                     if (a.ctssn_index != b.ctssn_index) {
+                       return a.ctssn_index < b.ctssn_index;
+                     }
+                     return a.objects < b.objects;
+                   });
+  if (stats != nullptr) {
+    stats->results = results.size();
+    stats->reuse_hits += cache.hits();
+    stats->reuse_misses += cache.misses();
+  }
+  return results;
+}
+
+}  // namespace xk::engine

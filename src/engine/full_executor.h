@@ -1,0 +1,49 @@
+// Copyright (c) the XKeyword authors.
+//
+// Full-result execution (the "output all the results" mode of Figure 15(b)).
+// Indexed decompositions run index-nested-loops (what a DBMS picks when
+// indexes exist); unindexed ones run full-scan hash joins — the paper found
+// the latter fastest for complete outputs on the small minimal relations.
+// Keyword-filtered relation scans are materialized once per query and shared
+// across candidate networks (Section 4's common-subexpression reuse).
+
+#ifndef XK_ENGINE_FULL_EXECUTOR_H_
+#define XK_ENGINE_FULL_EXECUTOR_H_
+
+#include "engine/query_context.h"
+#include "opt/reuse.h"
+#include "present/mtton.h"
+
+namespace xk::engine {
+
+/// Join strategy for full-result runs.
+enum class FullMode {
+  /// Hash joins on indexed decompositions, INLJ otherwise — mirrors what the
+  /// backing DBMS's optimizer would pick.
+  kAuto,
+  kIndexNestedLoop,
+  kHashJoin,
+};
+
+struct FullExecutorOptions {
+  FullMode mode = FullMode::kAuto;
+  /// Reuse keyword-filtered scans across networks.
+  bool enable_reuse = true;
+  /// When > 0, skip networks with more CTSSN edges than this.
+  int max_network_size = 0;
+};
+
+class FullExecutor {
+ public:
+  explicit FullExecutor(FullExecutorOptions options = {}) : options_(options) {}
+
+  Result<std::vector<present::Mtton>> Run(const PreparedQuery& query,
+                                          ExecutionStats* stats = nullptr);
+
+ private:
+  FullExecutorOptions options_;
+};
+
+}  // namespace xk::engine
+
+#endif  // XK_ENGINE_FULL_EXECUTOR_H_

@@ -1,0 +1,64 @@
+#include "engine/load_stage.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "decomp/relation_builder.h"
+#include "xml/xml_writer.h"
+
+namespace xk::engine {
+
+Result<std::unique_ptr<LoadedData>> RunLoadStage(const xml::XmlGraph& graph,
+                                                 const schema::SchemaGraph& schema,
+                                                 const schema::TssGraph& tss) {
+  if (!tss.finalized()) return Status::InvalidArgument("TSS graph not finalized");
+  auto data = std::make_unique<LoadedData>();
+
+  XK_ASSIGN_OR_RETURN(data->validation, schema::Validate(graph, schema));
+
+  schema::Decomposer decomposer(&graph, &data->validation, &tss);
+  XK_ASSIGN_OR_RETURN(data->objects, decomposer.Run());
+
+  data->master_index =
+      keyword::MasterIndex::Build(graph, data->validation, data->objects);
+
+  // Target-object BLOBs: the serialized member subtree of each object.
+  for (storage::ObjectId o = 0; o < data->objects.NumObjects(); ++o) {
+    const std::vector<xml::NodeId>& members = data->objects.MemberNodes(o);
+    std::unordered_set<xml::NodeId> restrict_to(members.begin(), members.end());
+    std::string blob = xml::WriteSubtree(
+        graph, data->objects.object(o).head, &restrict_to, /*pretty=*/false);
+    XK_RETURN_NOT_OK(data->catalog.blob_store().Put(o, std::move(blob)));
+  }
+
+  // Statistics: s(T) per segment; c(e) per TSS edge, both directions.
+  std::vector<int64_t> edge_counts(static_cast<size_t>(tss.NumEdges()), 0);
+  for (const schema::TargetObjectEdge& e : data->objects.edges()) {
+    ++edge_counts[static_cast<size_t>(e.edge)];
+  }
+  for (schema::TssId t = 0; t < tss.NumSegments(); ++t) {
+    data->statistics.SetNodeCount(t,
+                                  static_cast<size_t>(data->objects.CountOfSegment(t)));
+  }
+  for (schema::TssEdgeId e = 0; e < tss.NumEdges(); ++e) {
+    const schema::TssEdge& te = tss.edge(e);
+    int64_t from_count = data->objects.CountOfSegment(te.from);
+    int64_t to_count = data->objects.CountOfSegment(te.to);
+    data->statistics.SetAvgFanout(
+        e, from_count == 0 ? 0.0
+                           : static_cast<double>(edge_counts[static_cast<size_t>(e)]) /
+                                 static_cast<double>(from_count));
+    data->statistics.SetAvgReverseFanout(
+        e, to_count == 0 ? 0.0
+                         : static_cast<double>(edge_counts[static_cast<size_t>(e)]) /
+                               static_cast<double>(to_count));
+  }
+  return data;
+}
+
+Status MaterializeDecomposition(const decomp::Decomposition& d,
+                                const schema::TssGraph& tss, LoadedData* data) {
+  return decomp::BuildConnectionRelations(d, data->objects, tss, &data->catalog);
+}
+
+}  // namespace xk::engine

@@ -1,0 +1,44 @@
+// Copyright (c) the XKeyword authors.
+//
+// The load stage of Figure 7: the Decomposer inputs the schema graph, the
+// TSS graph and the XML graph, and produces the master index, statistics,
+// target-object BLOBs and the connection relations of each decomposition.
+
+#ifndef XK_ENGINE_LOAD_STAGE_H_
+#define XK_ENGINE_LOAD_STAGE_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "decomp/decomposition.h"
+#include "keyword/master_index.h"
+#include "schema/decomposer.h"
+#include "schema/validator.h"
+#include "storage/catalog.h"
+#include "storage/statistics.h"
+
+namespace xk::engine {
+
+/// Everything the query stage needs, produced once at load time.
+struct LoadedData {
+  schema::ValidationResult validation;
+  schema::TargetObjectGraph objects;
+  keyword::MasterIndex master_index;
+  storage::Catalog catalog;  // connection relations + target-object BLOBs
+  storage::Statistics statistics;
+};
+
+/// Runs validation, target decomposition, master indexing, BLOB
+/// serialization and statistics gathering. Connection relations are added
+/// separately per decomposition (MaterializeDecomposition).
+Result<std::unique_ptr<LoadedData>> RunLoadStage(const xml::XmlGraph& graph,
+                                                 const schema::SchemaGraph& schema,
+                                                 const schema::TssGraph& tss);
+
+/// Materializes the connection relations of `d` into the loaded catalog.
+Status MaterializeDecomposition(const decomp::Decomposition& d,
+                                const schema::TssGraph& tss, LoadedData* data);
+
+}  // namespace xk::engine
+
+#endif  // XK_ENGINE_LOAD_STAGE_H_

@@ -1,0 +1,23 @@
+#include "engine/naive_executor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "engine/topk_executor.h"
+
+namespace xk::engine {
+
+Result<std::vector<present::Mtton>> NaiveExecutor::Run(const PreparedQuery& query,
+                                                       const QueryOptions& options,
+                                                       ExecutionStats* stats) {
+  // The naive algorithm is exactly the optimized one with the partial-result
+  // cache disabled and a single thread — every inner loop re-probes the
+  // relations ("it may send the same queries multiple times", Section 6).
+  QueryOptions naive = options;
+  naive.enable_cache = false;
+  naive.num_threads = 1;
+  TopKExecutor executor;
+  return executor.Run(query, naive, stats);
+}
+
+}  // namespace xk::engine

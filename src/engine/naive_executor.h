@@ -1,0 +1,29 @@
+// Copyright (c) the XKeyword authors.
+//
+// The naive execution algorithm used by DISCOVER [13] and DBXplorer [3]
+// (Section 6/7 baseline): plain nested-loops join per candidate network with
+// no caching of partial results — the same inner queries are re-sent for
+// every outer binding. Figure 16(a) measures the optimized algorithm's
+// speedup over this.
+
+#ifndef XK_ENGINE_NAIVE_EXECUTOR_H_
+#define XK_ENGINE_NAIVE_EXECUTOR_H_
+
+#include "engine/query_context.h"
+#include "present/mtton.h"
+
+namespace xk::engine {
+
+class NaiveExecutor {
+ public:
+  NaiveExecutor() = default;
+
+  /// Same contract as TopKExecutor::Run, single-threaded, cacheless.
+  Result<std::vector<present::Mtton>> Run(const PreparedQuery& query,
+                                          const QueryOptions& options,
+                                          ExecutionStats* stats = nullptr);
+};
+
+}  // namespace xk::engine
+
+#endif  // XK_ENGINE_NAIVE_EXECUTOR_H_

@@ -1,0 +1,82 @@
+// Copyright (c) the XKeyword authors.
+//
+// Shared query-stage types: options, prepared queries, execution statistics.
+
+#ifndef XK_ENGINE_QUERY_CONTEXT_H_
+#define XK_ENGINE_QUERY_CONTEXT_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cn/candidate_network.h"
+#include "cn/ctssn.h"
+#include "exec/operators.h"
+#include "opt/optimizer.h"
+
+namespace xk::engine {
+
+/// Knobs of one keyword query.
+struct QueryOptions {
+  /// Maximum MTNN size Z (Section 3.1: "the user specifies the maximum size
+  /// Z of an MTNN that is of interest").
+  int max_size_z = 6;
+
+  /// When > 0, executors skip networks whose CTSSN has more than this many
+  /// edges — the "maximum CTSSN size" axis of Figures 15(b) and 16(a).
+  int max_network_size = 0;
+
+  /// Per-network result bound K for the top-k executor (Section 7 measures
+  /// "the top-k results for each candidate network").
+  size_t per_network_k = 10;
+  /// Global result bound across all networks (0 = unlimited); the
+  /// search-engine presentation stops once K results exist in total.
+  size_t global_k = 0;
+
+  /// Partial-result caching (the optimized execution algorithm of Section 6).
+  bool enable_cache = true;
+  /// Entries of the fixed-size cache; on overflow queries are re-sent.
+  size_t cache_capacity = 1 << 16;
+
+  /// Threads of the per-CN thread pool.
+  int num_threads = 4;
+};
+
+/// Aggregated execution counters, reported by the benches next to wall time.
+struct ExecutionStats {
+  exec::ProbeStats probes;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t results = 0;
+  uint64_t reuse_hits = 0;
+  uint64_t reuse_misses = 0;
+
+  void Add(const ExecutionStats& o) {
+    probes.Add(o.probes);
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    results += o.results;
+    reuse_hits += o.reuse_hits;
+    reuse_misses += o.reuse_misses;
+  }
+};
+
+/// Everything derived from a keyword list before execution: candidate
+/// networks, their CTSSN reductions, keyword filter sets, and plans.
+/// Filter sets live in a std::map so the IdSet pointers inside plans stay
+/// valid when the struct moves.
+struct PreparedQuery {
+  std::vector<std::string> keywords;
+  std::vector<cn::CandidateNetwork> networks;
+  std::vector<cn::Ctssn> ctssns;              // parallel to networks
+  std::map<std::pair<int, schema::SchemaNodeId>, storage::IdSet> filter_sets;
+  std::vector<opt::NodeFilters> node_filters;  // parallel to ctssns
+  std::vector<opt::CtssnPlan> plans;           // parallel to ctssns
+  exec::ExecOptions exec_options;
+};
+
+}  // namespace xk::engine
+
+#endif  // XK_ENGINE_QUERY_CONTEXT_H_

@@ -1,0 +1,49 @@
+// Copyright (c) the XKeyword authors.
+//
+// Fixed-size thread pool used by the top-k executor: "we solve this problem
+// by using a thread pool. A thread is assigned to each CN starting from the
+// smaller ones" (Section 6).
+
+#ifndef XK_ENGINE_THREAD_POOL_H_
+#define XK_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xk::engine {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks run FIFO across the pool.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace xk::engine
+
+#endif  // XK_ENGINE_THREAD_POOL_H_

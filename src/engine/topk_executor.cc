@@ -1,0 +1,302 @@
+#include "engine/topk_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <numeric>
+
+#include "common/logging.h"
+#include "engine/thread_pool.h"
+
+namespace xk::engine {
+
+PlanEvaluator::PlanEvaluator(const opt::CtssnPlan* plan,
+                             exec::ExecOptions exec_options, bool enable_cache,
+                             size_t cache_capacity)
+    : plan_(plan), exec_options_(exec_options), enable_cache_(enable_cache) {
+  XK_CHECK(plan != nullptr);
+  const size_t num_steps = plan->query.steps.size();
+  const size_t num_nodes = plan->node_source.size();
+
+  deps_.resize(num_steps);
+  nodes_at_.resize(num_steps);
+  suffix_nodes_.resize(num_steps);
+
+  for (size_t i = 0; i < num_steps; ++i) {
+    // Dependencies: earlier-step columns referenced by steps >= i.
+    std::vector<exec::ColumnRef> deps;
+    for (size_t j = i; j < num_steps; ++j) {
+      for (const auto& [col, ref] : plan->query.steps[j].eq) {
+        (void)col;
+        if (static_cast<size_t>(ref.step) < i) deps.push_back(ref);
+      }
+    }
+    std::sort(deps.begin(), deps.end(), [](const exec::ColumnRef& a,
+                                           const exec::ColumnRef& b) {
+      return std::tie(a.step, a.column) < std::tie(b.step, b.column);
+    });
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    deps_[i] = std::move(deps);
+
+    for (size_t node = 0; node < num_nodes; ++node) {
+      const exec::ColumnRef& src = plan->node_source[node];
+      if (src.step == static_cast<int>(i)) {
+        nodes_at_[i].push_back({static_cast<int>(node), src.column});
+      }
+      if (src.step >= static_cast<int>(i)) {
+        suffix_nodes_[i].push_back(static_cast<int>(node));
+      }
+    }
+  }
+
+  // Occurrences sharing a segment must bind distinct objects.
+  if (plan->ctssn != nullptr) {
+    std::map<schema::TssId, std::vector<int>> by_segment;
+    for (int v = 0; v < plan->ctssn->num_nodes(); ++v) {
+      by_segment[plan->ctssn->tree.nodes[static_cast<size_t>(v)]].push_back(v);
+    }
+    for (auto& [seg, occs] : by_segment) {
+      (void)seg;
+      if (occs.size() >= 2) same_segment_groups_.push_back(std::move(occs));
+    }
+  }
+
+  caches_.resize(num_steps);
+  if (enable_cache_ && num_steps > 1) {
+    size_t per_level = std::max<size_t>(cache_capacity / (num_steps - 1), 16);
+    for (size_t i = 1; i < num_steps; ++i) {
+      caches_[i] = std::make_unique<
+          LruCache<std::string, std::vector<std::vector<storage::ObjectId>>>>(
+          per_level);
+    }
+  }
+}
+
+std::string PlanEvaluator::CacheKey(
+    size_t i, const std::vector<storage::TupleView>& rows) const {
+  std::string key;
+  key.resize(deps_[i].size() * sizeof(storage::ObjectId));
+  char* out = key.data();
+  for (const exec::ColumnRef& ref : deps_[i]) {
+    storage::ObjectId v =
+        rows[static_cast<size_t>(ref.step)][static_cast<size_t>(ref.column)];
+    std::memcpy(out, &v, sizeof(v));
+    out += sizeof(v);
+  }
+  return key;
+}
+
+void PlanEvaluator::ProjectToCollectors(const std::vector<storage::ObjectId>& objs) {
+  for (Collector* c : active_collectors_) {
+    std::vector<storage::ObjectId> projection;
+    projection.reserve(suffix_nodes_[c->level].size());
+    for (int node : suffix_nodes_[c->level]) {
+      projection.push_back(objs[static_cast<size_t>(node)]);
+    }
+    c->completions.push_back(std::move(projection));
+  }
+}
+
+bool PlanEvaluator::Eval(
+    size_t i, std::vector<storage::TupleView>* rows,
+    std::vector<storage::ObjectId>* objs,
+    const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
+  const std::vector<exec::JoinStep>& steps = plan_->query.steps;
+  if (i == steps.size()) {
+    ProjectToCollectors(*objs);
+    if (!DistinctAcrossSegments(*objs)) return true;
+    ++stats_.results;
+    return emit(*objs);
+  }
+
+  auto* cache = caches_[i].get();
+  std::string key;
+  if (cache != nullptr) {
+    key = CacheKey(i, *rows);
+    const std::vector<std::vector<storage::ObjectId>>* hit = cache->Get(key);
+    if (hit != nullptr) {
+      ++stats_.cache_hits;
+      // Replay the memoized suffix: each completion is a full assignment of
+      // the remaining occurrences.
+      for (const std::vector<storage::ObjectId>& completion : *hit) {
+        for (size_t x = 0; x < completion.size(); ++x) {
+          (*objs)[static_cast<size_t>(suffix_nodes_[i][x])] = completion[x];
+        }
+        ProjectToCollectors(*objs);
+        if (!DistinctAcrossSegments(*objs)) continue;
+        ++stats_.results;
+        if (!emit(*objs)) return false;
+      }
+      return true;
+    }
+    ++stats_.cache_misses;
+  }
+
+  Collector collector{i, {}};
+  if (cache != nullptr) active_collectors_.push_back(&collector);
+
+  const exec::JoinStep& step = steps[i];
+  std::vector<exec::ColumnBinding> bindings = step.const_filters;
+  for (const auto& [col, ref] : step.eq) {
+    bindings.push_back(exec::ColumnBinding{
+        col, (*rows)[static_cast<size_t>(ref.step)][static_cast<size_t>(ref.column)]});
+  }
+
+  bool keep_going = true;
+  exec::ForEachMatch(*step.table, bindings, step.in_filters, exec_options_,
+                     [&](storage::RowId r) {
+                       (*rows)[i] = step.table->Row(r);
+                       for (const auto& [node, col] : nodes_at_[i]) {
+                         (*objs)[static_cast<size_t>(node)] =
+                             (*rows)[i][static_cast<size_t>(col)];
+                       }
+                       keep_going = Eval(i + 1, rows, objs, emit);
+                       return keep_going;
+                     },
+                     &stats_.probes);
+
+  if (cache != nullptr) {
+    XK_CHECK(active_collectors_.back() == &collector);
+    active_collectors_.pop_back();
+    // Only complete enumerations are reusable.
+    if (keep_going) cache->Put(key, std::move(collector.completions));
+  }
+  return keep_going;
+}
+
+bool PlanEvaluator::DistinctAcrossSegments(
+    const std::vector<storage::ObjectId>& objs) const {
+  for (const std::vector<int>& group : same_segment_groups_) {
+    for (size_t a = 0; a < group.size(); ++a) {
+      for (size_t b = a + 1; b < group.size(); ++b) {
+        if (objs[static_cast<size_t>(group[a])] ==
+            objs[static_cast<size_t>(group[b])]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void PlanEvaluator::Run(
+    const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
+  if (plan_->query.steps.empty()) return;  // single-object plans handled elsewhere
+  std::vector<storage::TupleView> rows(plan_->query.steps.size());
+  std::vector<storage::ObjectId> objs(plan_->node_source.size(),
+                                      storage::kInvalidId);
+  Eval(0, &rows, &objs, emit);
+  for (size_t i = 0; i < caches_.size(); ++i) {
+    if (caches_[i] != nullptr) {
+      // Fold LRU-level counters into the stats (hits/misses already counted).
+      (void)i;
+    }
+  }
+}
+
+void EvaluateSingleObjectPlan(
+    const PreparedQuery& query, size_t plan_index,
+    const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
+  const opt::NodeFilters& filters = query.node_filters[plan_index];
+  XK_CHECK_EQ(filters.size(), 1u);
+  const std::vector<const storage::IdSet*>& sets = filters[0];
+  XK_CHECK(!sets.empty());
+  // Intersect: iterate the smallest set, check the others.
+  const storage::IdSet* smallest = sets[0];
+  for (const storage::IdSet* s : sets) {
+    if (s->size() < smallest->size()) smallest = s;
+  }
+  std::vector<storage::ObjectId> ids(smallest->begin(), smallest->end());
+  std::sort(ids.begin(), ids.end());  // deterministic order
+  std::vector<storage::ObjectId> objs(1);
+  for (storage::ObjectId id : ids) {
+    bool ok = true;
+    for (const storage::IdSet* s : sets) {
+      if (s != smallest && !s->contains(id)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    objs[0] = id;
+    if (!emit(objs)) return;
+  }
+}
+
+Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query,
+                                                      const QueryOptions& options,
+                                                      ExecutionStats* stats) {
+  // Plans in nondecreasing network size: smaller networks answer first and
+  // rank higher.
+  std::vector<size_t> order(query.plans.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return query.ctssns[a].cn_size < query.ctssns[b].cn_size;
+  });
+
+  std::mutex mutex;
+  std::vector<present::Mtton> results;
+  std::atomic<bool> global_stop{false};
+  std::vector<ExecutionStats> per_plan_stats(query.plans.size());
+
+  auto run_plan = [&](size_t p) {
+    if (global_stop.load(std::memory_order_relaxed)) return;
+    if (options.max_network_size > 0 &&
+        query.ctssns[p].tree.size() > options.max_network_size) {
+      return;
+    }
+    size_t local_count = 0;
+    auto emit = [&](const std::vector<storage::ObjectId>& objs) {
+      std::lock_guard<std::mutex> lock(mutex);
+      results.push_back(present::Mtton{static_cast<int>(p), objs,
+                                       query.ctssns[p].cn_size});
+      ++local_count;
+      if (options.global_k != 0 && results.size() >= options.global_k) {
+        global_stop.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      return local_count < options.per_network_k &&
+             !global_stop.load(std::memory_order_relaxed);
+    };
+
+    if (query.plans[p].query.steps.empty()) {
+      EvaluateSingleObjectPlan(query, p, emit);
+      return;
+    }
+    PlanEvaluator evaluator(&query.plans[p], query.exec_options,
+                            options.enable_cache, options.cache_capacity);
+    evaluator.Run(emit);
+    per_plan_stats[p] = evaluator.stats();
+  };
+
+  if (options.num_threads <= 1 || query.plans.size() <= 1) {
+    for (size_t p : order) run_plan(p);
+  } else {
+    ThreadPool pool(options.num_threads);
+    for (size_t p : order) {
+      pool.Submit([&run_plan, p] { run_plan(p); });
+    }
+    pool.Wait();
+  }
+
+  std::stable_sort(results.begin(), results.end(),
+                   [](const present::Mtton& a, const present::Mtton& b) {
+                     if (a.score != b.score) return a.score < b.score;
+                     if (a.ctssn_index != b.ctssn_index) {
+                       return a.ctssn_index < b.ctssn_index;
+                     }
+                     return a.objects < b.objects;
+                   });
+  if (options.global_k != 0 && results.size() > options.global_k) {
+    results.resize(options.global_k);
+  }
+  if (stats != nullptr) {
+    for (const ExecutionStats& s : per_plan_stats) stats->Add(s);
+    stats->results = results.size();
+  }
+  return results;
+}
+
+}  // namespace xk::engine

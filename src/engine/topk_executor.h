@@ -1,0 +1,96 @@
+// Copyright (c) the XKeyword authors.
+//
+// The optimized top-k execution algorithm of Section 6: one thread per
+// candidate network (smallest first), nested-loops joins whose inner
+// subtrees are memoized in a fixed-size cache keyed by their join bindings —
+// "when evaluating CTSSN2 for t2, the innermost loop should not be executed
+// since it will produce the same results as before". Disabling the cache
+// yields the naive algorithm of DISCOVER/DBXplorer (see naive_executor.h).
+
+#ifndef XK_ENGINE_TOPK_EXECUTOR_H_
+#define XK_ENGINE_TOPK_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/lru_cache.h"
+#include "engine/query_context.h"
+#include "present/mtton.h"
+
+namespace xk::engine {
+
+/// Emit callback: a complete binding (object per CTSSN occurrence) of plan
+/// `plan_index`. Return false to stop that plan's execution.
+using MttonSink = std::function<bool(int plan_index,
+                                     const std::vector<storage::ObjectId>& objects)>;
+
+/// Evaluates one CTSSN plan by depth-first nested loops with optional
+/// suffix memoization.
+class PlanEvaluator {
+ public:
+  PlanEvaluator(const opt::CtssnPlan* plan, exec::ExecOptions exec_options,
+                bool enable_cache, size_t cache_capacity);
+
+  /// Runs to completion or until `emit` declines.
+  /// `emit` receives the objects per CTSSN occurrence.
+  void Run(const std::function<bool(const std::vector<storage::ObjectId>&)>& emit);
+
+  const ExecutionStats& stats() const { return stats_; }
+
+ private:
+  struct Collector {
+    size_t level;
+    std::vector<std::vector<storage::ObjectId>> completions;
+  };
+
+  bool Eval(size_t i, std::vector<storage::TupleView>* rows,
+            std::vector<storage::ObjectId>* objs,
+            const std::function<bool(const std::vector<storage::ObjectId>&)>& emit);
+
+  void ProjectToCollectors(const std::vector<storage::ObjectId>& objs);
+  std::string CacheKey(size_t i, const std::vector<storage::TupleView>& rows) const;
+  /// MTNNs are trees of distinct nodes: occurrences of one segment must bind
+  /// distinct objects (checked per full assignment; cached suffixes cannot
+  /// pre-check against future prefixes).
+  bool DistinctAcrossSegments(const std::vector<storage::ObjectId>& objs) const;
+
+  const opt::CtssnPlan* plan_;
+  exec::ExecOptions exec_options_;
+  bool enable_cache_;
+
+  // Precomputed per step i: deps (earlier columns read by steps >= i),
+  // CTSSN nodes first bound at step i, and nodes bound at steps >= i.
+  std::vector<std::vector<exec::ColumnRef>> deps_;
+  std::vector<std::vector<std::pair<int, int>>> nodes_at_;   // (ctssn node, col)
+  std::vector<std::vector<int>> suffix_nodes_;
+
+  // One cache per step level (level 0 has no dependencies, never cached).
+  std::vector<std::unique_ptr<
+      LruCache<std::string, std::vector<std::vector<storage::ObjectId>>>>>
+      caches_;
+  std::vector<Collector*> active_collectors_;
+  /// Occurrence groups sharing a segment (only groups of size >= 2).
+  std::vector<std::vector<int>> same_segment_groups_;
+  ExecutionStats stats_;
+};
+
+/// Runs all plans of a prepared query with the thread pool, collecting up to
+/// per_network_k results per network (and optionally global_k in total).
+class TopKExecutor {
+ public:
+  TopKExecutor() = default;
+
+  Result<std::vector<present::Mtton>> Run(const PreparedQuery& query,
+                                          const QueryOptions& options,
+                                          ExecutionStats* stats = nullptr);
+};
+
+/// Evaluates a single-object network (no joins): intersects the occurrence's
+/// keyword filter sets and emits each object. Shared by all executors.
+void EvaluateSingleObjectPlan(
+    const PreparedQuery& query, size_t plan_index,
+    const std::function<bool(const std::vector<storage::ObjectId>&)>& emit);
+
+}  // namespace xk::engine
+
+#endif  // XK_ENGINE_TOPK_EXECUTOR_H_

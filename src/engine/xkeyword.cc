@@ -1,0 +1,156 @@
+#include "engine/xkeyword.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "cn/ctssn.h"
+
+namespace xk::engine {
+
+Result<std::unique_ptr<XKeyword>> XKeyword::Load(const xml::XmlGraph* graph,
+                                                 const schema::SchemaGraph* schema,
+                                                 const schema::TssGraph* tss) {
+  if (graph == nullptr || schema == nullptr || tss == nullptr) {
+    return Status::InvalidArgument("null input");
+  }
+  XK_ASSIGN_OR_RETURN(std::unique_ptr<LoadedData> data,
+                      RunLoadStage(*graph, *schema, *tss));
+  return std::unique_ptr<XKeyword>(
+      new XKeyword(graph, schema, tss, std::move(data)));
+}
+
+Status XKeyword::AddDecomposition(decomp::Decomposition d) {
+  if (decompositions_.contains(d.name)) {
+    return Status::AlreadyExists(StrFormat("decomposition %s", d.name.c_str()));
+  }
+  XK_RETURN_NOT_OK(MaterializeDecomposition(d, *tss_, data_.get()));
+  decompositions_.emplace(d.name, std::move(d));
+  return Status::OK();
+}
+
+Result<const decomp::Decomposition*> XKeyword::GetDecomposition(
+    const std::string& name) const {
+  auto it = decompositions_.find(name);
+  if (it == decompositions_.end()) {
+    return Status::NotFound(StrFormat("decomposition %s", name.c_str()));
+  }
+  return &it->second;
+}
+
+Result<PreparedQuery> XKeyword::Prepare(const std::vector<std::string>& keywords,
+                                        const std::string& decomposition,
+                                        const QueryOptions& options) const {
+  if (keywords.empty()) return Status::InvalidArgument("no keywords");
+  XK_ASSIGN_OR_RETURN(const decomp::Decomposition* d,
+                      GetDecomposition(decomposition));
+
+  PreparedQuery q;
+  q.keywords = keywords;
+  q.exec_options.use_indexes = d->use_indexes_at_runtime;
+
+  // Keyword discoverer: which schema nodes hold each keyword.
+  std::vector<std::vector<schema::SchemaNodeId>> keyword_schema_nodes;
+  keyword_schema_nodes.reserve(keywords.size());
+  for (const std::string& k : keywords) {
+    keyword_schema_nodes.push_back(data_->master_index.SchemaNodesContaining(k));
+  }
+
+  // CN generation.
+  cn::CnGeneratorOptions gen_options;
+  gen_options.max_size = options.max_size_z;
+  cn::CnGenerator generator(schema_, gen_options);
+  XK_ASSIGN_OR_RETURN(std::vector<cn::CandidateNetwork> networks,
+                      generator.Generate(keyword_schema_nodes));
+
+  // Reduce each CN to its CTSSN; skip shapes the TSS graph cannot express.
+  for (cn::CandidateNetwork& network : networks) {
+    Result<cn::Ctssn> reduced = cn::ReduceToCtssn(network, *schema_, *tss_);
+    if (!reduced.ok()) {
+      XK_LOG(Debug) << "skipping CN (" << reduced.status().ToString()
+                    << "): " << network.ToString(*schema_);
+      continue;
+    }
+    q.networks.push_back(std::move(network));
+    q.ctssns.push_back(reduced.MoveValueUnsafe());
+  }
+
+  // Keyword filter sets: (keyword, schema node) -> target object ids.
+  for (const cn::Ctssn& ctssn : q.ctssns) {
+    for (const auto& kws : ctssn.node_keywords) {
+      for (const cn::CtssnKeyword& kw : kws) {
+        auto key = std::make_pair(kw.keyword, kw.schema_node);
+        if (q.filter_sets.contains(key)) continue;
+        storage::IdSet& set = q.filter_sets[key];
+        for (const keyword::Posting& p : data_->master_index.ContainingList(
+                 keywords[static_cast<size_t>(kw.keyword)])) {
+          if (p.schema_node == kw.schema_node) set.insert(p.to_id);
+        }
+      }
+    }
+  }
+
+  // Per-network node filters and plans.
+  opt::Optimizer optimizer(tss_, d, &data_->catalog, &data_->objects);
+  for (const cn::Ctssn& ctssn : q.ctssns) {
+    opt::NodeFilters filters(static_cast<size_t>(ctssn.num_nodes()));
+    for (int v = 0; v < ctssn.num_nodes(); ++v) {
+      for (const cn::CtssnKeyword& kw :
+           ctssn.node_keywords[static_cast<size_t>(v)]) {
+        filters[static_cast<size_t>(v)].push_back(
+            &q.filter_sets.at({kw.keyword, kw.schema_node}));
+      }
+    }
+    XK_ASSIGN_OR_RETURN(opt::CtssnPlan plan, optimizer.Plan(ctssn, filters));
+    q.node_filters.push_back(std::move(filters));
+    q.plans.push_back(std::move(plan));
+  }
+  return q;
+}
+
+Result<std::vector<present::Mtton>> XKeyword::TopK(
+    const std::vector<std::string>& keywords, const std::string& decomposition,
+    const QueryOptions& options, ExecutionStats* stats) const {
+  XK_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(keywords, decomposition, options));
+  TopKExecutor executor;
+  return executor.Run(q, options, stats);
+}
+
+Result<std::vector<present::Mtton>> XKeyword::TopKNaive(
+    const std::vector<std::string>& keywords, const std::string& decomposition,
+    const QueryOptions& options, ExecutionStats* stats) const {
+  XK_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(keywords, decomposition, options));
+  NaiveExecutor executor;
+  return executor.Run(q, options, stats);
+}
+
+Result<std::vector<present::Mtton>> XKeyword::AllResults(
+    const std::vector<std::string>& keywords, const std::string& decomposition,
+    const QueryOptions& options, FullExecutorOptions full_options,
+    ExecutionStats* stats) const {
+  XK_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(keywords, decomposition, options));
+  FullExecutor executor(full_options);
+  return executor.Run(q, stats);
+}
+
+Result<present::PresentationGraph> XKeyword::MakePresentationGraph(
+    const PreparedQuery& query, int ctssn_index,
+    const std::vector<present::Mtton>& results) const {
+  if (ctssn_index < 0 || static_cast<size_t>(ctssn_index) >= query.ctssns.size()) {
+    return Status::OutOfRange("bad network index");
+  }
+  present::PresentationGraph pg(&query.ctssns[static_cast<size_t>(ctssn_index)]);
+  for (const present::Mtton& m : results) {
+    if (m.ctssn_index == ctssn_index) pg.AddMtton(m);
+  }
+  return pg;
+}
+
+Result<ExpansionEngine> XKeyword::MakeExpansionEngine(
+    const std::string& decomposition) const {
+  XK_ASSIGN_OR_RETURN(const decomp::Decomposition* d,
+                      GetDecomposition(decomposition));
+  return ExpansionEngine(tss_, d, &data_->catalog);
+}
+
+}  // namespace xk::engine

@@ -1,0 +1,100 @@
+// Copyright (c) the XKeyword authors.
+//
+// The XKeyword system facade — the library's main entry point. Owns the
+// loaded database (Figure 7's load stage output) plus any number of
+// materialized decompositions, and runs keyword proximity queries through
+// the pipeline keyword discoverer -> CN generator -> optimizer -> execution.
+//
+// Typical use:
+//
+//   auto xk = engine::XKeyword::Load(&graph, &schema, &tss).MoveValueUnsafe();
+//   xk->AddDecomposition(decomp::MakeXKeyword(tss, /*B=*/2, /*M=*/4).value());
+//   auto results = xk->TopK({"john", "vcr"}, "XKeyword", options);
+
+#ifndef XK_ENGINE_XKEYWORD_H_
+#define XK_ENGINE_XKEYWORD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cn/cn_generator.h"
+#include "engine/expansion.h"
+#include "engine/full_executor.h"
+#include "engine/load_stage.h"
+#include "engine/naive_executor.h"
+#include "engine/topk_executor.h"
+
+namespace xk::engine {
+
+class XKeyword {
+ public:
+  /// Loads the database. The graph, schema and TSS graph must outlive the
+  /// returned object.
+  static Result<std::unique_ptr<XKeyword>> Load(const xml::XmlGraph* graph,
+                                                const schema::SchemaGraph* schema,
+                                                const schema::TssGraph* tss);
+
+  /// Materializes a decomposition's connection relations; queries then refer
+  /// to it by `d.name`.
+  Status AddDecomposition(decomp::Decomposition d);
+
+  Result<const decomp::Decomposition*> GetDecomposition(
+      const std::string& name) const;
+
+  /// Keyword discovery + CN generation + reduction + planning.
+  Result<PreparedQuery> Prepare(const std::vector<std::string>& keywords,
+                                const std::string& decomposition,
+                                const QueryOptions& options) const;
+
+  /// Top-k keyword query with the optimized (caching, threaded) executor.
+  Result<std::vector<present::Mtton>> TopK(const std::vector<std::string>& keywords,
+                                           const std::string& decomposition,
+                                           const QueryOptions& options,
+                                           ExecutionStats* stats = nullptr) const;
+
+  /// Same query through the naive (DISCOVER/DBXplorer-style) executor.
+  Result<std::vector<present::Mtton>> TopKNaive(
+      const std::vector<std::string>& keywords, const std::string& decomposition,
+      const QueryOptions& options, ExecutionStats* stats = nullptr) const;
+
+  /// The complete result list (Figure 4(b) presentation).
+  Result<std::vector<present::Mtton>> AllResults(
+      const std::vector<std::string>& keywords, const std::string& decomposition,
+      const QueryOptions& options, FullExecutorOptions full_options = {},
+      ExecutionStats* stats = nullptr) const;
+
+  /// Presentation graph of network `ctssn_index` of a prepared query, seeded
+  /// with the given results of that network.
+  Result<present::PresentationGraph> MakePresentationGraph(
+      const PreparedQuery& query, int ctssn_index,
+      const std::vector<present::Mtton>& results) const;
+
+  /// On-demand expansion engine over a materialized decomposition.
+  Result<ExpansionEngine> MakeExpansionEngine(const std::string& decomposition) const;
+
+  // --- Introspection (tests, benches, examples) -------------------------
+
+  const LoadedData& data() const { return *data_; }
+  const keyword::MasterIndex& master_index() const { return data_->master_index; }
+  const storage::Catalog& catalog() const { return data_->catalog; }
+  const schema::TargetObjectGraph& objects() const { return data_->objects; }
+  const schema::TssGraph& tss() const { return *tss_; }
+  const schema::SchemaGraph& schema() const { return *schema_; }
+  const xml::XmlGraph& graph() const { return *graph_; }
+
+ private:
+  XKeyword(const xml::XmlGraph* graph, const schema::SchemaGraph* schema,
+           const schema::TssGraph* tss, std::unique_ptr<LoadedData> data)
+      : graph_(graph), schema_(schema), tss_(tss), data_(std::move(data)) {}
+
+  const xml::XmlGraph* graph_;
+  const schema::SchemaGraph* schema_;
+  const schema::TssGraph* tss_;
+  std::unique_ptr<LoadedData> data_;
+  std::map<std::string, decomp::Decomposition> decompositions_;
+};
+
+}  // namespace xk::engine
+
+#endif  // XK_ENGINE_XKEYWORD_H_

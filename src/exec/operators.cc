@@ -1,0 +1,165 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace xk::exec {
+
+namespace {
+
+/// True when row `r` satisfies every binding and in-set filter.
+bool RowMatches(const storage::Table& table, storage::RowId r,
+                const std::vector<ColumnBinding>& bindings,
+                const std::vector<ColumnInSet>& in_filters) {
+  for (const ColumnBinding& b : bindings) {
+    if (table.At(r, b.column) != b.value) return false;
+  }
+  for (const ColumnInSet& f : in_filters) {
+    if (!f.set->contains(table.At(r, f.column))) return false;
+  }
+  return true;
+}
+
+/// Bound columns arranged as the longest possible prefix of `key`, or empty
+/// if not even the first key column is bound.
+std::vector<storage::ObjectId> KeyPrefixFromBindings(
+    const std::vector<int>& key, const std::vector<ColumnBinding>& bindings) {
+  std::vector<storage::ObjectId> prefix;
+  for (int key_col : key) {
+    auto it = std::find_if(bindings.begin(), bindings.end(),
+                           [key_col](const ColumnBinding& b) {
+                             return b.column == key_col;
+                           });
+    if (it == bindings.end()) break;
+    prefix.push_back(it->value);
+  }
+  return prefix;
+}
+
+}  // namespace
+
+const char* AccessPathKindToString(AccessPathKind kind) {
+  switch (kind) {
+    case AccessPathKind::kClusteredRange: return "clustered-range";
+    case AccessPathKind::kCompositeIndex: return "composite-index";
+    case AccessPathKind::kHashIndex: return "hash-index";
+    case AccessPathKind::kFullScan: return "full-scan";
+  }
+  return "?";
+}
+
+AccessPathKind ChooseAccessPath(const storage::Table& table,
+                                const std::vector<ColumnBinding>& bindings,
+                                const ExecOptions& opts) {
+  if (!opts.use_indexes || bindings.empty()) return AccessPathKind::kFullScan;
+  if (table.IsClustered() &&
+      !KeyPrefixFromBindings(table.clustering_key(), bindings).empty()) {
+    return AccessPathKind::kClusteredRange;
+  }
+  // Longest-prefix composite index over the bound columns.
+  for (const ColumnBinding& b : bindings) {
+    if (table.GetCompositeIndex({b.column}) != nullptr) {
+      return AccessPathKind::kCompositeIndex;
+    }
+  }
+  for (const ColumnBinding& b : bindings) {
+    if (table.GetHashIndex(b.column) != nullptr) return AccessPathKind::kHashIndex;
+  }
+  return AccessPathKind::kFullScan;
+}
+
+AccessPathKind ForEachMatch(const storage::Table& table,
+                            const std::vector<ColumnBinding>& bindings,
+                            const std::vector<ColumnInSet>& in_filters,
+                            const ExecOptions& opts,
+                            const std::function<bool(storage::RowId)>& fn,
+                            ProbeStats* stats) {
+  if (stats != nullptr) ++stats->probes;
+  const AccessPathKind kind = ChooseAccessPath(table, bindings, opts);
+
+  auto emit = [&](storage::RowId r) -> bool {
+    if (stats != nullptr) ++stats->rows_scanned;
+    if (!RowMatches(table, r, bindings, in_filters)) return true;
+    if (stats != nullptr) ++stats->rows_matched;
+    return fn(r);
+  };
+
+  switch (kind) {
+    case AccessPathKind::kClusteredRange: {
+      std::vector<storage::ObjectId> prefix =
+          KeyPrefixFromBindings(table.clustering_key(), bindings);
+      auto [begin, end] = table.ClusteredRange(prefix);
+      for (storage::RowId r = begin; r < end; ++r) {
+        if (!emit(r)) return kind;
+      }
+      return kind;
+    }
+    case AccessPathKind::kCompositeIndex: {
+      // Pick the composite index with the longest usable prefix.
+      const storage::CompositeIndex* best = nullptr;
+      std::vector<storage::ObjectId> best_prefix;
+      for (const ColumnBinding& b : bindings) {
+        const storage::CompositeIndex* idx = table.GetCompositeIndex({b.column});
+        if (idx == nullptr) continue;
+        std::vector<storage::ObjectId> prefix =
+            KeyPrefixFromBindings(idx->key_columns(), bindings);
+        if (prefix.size() > best_prefix.size()) {
+          best = idx;
+          best_prefix = std::move(prefix);
+        }
+      }
+      XK_CHECK(best != nullptr);
+      for (storage::RowId r : best->LookupPrefix(best_prefix)) {
+        if (!emit(r)) return kind;
+      }
+      return kind;
+    }
+    case AccessPathKind::kHashIndex: {
+      const storage::HashIndex* idx = nullptr;
+      storage::ObjectId key = storage::kInvalidId;
+      for (const ColumnBinding& b : bindings) {
+        idx = table.GetHashIndex(b.column);
+        if (idx != nullptr) {
+          key = b.value;
+          break;
+        }
+      }
+      XK_CHECK(idx != nullptr);
+      for (storage::RowId r : idx->Lookup(key)) {
+        if (!emit(r)) return kind;
+      }
+      return kind;
+    }
+    case AccessPathKind::kFullScan: {
+      const storage::RowId n = static_cast<storage::RowId>(table.NumRows());
+      for (storage::RowId r = 0; r < n; ++r) {
+        if (!emit(r)) return kind;
+      }
+      return kind;
+    }
+  }
+  return kind;
+}
+
+TableScanIterator::TableScanIterator(const storage::Table& table,
+                                     std::vector<ColumnBinding> bindings,
+                                     std::vector<ColumnInSet> in_filters)
+    : table_(table),
+      bindings_(std::move(bindings)),
+      in_filters_(std::move(in_filters)) {}
+
+bool TableScanIterator::Next(storage::Tuple* out) {
+  const storage::RowId n = static_cast<storage::RowId>(table_.NumRows());
+  while (next_row_ < n) {
+    storage::RowId r = next_row_++;
+    if (RowMatches(table_, r, bindings_, in_filters_)) {
+      storage::TupleView row = table_.Row(r);
+      out->assign(row.begin(), row.end());
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace xk::exec

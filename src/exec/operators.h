@@ -1,0 +1,101 @@
+// Copyright (c) the XKeyword authors.
+//
+// Physical access paths over connection relations. A probe binds some columns
+// to constants (join bindings from outer loops, or keyword restrictions) and
+// enumerates matching rows. The path chosen mirrors the physical designs the
+// paper compares in Section 7:
+//   clustered range  — index-organized tables ("MinClust", XKeyword relations
+//                      clustered "on the direction that R is used")
+//   composite index  — multi-attribute indexes of the maximal decomposition
+//   hash index       — "single attribute indices on every attribute"
+//   full scan        — "MinNClustNIndx", no indexes or clustering
+
+#ifndef XK_EXEC_OPERATORS_H_
+#define XK_EXEC_OPERATORS_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "exec/row_iterator.h"
+#include "storage/table.h"
+
+namespace xk::exec {
+
+/// Equality binding of a table column to a constant for one probe.
+struct ColumnBinding {
+  int column;
+  storage::ObjectId value;
+};
+
+/// Restriction of a column to an id set (a keyword containing list).
+struct ColumnInSet {
+  int column;
+  const storage::IdSet* set;  // not owned; must outlive the probe
+};
+
+/// Which physical path served a probe (exposed for tests and benches).
+enum class AccessPathKind {
+  kClusteredRange,
+  kCompositeIndex,
+  kHashIndex,
+  kFullScan,
+};
+
+const char* AccessPathKindToString(AccessPathKind kind);
+
+/// Execution-time knobs; each decomposition policy sets these.
+struct ExecOptions {
+  /// When false, every probe is a full scan (the MinNClustNIndx policy).
+  bool use_indexes = true;
+};
+
+/// The path a probe with the given bound columns would take on `table`.
+AccessPathKind ChooseAccessPath(const storage::Table& table,
+                                const std::vector<ColumnBinding>& bindings,
+                                const ExecOptions& opts);
+
+/// Counters accumulated across probes; the benches report these alongside
+/// wall time so the cost differences are explainable.
+struct ProbeStats {
+  uint64_t probes = 0;        // number of ForEachMatch calls
+  uint64_t rows_scanned = 0;  // rows touched (incl. filtered-out)
+  uint64_t rows_matched = 0;  // rows passed to the callback
+
+  void Add(const ProbeStats& other) {
+    probes += other.probes;
+    rows_scanned += other.rows_scanned;
+    rows_matched += other.rows_matched;
+  }
+};
+
+/// Enumerates rows of `table` satisfying all bindings and in-set filters,
+/// invoking `fn(row_id)`; `fn` returns false to stop early. Returns the path
+/// taken. `stats` may be null.
+AccessPathKind ForEachMatch(const storage::Table& table,
+                            const std::vector<ColumnBinding>& bindings,
+                            const std::vector<ColumnInSet>& in_filters,
+                            const ExecOptions& opts,
+                            const std::function<bool(storage::RowId)>& fn,
+                            ProbeStats* stats);
+
+/// Full-scan iterator with optional constant / in-set filters.
+class TableScanIterator : public RowIterator {
+ public:
+  TableScanIterator(const storage::Table& table,
+                    std::vector<ColumnBinding> bindings,
+                    std::vector<ColumnInSet> in_filters);
+
+  bool Next(storage::Tuple* out) override;
+  int arity() const override { return table_.arity(); }
+
+ private:
+  const storage::Table& table_;
+  std::vector<ColumnBinding> bindings_;
+  std::vector<ColumnInSet> in_filters_;
+  storage::RowId next_row_ = 0;
+};
+
+}  // namespace xk::exec
+
+#endif  // XK_EXEC_OPERATORS_H_

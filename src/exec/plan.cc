@@ -1,0 +1,163 @@
+#include "exec/plan.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xk::exec {
+
+Status JoinQuery::Validate() const {
+  if (steps.empty()) return Status::InvalidArgument("empty join query");
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const JoinStep& s = steps[i];
+    if (s.table == nullptr) {
+      return Status::InvalidArgument(StrFormat("step %zu has no table", i));
+    }
+    auto col_ok = [&s](int c) { return c >= 0 && c < s.table->arity(); };
+    for (const auto& [col, ref] : s.eq) {
+      if (!col_ok(col)) {
+        return Status::OutOfRange(StrFormat("step %zu eq column %d", i, col));
+      }
+      if (ref.step < 0 || static_cast<size_t>(ref.step) >= i) {
+        return Status::InvalidArgument(
+            StrFormat("step %zu eq ref to step %d is not strictly backward", i,
+                      ref.step));
+      }
+      const storage::Table* rt = steps[static_cast<size_t>(ref.step)].table;
+      if (ref.column < 0 || ref.column >= rt->arity()) {
+        return Status::OutOfRange(StrFormat("step %zu eq ref column %d", i, ref.column));
+      }
+    }
+    for (const ColumnInSet& f : s.in_filters) {
+      if (!col_ok(f.column)) {
+        return Status::OutOfRange(StrFormat("step %zu in-filter column %d", i, f.column));
+      }
+      if (f.set == nullptr) {
+        return Status::InvalidArgument(StrFormat("step %zu null in-filter set", i));
+      }
+    }
+    for (const ColumnBinding& f : s.const_filters) {
+      if (!col_ok(f.column)) {
+        return Status::OutOfRange(StrFormat("step %zu const-filter column %d", i, f.column));
+      }
+    }
+    if (i > 0 && s.eq.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("step %zu has no join predicate (cartesian product)", i));
+    }
+  }
+  return Status::OK();
+}
+
+Status NestedLoopExecutor::Run(const RowSink& sink, size_t limit) {
+  XK_RETURN_NOT_OK(query_->Validate());
+  std::vector<storage::TupleView> rows(query_->steps.size());
+  size_t produced = 0;
+  Recurse(0, &rows, sink, limit, &produced);
+  return Status::OK();
+}
+
+bool NestedLoopExecutor::Recurse(size_t depth, std::vector<storage::TupleView>* rows,
+                                 const RowSink& sink, size_t limit,
+                                 size_t* produced) {
+  const JoinStep& step = query_->steps[depth];
+  // Assemble this probe's constant bindings from join refs + const filters.
+  std::vector<ColumnBinding> bindings = step.const_filters;
+  bindings.reserve(bindings.size() + step.eq.size());
+  for (const auto& [col, ref] : step.eq) {
+    bindings.push_back(
+        ColumnBinding{col, (*rows)[static_cast<size_t>(ref.step)][
+                               static_cast<size_t>(ref.column)]});
+  }
+  bool keep_going = true;
+  ForEachMatch(*step.table, bindings, step.in_filters, opts_,
+               [&](storage::RowId r) {
+                 (*rows)[depth] = step.table->Row(r);
+                 if (depth + 1 == query_->steps.size()) {
+                   ++*produced;
+                   keep_going = sink(*rows) && *produced < limit;
+                 } else {
+                   keep_going = Recurse(depth + 1, rows, sink, limit, produced);
+                 }
+                 return keep_going;
+               },
+               &stats_);
+  return keep_going;
+}
+
+Status HashJoinExecutor::Run(const RowSink& sink) {
+  XK_RETURN_NOT_OK(query_->Validate());
+  const std::vector<JoinStep>& steps = query_->steps;
+  const ExecOptions no_index{.use_indexes = false};
+
+  // Materialized intermediate: per output row, one Tuple per step so far.
+  std::vector<std::vector<storage::Tuple>> current;  // row -> step rows
+
+  // Step 0: filtered scan.
+  {
+    const JoinStep& s0 = steps[0];
+    ForEachMatch(*s0.table, s0.const_filters, s0.in_filters, no_index,
+                 [&](storage::RowId r) {
+                   storage::TupleView row = s0.table->Row(r);
+                   current.push_back({storage::Tuple(row.begin(), row.end())});
+                   return true;
+                 },
+                 nullptr);
+    rows_materialized_ += current.size();
+  }
+
+  for (size_t i = 1; i < steps.size() && !current.empty(); ++i) {
+    const JoinStep& s = steps[i];
+    // Build side: hash rows of s.table (after local filters) on its eq columns.
+    std::vector<int> build_cols;
+    build_cols.reserve(s.eq.size());
+    for (const auto& [col, ref] : s.eq) {
+      (void)ref;
+      build_cols.push_back(col);
+    }
+    std::unordered_map<storage::Tuple, std::vector<storage::RowId>,
+                       storage::TupleHash>
+        build;
+    ForEachMatch(*s.table, s.const_filters, s.in_filters, no_index,
+                 [&](storage::RowId r) {
+                   storage::Tuple key;
+                   key.reserve(build_cols.size());
+                   for (int c : build_cols) key.push_back(s.table->At(r, c));
+                   build[std::move(key)].push_back(r);
+                   return true;
+                 },
+                 nullptr);
+
+    // Probe side: each intermediate row.
+    std::vector<std::vector<storage::Tuple>> next;
+    for (std::vector<storage::Tuple>& left : current) {
+      storage::Tuple key;
+      key.reserve(s.eq.size());
+      for (const auto& [col, ref] : s.eq) {
+        (void)col;
+        key.push_back(left[static_cast<size_t>(ref.step)]
+                          [static_cast<size_t>(ref.column)]);
+      }
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (storage::RowId r : it->second) {
+        std::vector<storage::Tuple> combined = left;
+        storage::TupleView row = s.table->Row(r);
+        combined.emplace_back(row.begin(), row.end());
+        next.push_back(std::move(combined));
+      }
+    }
+    current = std::move(next);
+    rows_materialized_ += current.size();
+  }
+
+  std::vector<storage::TupleView> views(steps.size());
+  for (const std::vector<storage::Tuple>& out : current) {
+    for (size_t i = 0; i < out.size(); ++i) views[i] = storage::TupleView(out[i]);
+    if (!sink(views)) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace xk::exec

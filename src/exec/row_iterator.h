@@ -1,0 +1,26 @@
+// Copyright (c) the XKeyword authors.
+//
+// Pull-based iterator interface of the execution layer (Volcano style).
+
+#ifndef XK_EXEC_ROW_ITERATOR_H_
+#define XK_EXEC_ROW_ITERATOR_H_
+
+#include "storage/tuple.h"
+
+namespace xk::exec {
+
+/// Produces rows one at a time; Next returns false at end of stream.
+class RowIterator {
+ public:
+  virtual ~RowIterator() = default;
+
+  /// Fills `*out` with the next row (resizing as needed); false when drained.
+  virtual bool Next(storage::Tuple* out) = 0;
+
+  /// Number of columns in produced rows.
+  virtual int arity() const = 0;
+};
+
+}  // namespace xk::exec
+
+#endif  // XK_EXEC_ROW_ITERATOR_H_

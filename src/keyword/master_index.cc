@@ -1,0 +1,60 @@
+#include "keyword/master_index.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace xk::keyword {
+
+MasterIndex MasterIndex::Build(const xml::XmlGraph& graph,
+                               const schema::ValidationResult& validation,
+                               const schema::TargetObjectGraph& objects) {
+  MasterIndex index;
+  for (storage::ObjectId o = 0; o < objects.NumObjects(); ++o) {
+    for (xml::NodeId n : objects.MemberNodes(o)) {
+      schema::SchemaNodeId sn = validation.node_types[static_cast<size_t>(n)];
+      // Tokens of the tag and, if present, the value.
+      std::vector<std::string> tokens = Tokenize(graph.label(n));
+      if (graph.has_value(n)) {
+        std::vector<std::string> value_tokens = Tokenize(graph.value(n));
+        tokens.insert(tokens.end(), value_tokens.begin(), value_tokens.end());
+      }
+      std::sort(tokens.begin(), tokens.end());
+      tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+      for (std::string& tok : tokens) {
+        index.lists_[std::move(tok)].push_back(Posting{o, n, sn});
+        ++index.num_postings_;
+      }
+    }
+  }
+  return index;
+}
+
+const std::vector<Posting>& MasterIndex::ContainingList(
+    const std::string& keyword) const {
+  auto it = lists_.find(ToLower(keyword));
+  return it == lists_.end() ? empty_ : it->second;
+}
+
+bool MasterIndex::Contains(const std::string& keyword) const {
+  return lists_.contains(ToLower(keyword));
+}
+
+size_t MasterIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [k, list] : lists_) {
+    bytes += k.size() + list.capacity() * sizeof(Posting);
+  }
+  return bytes;
+}
+
+std::vector<schema::SchemaNodeId> MasterIndex::SchemaNodesContaining(
+    const std::string& keyword) const {
+  std::vector<schema::SchemaNodeId> nodes;
+  for (const Posting& p : ContainingList(keyword)) nodes.push_back(p.schema_node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+}  // namespace xk::keyword

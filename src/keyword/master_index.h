@@ -1,0 +1,66 @@
+// Copyright (c) the XKeyword authors.
+//
+// The master index (Section 4, item 1): "an inverted index that stores for
+// each keyword k a list of triplets <TO_id, node_id, schema_node> where TO_id
+// is the id of the target object that contains the node of type schema_node
+// with id node_id, which contains k." The keyword discoverer of the query
+// stage reads containing lists L(k) straight out of this structure.
+//
+// Keywords are lower-cased alphanumeric tokens of a node's tag and value.
+// Only nodes belonging to a target object are indexed (dummy nodes carry no
+// presentable information).
+
+#ifndef XK_KEYWORD_MASTER_INDEX_H_
+#define XK_KEYWORD_MASTER_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/decomposer.h"
+#include "schema/validator.h"
+#include "storage/value.h"
+#include "xml/xml_graph.h"
+
+namespace xk::keyword {
+
+/// One entry of a containing list.
+struct Posting {
+  storage::ObjectId to_id;
+  xml::NodeId node_id;
+  schema::SchemaNodeId schema_node;
+
+  bool operator==(const Posting&) const = default;
+};
+
+/// Inverted index from keyword to containing list.
+class MasterIndex {
+ public:
+  /// Indexes every member node of every target object.
+  static MasterIndex Build(const xml::XmlGraph& graph,
+                           const schema::ValidationResult& validation,
+                           const schema::TargetObjectGraph& objects);
+
+  /// L(k): postings of `keyword` (case-insensitive); empty if absent.
+  const std::vector<Posting>& ContainingList(const std::string& keyword) const;
+
+  bool Contains(const std::string& keyword) const;
+
+  size_t NumKeywords() const { return lists_.size(); }
+  size_t NumPostings() const { return num_postings_; }
+  size_t MemoryBytes() const;
+
+  /// All distinct (schema node, keyword-count) pairs for `keyword` — the CN
+  /// generator asks which schema nodes can hold a keyword.
+  std::vector<schema::SchemaNodeId> SchemaNodesContaining(
+      const std::string& keyword) const;
+
+ private:
+  std::unordered_map<std::string, std::vector<Posting>> lists_;
+  std::vector<Posting> empty_;
+  size_t num_postings_ = 0;
+};
+
+}  // namespace xk::keyword
+
+#endif  // XK_KEYWORD_MASTER_INDEX_H_

@@ -1,0 +1,25 @@
+#include "opt/cost_model.h"
+
+#include <algorithm>
+
+namespace xk::opt {
+
+double EstimateProbeOutput(const storage::Table& table,
+                           const std::vector<int>& bound_columns,
+                           const std::vector<double>& filter_selectivities) {
+  double rows = static_cast<double>(table.NumRows());
+  for (int c : bound_columns) {
+    size_t distinct = table.DistinctCount(c);
+    if (distinct > 0) rows /= static_cast<double>(distinct);
+  }
+  for (double s : filter_selectivities) rows *= s;
+  return std::max(rows, 0.0);
+}
+
+double FilterSelectivity(size_t set_size, int64_t domain) {
+  if (domain <= 0) return 1.0;
+  double s = static_cast<double>(set_size) / static_cast<double>(domain);
+  return std::min(s, 1.0);
+}
+
+}  // namespace xk::opt

@@ -1,0 +1,31 @@
+// Copyright (c) the XKeyword authors.
+//
+// Cost estimation for CTSSN plans, driven by the Section-4 statistics
+// (segment cardinalities, edge fanouts) and per-relation distinct counts.
+// Used to break ties among minimum-join tilings and to order join loops.
+
+#ifndef XK_OPT_COST_MODEL_H_
+#define XK_OPT_COST_MODEL_H_
+
+#include <vector>
+
+#include "storage/statistics.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace xk::opt {
+
+/// Estimated rows produced by probing `table` with `bound` equality-bound
+/// columns and in-set filters of the given selectivities (fractions in
+/// [0, 1]; 1 = no filter).
+double EstimateProbeOutput(const storage::Table& table,
+                           const std::vector<int>& bound_columns,
+                           const std::vector<double>& filter_selectivities);
+
+/// Selectivity of restricting a column to `set_size` ids out of `domain`
+/// objects of its segment.
+double FilterSelectivity(size_t set_size, int64_t domain);
+
+}  // namespace xk::opt
+
+#endif  // XK_OPT_COST_MODEL_H_

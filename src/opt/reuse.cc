@@ -1,0 +1,24 @@
+#include "opt/reuse.h"
+
+namespace xk::opt {
+
+const std::vector<storage::Tuple>* MaterializedViewCache::Get(
+    const std::string& signature) const {
+  auto it = views_.find(signature);
+  if (it == views_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second.get();
+}
+
+const std::vector<storage::Tuple>* MaterializedViewCache::Put(
+    const std::string& signature, std::vector<storage::Tuple> rows) {
+  auto owned = std::make_unique<std::vector<storage::Tuple>>(std::move(rows));
+  const std::vector<storage::Tuple>* ptr = owned.get();
+  views_[signature] = std::move(owned);
+  return ptr;
+}
+
+}  // namespace xk::opt

@@ -1,0 +1,45 @@
+// Copyright (c) the XKeyword authors.
+//
+// Common-subexpression reuse across the candidate networks of one query —
+// the optimizer's decision (b) in Section 4 ("exploit the reusability
+// opportunities of common subexpressions among the CN's", inherited from
+// DISCOVER). Different CNs share keyword-filtered relation scans (the same
+// T^{k,S} appears in many networks); the full-results executor materializes
+// each such scan once per query.
+
+#ifndef XK_OPT_REUSE_H_
+#define XK_OPT_REUSE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace xk::opt {
+
+/// Query-scoped cache of materialized, filtered relation scans keyed by the
+/// optimizer's step signatures. Single-threaded (the full executor owns one).
+class MaterializedViewCache {
+ public:
+  /// The materialization under `signature`, or nullptr.
+  const std::vector<storage::Tuple>* Get(const std::string& signature) const;
+
+  /// Stores a materialization; returns the stored pointer.
+  const std::vector<storage::Tuple>* Put(const std::string& signature,
+                                         std::vector<storage::Tuple> rows);
+
+  size_t size() const { return views_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<std::vector<storage::Tuple>>> views_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace xk::opt
+
+#endif  // XK_OPT_REUSE_H_

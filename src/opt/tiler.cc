@@ -1,0 +1,72 @@
+#include "opt/tiler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "decomp/relation_builder.h"
+
+namespace xk::opt {
+
+using decomp::Embedding;
+
+std::optional<ResolvedTiling> BestTiling(const schema::TssTree& target,
+                                         const schema::TssGraph& tss,
+                                         const decomp::Decomposition& d,
+                                         const storage::Catalog& catalog) {
+  if (target.size() == 0) return ResolvedTiling{};
+  XK_CHECK_LE(target.size(), 30);
+
+  std::vector<Embedding> embeddings;
+  std::vector<const storage::Table*> emb_tables;
+  for (size_t f = 0; f < d.fragments.size(); ++f) {
+    auto table = catalog.GetTable(decomp::RelationName(d, d.fragments[f]));
+    if (!table.ok()) continue;  // relation not materialized
+    std::vector<Embedding> found = decomp::FindEmbeddings(
+        d.fragments[f].tree, target, tss, static_cast<int>(f));
+    for (Embedding& e : found) {
+      embeddings.push_back(std::move(e));
+      emb_tables.push_back(*table);
+    }
+  }
+  if (embeddings.empty()) return std::nullopt;
+
+  const uint32_t full = (1u << target.size()) - 1;
+  struct State {
+    int count;
+    double rows;
+    int emb;        // embedding taken to reach this mask
+    uint32_t prev;  // previous mask
+  };
+  constexpr int kInf = 1 << 29;
+  std::vector<State> dp(full + 1, State{kInf, 0.0, -1, 0});
+  dp[0] = State{0, 0.0, -1, 0};
+  for (uint32_t mask = 0; mask <= full; ++mask) {
+    if (dp[mask].count == kInf) continue;
+    if (mask == full) break;
+    for (size_t i = 0; i < embeddings.size(); ++i) {
+      uint32_t next = mask | embeddings[i].edge_mask;
+      if (next == mask) continue;
+      int count = dp[mask].count + 1;
+      double rows = dp[mask].rows + static_cast<double>(emb_tables[i]->NumRows());
+      if (count < dp[next].count ||
+          (count == dp[next].count && rows < dp[next].rows)) {
+        dp[next] = State{count, rows, static_cast<int>(i), mask};
+      }
+    }
+  }
+  if (dp[full].count == kInf) return std::nullopt;
+
+  ResolvedTiling out;
+  uint32_t cur = full;
+  while (cur != 0) {
+    const State& s = dp[cur];
+    out.pieces.push_back(embeddings[static_cast<size_t>(s.emb)]);
+    out.tables.push_back(emb_tables[static_cast<size_t>(s.emb)]);
+    cur = s.prev;
+  }
+  std::reverse(out.pieces.begin(), out.pieces.end());
+  std::reverse(out.tables.begin(), out.tables.end());
+  return out;
+}
+
+}  // namespace xk::opt

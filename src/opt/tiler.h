@@ -1,0 +1,40 @@
+// Copyright (c) the XKeyword authors.
+//
+// Tiling a CTSSN with connection relations: the optimizer's first decision —
+// "(a) to decide which connection relations to use to efficiently evaluate
+// each CN" (Section 4), shown NP-complete in the paper. Networks are small
+// (<= ~8 edges), so an exact DP over edge bitmasks minimizes lexicographically
+// (number of joins, total relation rows).
+
+#ifndef XK_OPT_TILER_H_
+#define XK_OPT_TILER_H_
+
+#include <optional>
+
+#include "decomp/coverage.h"
+#include "decomp/decomposition.h"
+#include "storage/catalog.h"
+
+namespace xk::opt {
+
+/// A tiling with resolved tables.
+struct ResolvedTiling {
+  std::vector<decomp::Embedding> pieces;
+  std::vector<const storage::Table*> tables;  // parallel to pieces
+
+  int joins() const {
+    return pieces.empty() ? 0 : static_cast<int>(pieces.size()) - 1;
+  }
+};
+
+/// Minimum-(joins, rows) tiling of `target` by the relations of `d` in
+/// `catalog`. nullopt when the decomposition cannot cover the network
+/// (violates Lemma 5.1 — only possible for hand-built partial decompositions).
+std::optional<ResolvedTiling> BestTiling(const schema::TssTree& target,
+                                         const schema::TssGraph& tss,
+                                         const decomp::Decomposition& d,
+                                         const storage::Catalog& catalog);
+
+}  // namespace xk::opt
+
+#endif  // XK_OPT_TILER_H_

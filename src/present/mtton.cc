@@ -1,0 +1,43 @@
+#include "present/mtton.h"
+
+#include "common/strings.h"
+#include "storage/tuple.h"
+
+namespace xk::present {
+
+size_t MttonHash::operator()(const Mtton& m) const {
+  size_t h = storage::HashIds(storage::TupleView(m.objects));
+  h ^= static_cast<size_t>(m.ctssn_index) * 0x9E3779B97F4A7C15ULL;
+  return h;
+}
+
+std::string RenderMtton(const Mtton& m, const cn::Ctssn& ctssn,
+                        const schema::TssGraph& tss,
+                        const storage::BlobStore& blobs) {
+  std::string out = StrFormat("result (score %d):\n", m.score);
+  for (int v = 0; v < ctssn.num_nodes(); ++v) {
+    storage::ObjectId o = m.objects[static_cast<size_t>(v)];
+    out += StrFormat("  [%d] %s #%lld: ", v,
+                     tss.name(ctssn.tree.nodes[static_cast<size_t>(v)]).c_str(),
+                     static_cast<long long>(o));
+    auto blob = blobs.Get(o);
+    if (blob.ok()) {
+      out += std::string(*blob);
+    } else {
+      out += "<no blob>";
+    }
+    out += "\n";
+  }
+  for (const schema::TssTreeEdge& e : ctssn.tree.edges) {
+    const schema::TssEdge& te = tss.edge(e.tss_edge);
+    const std::string& desc =
+        te.forward_desc.empty() ? std::string("->") : te.forward_desc;
+    out += StrFormat("  #%lld --%s--> #%lld\n",
+                     static_cast<long long>(m.objects[static_cast<size_t>(e.from)]),
+                     desc.c_str(),
+                     static_cast<long long>(m.objects[static_cast<size_t>(e.to)]));
+  }
+  return out;
+}
+
+}  // namespace xk::present

@@ -1,0 +1,45 @@
+// Copyright (c) the XKeyword authors.
+//
+// MTTONs — Minimal Total Target Object Networks (Section 3.1), the results
+// of a keyword query: trees of target objects containing every query keyword,
+// scored by the size of the underlying node network (smaller = better).
+
+#ifndef XK_PRESENT_MTTON_H_
+#define XK_PRESENT_MTTON_H_
+
+#include <string>
+#include <vector>
+
+#include "cn/ctssn.h"
+#include "storage/blob_store.h"
+#include "storage/value.h"
+
+namespace xk::present {
+
+/// One result tree. Shape and score come from the owning CTSSN; `objects`
+/// binds each occurrence to a target object.
+struct Mtton {
+  /// Index of the producing CTSSN within the query's network list.
+  int ctssn_index = -1;
+  /// Object per CTSSN occurrence.
+  std::vector<storage::ObjectId> objects;
+  /// MTNN size in schema edges (== the CN's size).
+  int score = 0;
+
+  bool operator==(const Mtton&) const = default;
+};
+
+struct MttonHash {
+  size_t operator()(const Mtton& m) const;
+};
+
+/// Human-readable rendering: one line per occurrence with the target object's
+/// BLOB, edges annotated with the TSS graph's semantic explanations
+/// ("paper1 --cites--> paper2").
+std::string RenderMtton(const Mtton& m, const cn::Ctssn& ctssn,
+                        const schema::TssGraph& tss,
+                        const storage::BlobStore& blobs);
+
+}  // namespace xk::present
+
+#endif  // XK_PRESENT_MTTON_H_

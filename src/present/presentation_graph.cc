@@ -1,0 +1,121 @@
+#include "present/presentation_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xk::present {
+
+PresentationGraph::PresentationGraph(const cn::Ctssn* ctssn) : ctssn_(ctssn) {
+  XK_CHECK(ctssn != nullptr);
+}
+
+void PresentationGraph::AddMtton(const Mtton& m) {
+  XK_CHECK_EQ(m.objects.size(), static_cast<size_t>(ctssn_->num_nodes()));
+  if (std::find(mttons_.begin(), mttons_.end(), m) != mttons_.end()) return;
+  mttons_.push_back(m);
+  if (mttons_.size() == 1) {
+    // PG_0: a single, arbitrarily chosen MTTON.
+    for (int v = 0; v < ctssn_->num_nodes(); ++v) {
+      display_.insert({v, m.objects[static_cast<size_t>(v)]});
+    }
+  }
+}
+
+bool PresentationGraph::Contained(const Mtton& m) const {
+  for (int v = 0; v < ctssn_->num_nodes(); ++v) {
+    if (!display_.contains({v, m.objects[static_cast<size_t>(v)]})) return false;
+  }
+  return true;
+}
+
+Status PresentationGraph::Expand(int occ, size_t max_new_nodes) {
+  if (occ < 0 || occ >= ctssn_->num_nodes()) {
+    return Status::OutOfRange("bad occurrence");
+  }
+  if (mttons_.empty()) return Status::Aborted("no results registered");
+
+  // Property (b): every MTTON's object of this role becomes displayed —
+  // realized by displaying, for each new object, the MTTON that adds the
+  // fewest nodes (greedy approximation of property (d)).
+  size_t added = 0;
+  for (bool progress = true; progress;) {
+    progress = false;
+    const Mtton* best = nullptr;
+    size_t best_new = 0;
+    for (const Mtton& m : mttons_) {
+      if (display_.contains({occ, m.objects[static_cast<size_t>(occ)]})) continue;
+      size_t fresh = 0;
+      for (int v = 0; v < ctssn_->num_nodes(); ++v) {
+        if (!display_.contains({v, m.objects[static_cast<size_t>(v)]})) ++fresh;
+      }
+      if (best == nullptr || fresh < best_new) {
+        best = &m;
+        best_new = fresh;
+      }
+    }
+    if (best != nullptr) {
+      if (max_new_nodes != 0 && added + best_new > max_new_nodes) break;
+      for (int v = 0; v < ctssn_->num_nodes(); ++v) {
+        if (display_.insert({v, best->objects[static_cast<size_t>(v)]}).second) {
+          ++added;
+        }
+      }
+      progress = true;
+    }
+  }
+  expanded_.insert(occ);
+  return Status::OK();
+}
+
+Status PresentationGraph::Contract(int occ, storage::ObjectId keep) {
+  if (occ < 0 || occ >= ctssn_->num_nodes()) {
+    return Status::OutOfRange("bad occurrence");
+  }
+  if (!display_.contains({occ, keep})) {
+    return Status::NotFound(StrFormat("object %lld of role %d not displayed",
+                                      static_cast<long long>(keep), occ));
+  }
+  // Exact per properties (a)-(d): union of displayed MTTONs through `keep`.
+  std::set<DisplayNode> next;
+  for (const Mtton& m : mttons_) {
+    if (m.objects[static_cast<size_t>(occ)] != keep) continue;
+    if (!Contained(m)) continue;
+    for (int v = 0; v < ctssn_->num_nodes(); ++v) {
+      next.insert({v, m.objects[static_cast<size_t>(v)]});
+    }
+  }
+  if (next.empty()) {
+    return Status::Internal("contract target not on any displayed result");
+  }
+  display_ = std::move(next);
+  expanded_.erase(occ);
+  return Status::OK();
+}
+
+std::vector<std::pair<DisplayNode, DisplayNode>>
+PresentationGraph::DisplayedEdges() const {
+  std::set<std::pair<DisplayNode, DisplayNode>> edges;
+  for (const Mtton& m : mttons_) {
+    if (!Contained(m)) continue;
+    for (const schema::TssTreeEdge& e : ctssn_->tree.edges) {
+      edges.insert({{e.from, m.objects[static_cast<size_t>(e.from)]},
+                    {e.to, m.objects[static_cast<size_t>(e.to)]}});
+    }
+  }
+  return {edges.begin(), edges.end()};
+}
+
+bool PresentationGraph::InvariantHolds() const {
+  std::set<DisplayNode> covered;
+  for (const Mtton& m : mttons_) {
+    if (!Contained(m)) continue;
+    for (int v = 0; v < ctssn_->num_nodes(); ++v) {
+      covered.insert({v, m.objects[static_cast<size_t>(v)]});
+    }
+  }
+  return covered == display_;
+}
+
+}  // namespace xk::present

@@ -1,0 +1,75 @@
+// Copyright (c) the XKeyword authors.
+//
+// Presentation graphs (Section 3.2): per candidate network, an interactive
+// summary of all its MTTONs. At any point a subgraph is *displayed*; clicking
+// a node expands all same-role objects (plus a minimal completion so every
+// displayed node lies on a result contained in the display), clicking an
+// expanded node contracts back. This prevents the multivalued-dependency-style
+// result flood of list presentations (Figure 2/3).
+//
+// Contraction is exact per the paper's properties (a)-(d). Expansion
+// implements (a)-(c) exactly and (d) greedily (minimum completion is a set
+// cover; the paper's own UI also truncates to the first 10 nodes).
+
+#ifndef XK_PRESENT_PRESENTATION_GRAPH_H_
+#define XK_PRESENT_PRESENTATION_GRAPH_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "present/mtton.h"
+
+namespace xk::present {
+
+/// A displayed node: (occurrence index in the CTSSN, target object).
+using DisplayNode = std::pair<int, storage::ObjectId>;
+
+class PresentationGraph {
+ public:
+  /// `ctssn` must outlive the graph.
+  explicit PresentationGraph(const cn::Ctssn* ctssn);
+
+  /// Registers a result tree. Duplicates are ignored. The first registered
+  /// MTTON becomes the initial display (PG_0).
+  void AddMtton(const Mtton& m);
+
+  size_t NumMttons() const { return mttons_.size(); }
+
+  /// Expansion on occurrence `occ` (the user clicked a node of that role):
+  /// every registered MTTON's object at `occ` becomes displayed, plus a
+  /// greedy-minimal completion. `max_new_nodes` mirrors the UI's
+  /// "only the first 10 are displayed" (0 = unlimited).
+  Status Expand(int occ, size_t max_new_nodes = 0);
+
+  /// Contraction on occurrence `occ` keeping only `keep` of that role; the
+  /// display becomes the union of all displayed MTTONs through `keep`.
+  Status Contract(int occ, storage::ObjectId keep);
+
+  bool IsDisplayed(int occ, storage::ObjectId object) const {
+    return display_.contains({occ, object});
+  }
+  const std::set<DisplayNode>& Displayed() const { return display_; }
+  bool IsExpanded(int occ) const { return expanded_.contains(occ); }
+
+  /// Edges of the displayed subgraph: every edge of every MTTON fully
+  /// contained in the display, with its TSS edge id.
+  std::vector<std::pair<DisplayNode, DisplayNode>> DisplayedEdges() const;
+
+  /// Checks invariant (c): every displayed node lies on an MTTON contained
+  /// in the display. Exposed for property tests.
+  bool InvariantHolds() const;
+
+ private:
+  bool Contained(const Mtton& m) const;
+
+  const cn::Ctssn* ctssn_;
+  std::vector<Mtton> mttons_;
+  std::set<DisplayNode> display_;
+  std::set<int> expanded_;
+};
+
+}  // namespace xk::present
+
+#endif  // XK_PRESENT_PRESENTATION_GRAPH_H_

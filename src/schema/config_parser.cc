@@ -1,0 +1,197 @@
+#include "schema/config_parser.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace xk::schema {
+
+namespace {
+
+/// Splits a config line into tokens; quoted strings ("...") are one token
+/// with the quotes stripped.
+Result<std::vector<std::string>> TokenizeLine(std::string_view line, size_t lineno) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == ' ' || c == '\t') {
+      ++i;
+      continue;
+    }
+    if (c == '#') break;
+    if (c == '"') {
+      size_t end = line.find('"', i + 1);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: unterminated quote", lineno));
+      }
+      tokens.emplace_back(line.substr(i + 1, end - i - 1));
+      i = end + 1;
+      continue;
+    }
+    size_t end = i;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t' &&
+           line[end] != '#') {
+      ++end;
+    }
+    tokens.emplace_back(line.substr(i, end - i));
+    i = end;
+  }
+  return tokens;
+}
+
+Result<bool> ParseMult(const std::string& word, size_t lineno) {
+  if (word == "one") return false;
+  if (word == "many") return true;
+  return Status::InvalidArgument(
+      StrFormat("line %zu: expected one|many, got '%s'", lineno, word.c_str()));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SchemaConfig>> ParseSchemaConfig(std::string_view text) {
+  auto config = std::make_unique<SchemaConfig>();
+  std::unordered_map<std::string, SchemaNodeId> ids;
+
+  struct Annotation {
+    std::string from, to, forward, reverse;
+    size_t lineno;
+  };
+  std::vector<Annotation> annotations;
+  bool has_segment = false;
+
+  auto lookup = [&](const std::string& id, size_t lineno) -> Result<SchemaNodeId> {
+    auto it = ids.find(id);
+    if (it == ids.end()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: unknown node id '%s'", lineno, id.c_str()));
+    }
+    return it->second;
+  };
+
+  size_t lineno = 0;
+  for (const std::string& raw : Split(std::string(text), '\n')) {
+    ++lineno;
+    XK_ASSIGN_OR_RETURN(std::vector<std::string> tokens, TokenizeLine(raw, lineno));
+    if (tokens.empty()) continue;
+    const std::string& verb = tokens[0];
+
+    if (verb == "node") {
+      if (tokens.size() < 3 || tokens.size() > 4 ||
+          (tokens.size() == 4 && tokens[3] != "choice")) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: node <id> <label> [choice]", lineno));
+      }
+      if (ids.contains(tokens[1])) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: duplicate node id '%s'", lineno, tokens[1].c_str()));
+      }
+      NodeKind kind = tokens.size() == 4 ? NodeKind::kChoice : NodeKind::kAll;
+      ids[tokens[1]] = config->schema.AddNode(tokens[2], kind);
+    } else if (verb == "containment" || verb == "reference") {
+      if (tokens.size() < 3 || tokens.size() > 4) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: %s <a> <b> [one|many]", lineno, verb.c_str()));
+      }
+      XK_ASSIGN_OR_RETURN(SchemaNodeId a, lookup(tokens[1], lineno));
+      XK_ASSIGN_OR_RETURN(SchemaNodeId b, lookup(tokens[2], lineno));
+      bool many = verb == "containment";  // defaults: containment many, ref one
+      if (tokens.size() == 4) {
+        XK_ASSIGN_OR_RETURN(many, ParseMult(tokens[3], lineno));
+      }
+      if (verb == "containment") {
+        XK_RETURN_NOT_OK(config->schema.AddContainmentEdge(a, b, many).status());
+      } else {
+        XK_RETURN_NOT_OK(config->schema.AddReferenceEdge(a, b, many).status());
+      }
+    } else if (verb == "segment") {
+      if (tokens.size() < 3) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: segment <name> <head> [members...]", lineno));
+      }
+      if (config->tss == nullptr) {
+        config->tss = std::make_unique<TssGraph>(&config->schema);
+      }
+      XK_ASSIGN_OR_RETURN(SchemaNodeId head, lookup(tokens[2], lineno));
+      std::vector<SchemaNodeId> members;
+      for (size_t m = 3; m < tokens.size(); ++m) {
+        XK_ASSIGN_OR_RETURN(SchemaNodeId member, lookup(tokens[m], lineno));
+        members.push_back(member);
+      }
+      XK_RETURN_NOT_OK(
+          config->tss->AddSegment(tokens[1], head, std::move(members)).status());
+      has_segment = true;
+    } else if (verb == "annotate") {
+      if (tokens.size() != 5) {
+        return Status::InvalidArgument(StrFormat(
+            "line %zu: annotate <from> <to> \"fwd\" \"rev\"", lineno));
+      }
+      annotations.push_back(
+          Annotation{tokens[1], tokens[2], tokens[3], tokens[4], lineno});
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: unknown directive '%s'", lineno, verb.c_str()));
+    }
+  }
+
+  if (!has_segment || config->tss == nullptr) {
+    return Status::InvalidArgument("configuration declares no segment");
+  }
+  XK_RETURN_NOT_OK(config->tss->Finalize());
+  for (const Annotation& a : annotations) {
+    XK_ASSIGN_OR_RETURN(TssId from, config->tss->SegmentByName(a.from));
+    XK_ASSIGN_OR_RETURN(TssId to, config->tss->SegmentByName(a.to));
+    Result<TssEdgeId> edge = config->tss->FindEdge(from, to);
+    if (!edge.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: %s", a.lineno, edge.status().message().c_str()));
+    }
+    XK_RETURN_NOT_OK(config->tss->AnnotateEdge(*edge, a.forward, a.reverse));
+  }
+  return config;
+}
+
+std::string WriteSchemaConfig(const SchemaGraph& schema, const TssGraph& tss) {
+  std::string out;
+  // Ids: n<index> (stable and collision-free regardless of label duplicates).
+  for (SchemaNodeId n = 0; n < schema.NumNodes(); ++n) {
+    out += StrFormat("node n%d %s%s\n", n, schema.label(n).c_str(),
+                     schema.kind(n) == NodeKind::kChoice ? " choice" : "");
+  }
+  for (SchemaEdgeId e = 0; e < schema.NumEdges(); ++e) {
+    const SchemaEdge& edge = schema.edge(e);
+    out += StrFormat("%s n%d n%d %s\n",
+                     edge.kind == EdgeKind::kContainment ? "containment"
+                                                         : "reference",
+                     edge.from, edge.to, edge.max_occurs_many ? "many" : "one");
+  }
+  for (TssId t = 0; t < tss.NumSegments(); ++t) {
+    out += StrFormat("segment %s", tss.name(t).c_str());
+    out += StrFormat(" n%d", tss.head(t));
+    for (SchemaNodeId m : tss.members(t)) {
+      if (m != tss.head(t)) out += StrFormat(" n%d", m);
+    }
+    out += "\n";
+  }
+  for (TssEdgeId e = 0; e < tss.NumEdges(); ++e) {
+    const TssEdge& edge = tss.edge(e);
+    if (edge.forward_desc.empty() && edge.reverse_desc.empty()) continue;
+    // Only annotate unique segment pairs (FindEdge requirement).
+    bool unique = true;
+    for (TssEdgeId other = 0; other < tss.NumEdges(); ++other) {
+      if (other != e && tss.edge(other).from == edge.from &&
+          tss.edge(other).to == edge.to) {
+        unique = false;
+      }
+    }
+    if (!unique) continue;
+    out += StrFormat("annotate %s %s \"%s\" \"%s\"\n",
+                     tss.name(edge.from).c_str(), tss.name(edge.to).c_str(),
+                     edge.forward_desc.c_str(), edge.reverse_desc.c_str());
+  }
+  return out;
+}
+
+}  // namespace xk::schema

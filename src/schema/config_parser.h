@@ -1,0 +1,56 @@
+// Copyright (c) the XKeyword authors.
+//
+// Text format for schema graphs and TSS graphs, so a deployment can describe
+// its database without writing C++ (the paper's administrator "splits the
+// schema graph in minimal self-contained information pieces" — this is the
+// file they would write). Line-oriented; '#' starts a comment.
+//
+//   node <id> <label> [choice]          declare a schema node
+//   containment <parent> <child> [one|many]      default many
+//   reference <src> <dst> [one|many]             default one
+//   segment <name> <head-id> [<member-id> ...]   a target schema segment
+//   annotate <from-seg> <to-seg> "<forward>" "<reverse>"
+//
+// Ids are config-local names (labels may repeat across nodes, e.g. two
+// `name` nodes under person and part). `annotate` lines refer to segments
+// and require a unique TSS edge between them.
+//
+// Example (a fragment of the Figure 5/6 configuration):
+//
+//   node person person
+//   node pname name
+//   node order order
+//   containment person pname one
+//   containment person order many
+//   segment P person pname
+//   segment O order
+//   annotate P O "placed" "placed by"
+
+#ifndef XK_SCHEMA_CONFIG_PARSER_H_
+#define XK_SCHEMA_CONFIG_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "schema/tss_graph.h"
+
+namespace xk::schema {
+
+/// A parsed configuration: the schema graph plus its finalized TSS graph.
+/// Heap-allocated and immovable (the TSS graph points into the schema).
+struct SchemaConfig {
+  SchemaGraph schema;
+  std::unique_ptr<TssGraph> tss;
+};
+
+/// Parses a configuration. Errors carry 1-based line numbers.
+Result<std::unique_ptr<SchemaConfig>> ParseSchemaConfig(std::string_view text);
+
+/// Renders an existing schema + TSS graph back into the config format
+/// (round-trips through ParseSchemaConfig).
+std::string WriteSchemaConfig(const SchemaGraph& schema, const TssGraph& tss);
+
+}  // namespace xk::schema
+
+#endif  // XK_SCHEMA_CONFIG_PARSER_H_

@@ -1,0 +1,146 @@
+#include "schema/decomposer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xk::schema {
+
+const std::vector<storage::ObjectId>& TargetObjectGraph::Forward(
+    storage::ObjectId o, TssEdgeId e) const {
+  const auto& map = fwd_[static_cast<size_t>(o)];
+  auto it = map.find(e);
+  return it == map.end() ? empty_ : it->second;
+}
+
+const std::vector<storage::ObjectId>& TargetObjectGraph::Reverse(
+    storage::ObjectId o, TssEdgeId e) const {
+  const auto& map = rev_[static_cast<size_t>(o)];
+  auto it = map.find(e);
+  return it == map.end() ? empty_ : it->second;
+}
+
+Decomposer::Decomposer(const xml::XmlGraph* graph, const ValidationResult* validation,
+                       const TssGraph* tss)
+    : graph_(graph), validation_(validation), tss_(tss) {
+  XK_CHECK(graph != nullptr && validation != nullptr && tss != nullptr);
+  XK_CHECK(tss->finalized());
+}
+
+Result<TargetObjectGraph> Decomposer::Run() {
+  const xml::XmlGraph& g = *graph_;
+  const TssGraph& tss = *tss_;
+  TargetObjectGraph out;
+  out.node_to_object_.assign(static_cast<size_t>(g.NumNodes()), storage::kInvalidId);
+  out.objects_by_tss_.resize(static_cast<size_t>(tss.NumSegments()));
+
+  auto type_of = [&](xml::NodeId n) {
+    return validation_->node_types[static_cast<size_t>(n)];
+  };
+
+  // Pass 1: create objects. Nodes are visited parents-before-children so a
+  // member node can inherit the object of its containment parent.
+  std::vector<xml::NodeId> order;
+  order.reserve(static_cast<size_t>(g.NumNodes()));
+  {
+    std::vector<xml::NodeId> stack = g.Roots();
+    std::reverse(stack.begin(), stack.end());
+    while (!stack.empty()) {
+      xml::NodeId n = stack.back();
+      stack.pop_back();
+      order.push_back(n);
+      const std::vector<xml::NodeId>& kids = g.children(n);
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+    }
+  }
+
+  for (xml::NodeId n : order) {
+    SchemaNodeId s = type_of(n);
+    TssId t = tss.SegmentOfSchemaNode(s);
+    if (t == kNoTss) continue;  // dummy
+    if (tss.head(t) == s) {
+      storage::ObjectId id = static_cast<storage::ObjectId>(out.objects_.size());
+      out.objects_.push_back(TargetObject{id, t, n});
+      out.member_nodes_.push_back({n});
+      out.node_to_object_[static_cast<size_t>(n)] = id;
+      out.objects_by_tss_[static_cast<size_t>(t)].push_back(id);
+    } else {
+      // Non-head member: owned by the parent's object (validated same TSS).
+      xml::NodeId p = g.parent(n);
+      if (p == xml::kNoNode) {
+        return Status::Corruption(
+            StrFormat("member node %lld of segment '%s' has no parent",
+                      static_cast<long long>(n), tss.name(t).c_str()));
+      }
+      storage::ObjectId obj = out.node_to_object_[static_cast<size_t>(p)];
+      if (obj == storage::kInvalidId || out.objects_[static_cast<size_t>(obj)].tss != t) {
+        return Status::Corruption(StrFormat(
+            "member node %lld of segment '%s' not nested in a head instance",
+            static_cast<long long>(n), tss.name(t).c_str()));
+      }
+      out.node_to_object_[static_cast<size_t>(n)] = obj;
+      out.member_nodes_[static_cast<size_t>(obj)].push_back(n);
+    }
+  }
+
+  out.fwd_.resize(out.objects_.size());
+  out.rev_.resize(out.objects_.size());
+
+  // Pass 2: instantiate TSS edges. For each edge, walk its hop path from
+  // every instance of its source schema node.
+  for (TssEdgeId e = 0; e < tss.NumEdges(); ++e) {
+    const TssEdge& te = tss.edge(e);
+    // Collect source instances: all XML nodes typed te.from_schema.
+    for (xml::NodeId n : order) {
+      if (type_of(n) != te.from_schema) continue;
+      storage::ObjectId from_obj = out.node_to_object_[static_cast<size_t>(n)];
+      XK_CHECK_NE(from_obj, storage::kInvalidId);
+      // Walk the hop path; `frontier` holds current XML endpoints.
+      std::vector<xml::NodeId> frontier = {n};
+      for (const PathHop& hop : te.path) {
+        const SchemaEdge& se = tss.schema().edge(hop.edge);
+        std::vector<xml::NodeId> next;
+        for (xml::NodeId f : frontier) {
+          if (hop.forward) {
+            if (se.kind == EdgeKind::kContainment) {
+              for (xml::NodeId c : g.children(f)) {
+                if (type_of(c) == se.to) next.push_back(c);
+              }
+            } else {
+              for (xml::NodeId c : g.references_out(f)) {
+                if (type_of(c) == se.to) next.push_back(c);
+              }
+            }
+          } else {
+            if (se.kind == EdgeKind::kContainment) {
+              xml::NodeId p = g.parent(f);
+              if (p != xml::kNoNode && type_of(p) == se.from) next.push_back(p);
+            } else {
+              for (xml::NodeId c : g.references_in(f)) {
+                if (type_of(c) == se.from) next.push_back(c);
+              }
+            }
+          }
+        }
+        frontier = std::move(next);
+        if (frontier.empty()) break;
+      }
+      // Emit deduplicated (from_obj -> to_obj) pairs.
+      std::unordered_set<storage::ObjectId> seen;
+      for (xml::NodeId endpoint : frontier) {
+        storage::ObjectId to_obj = out.node_to_object_[static_cast<size_t>(endpoint)];
+        XK_CHECK_NE(to_obj, storage::kInvalidId);
+        if (!seen.insert(to_obj).second) continue;
+        out.edges_.push_back(TargetObjectEdge{from_obj, to_obj, e});
+        out.fwd_[static_cast<size_t>(from_obj)][e].push_back(to_obj);
+        out.rev_[static_cast<size_t>(to_obj)][e].push_back(from_obj);
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace xk::schema

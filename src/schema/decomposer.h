@@ -1,0 +1,104 @@
+// Copyright (c) the XKeyword authors.
+//
+// Target decomposition (Section 3.1): instantiates the TSS graph over a
+// validated XML graph, producing the *target object graph* — "the
+// representation of the XML graph in terms of target objects". Connection
+// relations (src/decomp) are materialized from this graph; the on-demand
+// expansion algorithm walks its adjacency.
+
+#ifndef XK_SCHEMA_DECOMPOSER_H_
+#define XK_SCHEMA_DECOMPOSER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/tss_graph.h"
+#include "schema/validator.h"
+#include "storage/value.h"
+#include "xml/xml_graph.h"
+
+namespace xk::schema {
+
+/// One target object: the instance of a TSS, identified by its head element.
+struct TargetObject {
+  storage::ObjectId id;  // dense, == index in TargetObjectGraph::objects()
+  TssId tss;
+  xml::NodeId head;
+};
+
+/// An instance of a TSS edge between two target objects.
+struct TargetObjectEdge {
+  storage::ObjectId from;
+  storage::ObjectId to;
+  TssEdgeId edge;
+};
+
+/// Graph of target objects with typed adjacency.
+class TargetObjectGraph {
+ public:
+  int64_t NumObjects() const { return static_cast<int64_t>(objects_.size()); }
+  const TargetObject& object(storage::ObjectId o) const {
+    return objects_[static_cast<size_t>(o)];
+  }
+
+  /// Target object owning XML node `n`; kInvalidId for dummy nodes.
+  storage::ObjectId ObjectOfNode(xml::NodeId n) const {
+    return node_to_object_[static_cast<size_t>(n)];
+  }
+
+  /// XML member nodes of object `o` (head + folded members, document order).
+  const std::vector<xml::NodeId>& MemberNodes(storage::ObjectId o) const {
+    return member_nodes_[static_cast<size_t>(o)];
+  }
+
+  /// Objects reachable from `o` along TSS edge `e` in its direction.
+  const std::vector<storage::ObjectId>& Forward(storage::ObjectId o,
+                                                TssEdgeId e) const;
+  /// Objects from which `o` is reachable along `e`.
+  const std::vector<storage::ObjectId>& Reverse(storage::ObjectId o,
+                                                TssEdgeId e) const;
+
+  const std::vector<TargetObjectEdge>& edges() const { return edges_; }
+
+  /// Objects of segment `t`, in id order.
+  const std::vector<storage::ObjectId>& ObjectsOfSegment(TssId t) const {
+    return objects_by_tss_[static_cast<size_t>(t)];
+  }
+
+  /// s(T): number of objects of segment `t`.
+  int64_t CountOfSegment(TssId t) const {
+    return static_cast<int64_t>(objects_by_tss_[static_cast<size_t>(t)].size());
+  }
+
+ private:
+  friend class Decomposer;
+
+  std::vector<TargetObject> objects_;
+  std::vector<std::vector<xml::NodeId>> member_nodes_;
+  std::vector<storage::ObjectId> node_to_object_;
+  std::vector<TargetObjectEdge> edges_;
+  std::vector<std::vector<storage::ObjectId>> objects_by_tss_;
+  // adjacency: object -> (tss edge -> neighbors)
+  std::vector<std::unordered_map<TssEdgeId, std::vector<storage::ObjectId>>> fwd_;
+  std::vector<std::unordered_map<TssEdgeId, std::vector<storage::ObjectId>>> rev_;
+  std::vector<storage::ObjectId> empty_;
+};
+
+/// Runs the target decomposition.
+class Decomposer {
+ public:
+  Decomposer(const xml::XmlGraph* graph, const ValidationResult* validation,
+             const TssGraph* tss);
+
+  Result<TargetObjectGraph> Run();
+
+ private:
+  const xml::XmlGraph* graph_;
+  const ValidationResult* validation_;
+  const TssGraph* tss_;
+};
+
+}  // namespace xk::schema
+
+#endif  // XK_SCHEMA_DECOMPOSER_H_

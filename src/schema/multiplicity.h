@@ -1,0 +1,30 @@
+// Copyright (c) the XKeyword authors.
+//
+// Edge multiplicities. Every (composed) edge of the TSS graph carries a
+// forward and a reverse multiplicity in {one, many}; Theorem 5.3's MVD test
+// and the optimizer's fanout estimates are phrased in terms of these.
+//
+//   containment parent -> child : forward = many unless maxOccurs = 1,
+//                                 reverse = one (a node has one parent)
+//   reference src -> dst        : forward = one unless IDREFS,
+//                                 reverse = many (many nodes may point here)
+//
+// Composition along a path of hops: many if any hop is many.
+
+#ifndef XK_SCHEMA_MULTIPLICITY_H_
+#define XK_SCHEMA_MULTIPLICITY_H_
+
+namespace xk::schema {
+
+enum class Mult { kOne, kMany };
+
+/// Multiplicity of a path = many iff any hop is many.
+inline Mult Compose(Mult a, Mult b) {
+  return (a == Mult::kMany || b == Mult::kMany) ? Mult::kMany : Mult::kOne;
+}
+
+inline const char* MultToString(Mult m) { return m == Mult::kOne ? "one" : "many"; }
+
+}  // namespace xk::schema
+
+#endif  // XK_SCHEMA_MULTIPLICITY_H_

@@ -1,0 +1,114 @@
+#include "schema/schema_graph.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xk::schema {
+
+SchemaNodeId SchemaGraph::AddNode(std::string label, NodeKind kind) {
+  nodes_.push_back(Node{std::move(label), kind, {}, {}});
+  return static_cast<SchemaNodeId>(nodes_.size()) - 1;
+}
+
+size_t SchemaGraph::Check(SchemaNodeId n) const {
+  XK_CHECK(ValidNode(n));
+  return static_cast<size_t>(n);
+}
+
+Result<SchemaEdgeId> SchemaGraph::AddContainmentEdge(SchemaNodeId parent,
+                                                     SchemaNodeId child,
+                                                     bool max_occurs_many) {
+  if (!ValidNode(parent) || !ValidNode(child)) {
+    return Status::OutOfRange("containment edge endpoint out of range");
+  }
+  SchemaEdgeId id = static_cast<SchemaEdgeId>(edges_.size());
+  edges_.push_back(
+      SchemaEdge{id, parent, child, EdgeKind::kContainment, max_occurs_many});
+  nodes_[static_cast<size_t>(parent)].out.push_back(id);
+  nodes_[static_cast<size_t>(child)].in.push_back(id);
+  return id;
+}
+
+Result<SchemaEdgeId> SchemaGraph::AddReferenceEdge(SchemaNodeId src, SchemaNodeId dst,
+                                                   bool max_occurs_many) {
+  if (!ValidNode(src) || !ValidNode(dst)) {
+    return Status::OutOfRange("reference edge endpoint out of range");
+  }
+  SchemaEdgeId id = static_cast<SchemaEdgeId>(edges_.size());
+  edges_.push_back(SchemaEdge{id, src, dst, EdgeKind::kReference, max_occurs_many});
+  nodes_[static_cast<size_t>(src)].out.push_back(id);
+  nodes_[static_cast<size_t>(dst)].in.push_back(id);
+  return id;
+}
+
+const SchemaEdge& SchemaGraph::edge(SchemaEdgeId e) const {
+  XK_CHECK(e >= 0 && e < static_cast<SchemaEdgeId>(edges_.size()));
+  return edges_[static_cast<size_t>(e)];
+}
+
+SchemaNodeId SchemaGraph::ContainmentParent(SchemaNodeId n) const {
+  for (SchemaEdgeId e : nodes_[Check(n)].in) {
+    if (edges_[static_cast<size_t>(e)].kind == EdgeKind::kContainment) {
+      return edges_[static_cast<size_t>(e)].from;
+    }
+  }
+  return kNoSchemaNode;
+}
+
+int SchemaGraph::NumContainmentParents(SchemaNodeId n) const {
+  int count = 0;
+  for (SchemaEdgeId e : nodes_[Check(n)].in) {
+    if (edges_[static_cast<size_t>(e)].kind == EdgeKind::kContainment) ++count;
+  }
+  return count;
+}
+
+std::vector<SchemaNodeId> SchemaGraph::Roots() const {
+  std::vector<SchemaNodeId> roots;
+  for (SchemaNodeId n = 0; n < NumNodes(); ++n) {
+    if (NumContainmentParents(n) == 0) roots.push_back(n);
+  }
+  return roots;
+}
+
+Result<SchemaNodeId> SchemaGraph::ChildByLabel(SchemaNodeId parent,
+                                               const std::string& label) const {
+  for (SchemaEdgeId e : nodes_[Check(parent)].out) {
+    const SchemaEdge& edge = edges_[static_cast<size_t>(e)];
+    if (edge.kind == EdgeKind::kContainment &&
+        nodes_[static_cast<size_t>(edge.to)].label == label) {
+      return edge.to;
+    }
+  }
+  return Status::NotFound(StrFormat("no child '%s' under '%s'", label.c_str(),
+                                    nodes_[Check(parent)].label.c_str()));
+}
+
+Result<SchemaNodeId> SchemaGraph::NodeByUniqueLabel(const std::string& label) const {
+  SchemaNodeId found = kNoSchemaNode;
+  for (SchemaNodeId n = 0; n < NumNodes(); ++n) {
+    if (nodes_[static_cast<size_t>(n)].label == label) {
+      if (found != kNoSchemaNode) {
+        return Status::InvalidArgument(StrFormat("label '%s' ambiguous", label.c_str()));
+      }
+      found = n;
+    }
+  }
+  if (found == kNoSchemaNode) {
+    return Status::NotFound(StrFormat("no schema node '%s'", label.c_str()));
+  }
+  return found;
+}
+
+Result<SchemaEdgeId> SchemaGraph::FindReferenceEdge(SchemaNodeId src,
+                                                    SchemaNodeId dst) const {
+  for (SchemaEdgeId e : nodes_[Check(src)].out) {
+    const SchemaEdge& edge = edges_[static_cast<size_t>(e)];
+    if (edge.kind == EdgeKind::kReference && edge.to == dst) return e;
+  }
+  return Status::NotFound(StrFormat("no reference edge %s -> %s",
+                                    nodes_[Check(src)].label.c_str(),
+                                    nodes_[Check(dst)].label.c_str()));
+}
+
+}  // namespace xk::schema

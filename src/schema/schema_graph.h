@@ -1,0 +1,123 @@
+// Copyright (c) the XKeyword authors.
+//
+// Schema graphs (Section 3, Figure 5): directed graphs of schema nodes with
+// containment and typed reference edges. Nodes are of type `all` or `choice`
+// ("we denote choice nodes with an arc over their outgoing edges"); edges
+// carry a maxOccurs flag. The CN generator and the decomposition module work
+// against this structure.
+
+#ifndef XK_SCHEMA_SCHEMA_GRAPH_H_
+#define XK_SCHEMA_SCHEMA_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/multiplicity.h"
+
+namespace xk::schema {
+
+using SchemaNodeId = int;
+using SchemaEdgeId = int;
+
+inline constexpr SchemaNodeId kNoSchemaNode = -1;
+
+/// Content model of a schema node.
+enum class NodeKind {
+  kAll,     // an instance may have children along every outgoing edge
+  kChoice,  // an instance has children along exactly one outgoing edge
+};
+
+enum class EdgeKind { kContainment, kReference };
+
+/// One schema edge. For containment, from = parent, to = child.
+struct SchemaEdge {
+  SchemaEdgeId id;
+  SchemaNodeId from;
+  SchemaNodeId to;
+  EdgeKind kind;
+  /// Containment: may `from` contain many `to` children? Reference: may one
+  /// instance hold several targets (IDREFS)?
+  bool max_occurs_many;
+
+  /// Multiplicity seen walking the edge from `from` to `to`.
+  Mult forward_mult() const { return max_occurs_many ? Mult::kMany : Mult::kOne; }
+  /// Multiplicity seen walking the edge from `to` back to `from`.
+  Mult reverse_mult() const {
+    // Containment: one parent. Reference: many possible referrers.
+    return kind == EdgeKind::kContainment ? Mult::kOne : Mult::kMany;
+  }
+};
+
+/// The schema graph. Labels need not be globally unique (e.g. `name` appears
+/// under several parents in the TPC-H schema); lookups are by parent context
+/// or by unique label where applicable.
+class SchemaGraph {
+ public:
+  SchemaGraph() = default;
+
+  SchemaNodeId AddNode(std::string label, NodeKind kind = NodeKind::kAll);
+
+  /// Adds a containment edge parent -> child.
+  Result<SchemaEdgeId> AddContainmentEdge(SchemaNodeId parent, SchemaNodeId child,
+                                          bool max_occurs_many = true);
+  /// Adds a reference edge src -> dst.
+  Result<SchemaEdgeId> AddReferenceEdge(SchemaNodeId src, SchemaNodeId dst,
+                                        bool max_occurs_many = false);
+
+  int NumNodes() const { return static_cast<int>(nodes_.size()); }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+
+  const std::string& label(SchemaNodeId n) const { return nodes_[Check(n)].label; }
+  NodeKind kind(SchemaNodeId n) const { return nodes_[Check(n)].kind; }
+  const SchemaEdge& edge(SchemaEdgeId e) const;
+
+  /// Outgoing (containment + reference) schema edge ids of `n`.
+  const std::vector<SchemaEdgeId>& out_edges(SchemaNodeId n) const {
+    return nodes_[Check(n)].out;
+  }
+  /// Incoming schema edge ids of `n`.
+  const std::vector<SchemaEdgeId>& in_edges(SchemaNodeId n) const {
+    return nodes_[Check(n)].in;
+  }
+
+  /// Containment parent schema node, or kNoSchemaNode for schema roots.
+  /// (A schema node may have several containment parents in general XML
+  /// schemas; this returns the first and NumContainmentParents the count.)
+  SchemaNodeId ContainmentParent(SchemaNodeId n) const;
+  int NumContainmentParents(SchemaNodeId n) const;
+
+  /// Schema nodes with no containment parent.
+  std::vector<SchemaNodeId> Roots() const;
+
+  /// The containment child of `parent` labeled `label`, or NotFound.
+  Result<SchemaNodeId> ChildByLabel(SchemaNodeId parent,
+                                    const std::string& label) const;
+
+  /// The unique node with `label`; fails if absent or ambiguous.
+  Result<SchemaNodeId> NodeByUniqueLabel(const std::string& label) const;
+
+  /// The unique reference edge src -> dst, or NotFound.
+  Result<SchemaEdgeId> FindReferenceEdge(SchemaNodeId src, SchemaNodeId dst) const;
+
+  bool ValidNode(SchemaNodeId n) const {
+    return n >= 0 && n < static_cast<SchemaNodeId>(nodes_.size());
+  }
+
+ private:
+  struct Node {
+    std::string label;
+    NodeKind kind;
+    std::vector<SchemaEdgeId> out;
+    std::vector<SchemaEdgeId> in;
+  };
+
+  size_t Check(SchemaNodeId n) const;
+
+  std::vector<Node> nodes_;
+  std::vector<SchemaEdge> edges_;
+};
+
+}  // namespace xk::schema
+
+#endif  // XK_SCHEMA_SCHEMA_GRAPH_H_

@@ -1,0 +1,196 @@
+#include "schema/tss_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xk::schema {
+
+TssGraph::TssGraph(const SchemaGraph* schema) : schema_(schema) {
+  XK_CHECK(schema != nullptr);
+  schema_to_tss_.assign(static_cast<size_t>(schema->NumNodes()), kNoTss);
+}
+
+size_t TssGraph::CheckT(TssId t) const {
+  XK_CHECK(t >= 0 && t < static_cast<TssId>(segments_.size()));
+  return static_cast<size_t>(t);
+}
+
+Result<TssId> TssGraph::AddSegment(std::string name, SchemaNodeId head,
+                                   std::vector<SchemaNodeId> members) {
+  if (finalized_) return Status::Aborted("TSS graph already finalized");
+  if (!schema_->ValidNode(head)) return Status::OutOfRange("bad head schema node");
+  std::vector<SchemaNodeId> all;
+  all.push_back(head);
+  for (SchemaNodeId m : members) {
+    if (!schema_->ValidNode(m)) return Status::OutOfRange("bad member schema node");
+    if (m == head) continue;
+    all.push_back(m);
+  }
+  for (SchemaNodeId m : all) {
+    if (schema_to_tss_[static_cast<size_t>(m)] != kNoTss) {
+      return Status::AlreadyExists(
+          StrFormat("schema node '%s' already mapped to a segment",
+                    schema_->label(m).c_str()));
+    }
+  }
+  TssId id = static_cast<TssId>(segments_.size());
+  for (SchemaNodeId m : all) schema_to_tss_[static_cast<size_t>(m)] = id;
+  segments_.push_back(Segment{std::move(name), head, std::move(all), {}});
+  return id;
+}
+
+TssId TssGraph::SegmentOfSchemaNode(SchemaNodeId s) const {
+  XK_CHECK(schema_->ValidNode(s));
+  return schema_to_tss_[static_cast<size_t>(s)];
+}
+
+const TssEdge& TssGraph::edge(TssEdgeId e) const {
+  XK_CHECK(e >= 0 && e < static_cast<TssEdgeId>(edges_.size()));
+  return edges_[static_cast<size_t>(e)];
+}
+
+Status TssGraph::Finalize() {
+  if (finalized_) return Status::Aborted("TSS graph already finalized");
+
+  // Validate member connectivity: every non-head member must reach the head
+  // by walking containment parents through members of the same segment.
+  for (TssId t = 0; t < NumSegments(); ++t) {
+    const Segment& seg = segments_[static_cast<size_t>(t)];
+    for (SchemaNodeId m : seg.members) {
+      if (m == seg.head) continue;
+      SchemaNodeId cur = m;
+      int steps = 0;
+      while (cur != seg.head) {
+        cur = schema_->ContainmentParent(cur);
+        if (cur == kNoSchemaNode ||
+            schema_to_tss_[static_cast<size_t>(cur)] != t || ++steps > 64) {
+          return Status::InvalidArgument(StrFormat(
+              "member '%s' of segment '%s' is not a containment descendant of "
+              "head '%s' within the segment",
+              schema_->label(m).c_str(), seg.name.c_str(),
+              schema_->label(seg.head).c_str()));
+        }
+      }
+    }
+  }
+
+  // Derive edges from every mapped schema node.
+  for (SchemaNodeId s = 0; s < schema_->NumNodes(); ++s) {
+    if (schema_to_tss_[static_cast<size_t>(s)] != kNoTss) DeriveEdgesFrom(s);
+  }
+
+  // Deterministic incident lists.
+  for (TssEdgeId e = 0; e < NumEdges(); ++e) {
+    const TssEdge& edge = edges_[static_cast<size_t>(e)];
+    segments_[static_cast<size_t>(edge.from)].incident.push_back(e);
+    if (edge.to != edge.from) {
+      segments_[static_cast<size_t>(edge.to)].incident.push_back(e);
+    }
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+void TssGraph::DeriveEdgesFrom(SchemaNodeId start) {
+  std::vector<PathHop> path;
+  std::vector<bool> on_path(static_cast<size_t>(schema_->NumNodes()), false);
+  on_path[static_cast<size_t>(start)] = true;
+  WalkForward(start, start, &path, &on_path);
+}
+
+void TssGraph::WalkForward(SchemaNodeId start, SchemaNodeId current,
+                           std::vector<PathHop>* path, std::vector<bool>* on_path) {
+  for (SchemaEdgeId e : schema_->out_edges(current)) {
+    const SchemaEdge& edge = schema_->edge(e);
+    SchemaNodeId next = edge.to;
+    if (schema_to_tss_[static_cast<size_t>(next)] != kNoTss) {
+      // Reached a mapped node (possibly the start again — recursive edges
+      // like part -> sub -> part are legitimate): emit unless the whole path
+      // stayed inside one segment (intra-segment structure is not an edge).
+      path->push_back(PathHop{e, true});
+      if (path->size() > 1 ||
+          schema_to_tss_[static_cast<size_t>(start)] !=
+              schema_to_tss_[static_cast<size_t>(next)]) {
+        EmitEdge(start, next, *path);
+      }
+      path->pop_back();
+    } else {
+      // Dummy node: keep walking; dummies may not repeat along one path.
+      if ((*on_path)[static_cast<size_t>(next)]) continue;
+      path->push_back(PathHop{e, true});
+      (*on_path)[static_cast<size_t>(next)] = true;
+      WalkForward(start, next, path, on_path);
+      (*on_path)[static_cast<size_t>(next)] = false;
+      path->pop_back();
+    }
+  }
+}
+
+void TssGraph::EmitEdge(SchemaNodeId from_schema, SchemaNodeId to_schema,
+                        const std::vector<PathHop>& path) {
+  TssId from = schema_to_tss_[static_cast<size_t>(from_schema)];
+  TssId to = schema_to_tss_[static_cast<size_t>(to_schema)];
+
+  EdgeKind kind = EdgeKind::kContainment;
+  Mult fwd = Mult::kOne;
+  Mult rev = Mult::kOne;
+  SchemaNodeId choice_group = kNoSchemaNode;
+  Mult choice_prefix_mult = Mult::kOne;
+  for (const PathHop& hop : path) {
+    const SchemaEdge& se = schema_->edge(hop.edge);
+    if (se.kind == EdgeKind::kReference) kind = EdgeKind::kReference;
+    Mult hop_fwd = hop.forward ? se.forward_mult() : se.reverse_mult();
+    Mult hop_rev = hop.forward ? se.reverse_mult() : se.forward_mult();
+    SchemaNodeId departs = hop.forward ? se.from : se.to;
+    if (choice_group == kNoSchemaNode &&
+        schema_->kind(departs) == NodeKind::kChoice) {
+      choice_group = departs;
+      choice_prefix_mult = fwd;  // multiplicity accumulated before this hop
+    }
+    fwd = Compose(fwd, hop_fwd);
+    rev = Compose(rev, hop_rev);
+  }
+
+  TssEdgeId id = static_cast<TssEdgeId>(edges_.size());
+  edges_.push_back(TssEdge{id, from, to, path, kind, fwd, rev, choice_group,
+                           choice_prefix_mult, from_schema, to_schema, "", ""});
+}
+
+Status TssGraph::AnnotateEdge(TssEdgeId e, std::string forward_desc,
+                              std::string reverse_desc) {
+  if (e < 0 || e >= NumEdges()) return Status::OutOfRange("bad TSS edge id");
+  edges_[static_cast<size_t>(e)].forward_desc = std::move(forward_desc);
+  edges_[static_cast<size_t>(e)].reverse_desc = std::move(reverse_desc);
+  return Status::OK();
+}
+
+Result<TssEdgeId> TssGraph::FindEdge(TssId from, TssId to) const {
+  TssEdgeId found = -1;
+  for (TssEdgeId e = 0; e < NumEdges(); ++e) {
+    const TssEdge& edge = edges_[static_cast<size_t>(e)];
+    if (edge.from == from && edge.to == to) {
+      if (found != -1) {
+        return Status::InvalidArgument(
+            StrFormat("multiple TSS edges %s -> %s", name(from).c_str(),
+                      name(to).c_str()));
+      }
+      found = e;
+    }
+  }
+  if (found == -1) {
+    return Status::NotFound(StrFormat("no TSS edge %s -> %s", name(from).c_str(),
+                                      name(to).c_str()));
+  }
+  return found;
+}
+
+Result<TssId> TssGraph::SegmentByName(const std::string& name) const {
+  for (TssId t = 0; t < NumSegments(); ++t) {
+    if (segments_[static_cast<size_t>(t)].name == name) return t;
+  }
+  return Status::NotFound(StrFormat("no segment '%s'", name.c_str()));
+}
+
+}  // namespace xk::schema

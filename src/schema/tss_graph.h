@@ -1,0 +1,146 @@
+// Copyright (c) the XKeyword authors.
+//
+// Target Schema Segment (TSS) graphs, Section 3.1 / Figure 6. The
+// administrator partially maps schema nodes into segments ("minimal
+// self-contained information pieces"); unmapped schema nodes are *dummy*
+// nodes (supplier, sub, line in the TPC-H schema) that carry no information
+// but mediate connections. A TSS edge is a schema edge between mapped nodes,
+// or a directed path of schema edges through dummy nodes; it composes the
+// multiplicities of its hops and remembers the first choice node on its path
+// (edges sharing a choice group are mutually exclusive per instance).
+// Each edge carries two semantic explanations ("supplied, supplied by")
+// used to annotate presentation graphs.
+
+#ifndef XK_SCHEMA_TSS_GRAPH_H_
+#define XK_SCHEMA_TSS_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/schema_graph.h"
+
+namespace xk::schema {
+
+using TssId = int;
+using TssEdgeId = int;
+
+inline constexpr TssId kNoTss = -1;
+
+/// One directed traversal of a schema edge inside a TSS-edge path.
+struct PathHop {
+  SchemaEdgeId edge;
+  bool forward;  // true: from -> to of the schema edge
+
+  bool operator==(const PathHop&) const = default;
+};
+
+/// An edge of the TSS graph.
+struct TssEdge {
+  TssEdgeId id;
+  TssId from;
+  TssId to;
+  /// Schema edges traversed from the `from` segment to the `to` segment
+  /// (length 1 for direct edges; longer through dummy nodes).
+  std::vector<PathHop> path;
+  /// Reference iff any hop is a reference schema edge; such edges can share
+  /// target instances across sources (Section 6 exploits this for caching).
+  EdgeKind kind;
+  /// Composed multiplicities: walking from the `from` side / the `to` side.
+  Mult forward_mult;
+  Mult reverse_mult;
+  /// First choice schema node the path departs from (kNoSchemaNode if none).
+  /// Two edges leaving one instance through the same choice group cannot
+  /// coexist — the useless-fragment rule 1 and CN pruning use this.
+  SchemaNodeId choice_group;
+  /// Composed forward multiplicity of the hops *before* the choice node.
+  /// When kOne, a source instance owns exactly one choice-node instance, so
+  /// two departures through the group are mutually exclusive; when kMany the
+  /// alternatives can coexist via distinct choice-node instances.
+  Mult choice_prefix_mult;
+  /// Concrete mapped schema endpoints of the path.
+  SchemaNodeId from_schema;
+  SchemaNodeId to_schema;
+  /// Semantic explanations (Figure 6): in edge direction / reverse.
+  std::string forward_desc;
+  std::string reverse_desc;
+};
+
+/// The TSS graph, built over a schema graph then frozen by Finalize().
+class TssGraph {
+ public:
+  /// `schema` must outlive the TssGraph.
+  explicit TssGraph(const SchemaGraph* schema);
+
+  /// Declares a segment: `head` identifies instances (one target object per
+  /// head instance); `members` are further schema nodes folded into the
+  /// object (they must be containment descendants of the head). A schema
+  /// node may belong to at most one segment.
+  Result<TssId> AddSegment(std::string name, SchemaNodeId head,
+                           std::vector<SchemaNodeId> members = {});
+
+  /// Derives all TSS edges (direct + through dummy chains) and validates the
+  /// mapping. Must be called exactly once, after all segments are added.
+  Status Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// Attaches semantic explanations to an edge.
+  Status AnnotateEdge(TssEdgeId e, std::string forward_desc,
+                      std::string reverse_desc);
+
+  int NumSegments() const { return static_cast<int>(segments_.size()); }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+
+  const std::string& name(TssId t) const { return segments_[CheckT(t)].name; }
+  SchemaNodeId head(TssId t) const { return segments_[CheckT(t)].head; }
+  const std::vector<SchemaNodeId>& members(TssId t) const {
+    return segments_[CheckT(t)].members;  // includes the head
+  }
+
+  const TssEdge& edge(TssEdgeId e) const;
+  /// Edge ids incident to `t` (either endpoint), in id order.
+  const std::vector<TssEdgeId>& incident_edges(TssId t) const {
+    return segments_[CheckT(t)].incident;
+  }
+
+  /// Segment of a schema node, or kNoTss for dummy schema nodes.
+  TssId SegmentOfSchemaNode(SchemaNodeId s) const;
+  bool IsDummy(SchemaNodeId s) const { return SegmentOfSchemaNode(s) == kNoTss; }
+
+  /// The unique edge between `from` and `to` in that direction; fails if
+  /// absent or ambiguous (parallel edges exist, e.g. multiple link types).
+  Result<TssEdgeId> FindEdge(TssId from, TssId to) const;
+
+  /// The unique segment named `name`.
+  Result<TssId> SegmentByName(const std::string& name) const;
+
+  const SchemaGraph& schema() const { return *schema_; }
+
+ private:
+  struct Segment {
+    std::string name;
+    SchemaNodeId head;
+    std::vector<SchemaNodeId> members;  // head first
+    std::vector<TssEdgeId> incident;
+  };
+
+  size_t CheckT(TssId t) const;
+
+  /// DFS from mapped node `s` through dummy nodes, emitting edges.
+  void DeriveEdgesFrom(SchemaNodeId start);
+  void WalkForward(SchemaNodeId start, SchemaNodeId current,
+                   std::vector<PathHop>* path, std::vector<bool>* on_path);
+  void EmitEdge(SchemaNodeId from_schema, SchemaNodeId to_schema,
+                const std::vector<PathHop>& path);
+
+  const SchemaGraph* schema_;
+  std::vector<Segment> segments_;
+  std::vector<TssEdge> edges_;
+  std::vector<TssId> schema_to_tss_;  // indexed by SchemaNodeId
+  bool finalized_ = false;
+};
+
+}  // namespace xk::schema
+
+#endif  // XK_SCHEMA_TSS_GRAPH_H_

@@ -1,0 +1,171 @@
+#include "schema/tss_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xk::schema {
+
+std::vector<std::vector<int>> TssTree::Adjacency() const {
+  std::vector<std::vector<int>> adj(nodes.size());
+  for (size_t e = 0; e < edges.size(); ++e) {
+    adj[static_cast<size_t>(edges[e].from)].push_back(static_cast<int>(e));
+    adj[static_cast<size_t>(edges[e].to)].push_back(static_cast<int>(e));
+  }
+  return adj;
+}
+
+Status TssTree::Validate(const TssGraph& tss) const {
+  if (nodes.empty()) return Status::InvalidArgument("empty tree");
+  if (edges.size() != nodes.size() - 1) {
+    return Status::InvalidArgument(
+        StrFormat("tree shape: %zu nodes, %zu edges", nodes.size(), edges.size()));
+  }
+  for (TssId t : nodes) {
+    if (t < 0 || t >= tss.NumSegments()) return Status::OutOfRange("bad segment id");
+  }
+  for (const TssTreeEdge& e : edges) {
+    if (e.from < 0 || e.from >= num_nodes() || e.to < 0 || e.to >= num_nodes() ||
+        e.from == e.to) {
+      return Status::OutOfRange("bad edge endpoints");
+    }
+    if (e.tss_edge < 0 || e.tss_edge >= tss.NumEdges()) {
+      return Status::OutOfRange("bad TSS edge id");
+    }
+    const TssEdge& te = tss.edge(e.tss_edge);
+    if (nodes[static_cast<size_t>(e.from)] != te.from ||
+        nodes[static_cast<size_t>(e.to)] != te.to) {
+      return Status::InvalidArgument(
+          StrFormat("edge %d does not instantiate TSS edge %d endpoints", e.from,
+                    e.tss_edge));
+    }
+  }
+  // Connectivity.
+  std::vector<bool> seen(nodes.size(), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  auto adj = Adjacency();
+  size_t count = 1;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (int ei : adj[static_cast<size_t>(v)]) {
+      int u = edges[static_cast<size_t>(ei)].from == v
+                  ? edges[static_cast<size_t>(ei)].to
+                  : edges[static_cast<size_t>(ei)].from;
+      if (!seen[static_cast<size_t>(u)]) {
+        seen[static_cast<size_t>(u)] = true;
+        ++count;
+        stack.push_back(u);
+      }
+    }
+  }
+  if (count != nodes.size()) return Status::InvalidArgument("tree not connected");
+  return Status::OK();
+}
+
+std::string TssTree::ToString(const TssGraph& tss) const {
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += " ";
+    out += StrFormat("%zu:%s", i, tss.name(nodes[i]).c_str());
+  }
+  for (const TssTreeEdge& e : edges) {
+    out += StrFormat(" (%d-[%d]->%d)", e.from, e.tss_edge, e.to);
+  }
+  return out;
+}
+
+Mult OutwardMult(const TssTree& tree, const TssGraph& tss, int node,
+                 int edge_index) {
+  const TssTreeEdge& e = tree.edges[static_cast<size_t>(edge_index)];
+  const TssEdge& te = tss.edge(e.tss_edge);
+  XK_CHECK(e.from == node || e.to == node);
+  return e.from == node ? te.forward_mult : te.reverse_mult;
+}
+
+namespace {
+
+/// AHU encoding of the tree rooted at `root`.
+std::string Encode(const TssTree& tree, const std::vector<std::vector<int>>& adj,
+                   int root, int via_edge) {
+  std::vector<std::string> child_codes;
+  for (int ei : adj[static_cast<size_t>(root)]) {
+    if (ei == via_edge) continue;
+    const TssTreeEdge& e = tree.edges[static_cast<size_t>(ei)];
+    int child = e.from == root ? e.to : e.from;
+    // Direction marker: does the traversal follow the TSS edge direction?
+    char dir = e.from == root ? '>' : '<';
+    child_codes.push_back(StrFormat("%c%d", dir, e.tss_edge) +
+                          Encode(tree, adj, child, ei));
+  }
+  std::sort(child_codes.begin(), child_codes.end());
+  std::string code = StrFormat("[%d", tree.nodes[static_cast<size_t>(root)]);
+  for (const std::string& c : child_codes) code += c;
+  code += "]";
+  return code;
+}
+
+}  // namespace
+
+std::string CanonicalKey(const TssTree& tree, const TssGraph& tss) {
+  (void)tss;
+  auto adj = tree.Adjacency();
+  std::string best;
+  for (int r = 0; r < tree.num_nodes(); ++r) {
+    std::string code = Encode(tree, adj, r, -1);
+    if (best.empty() || code < best) best = std::move(code);
+  }
+  return best;
+}
+
+Impossibility CheckStructurallyPossible(const TssTree& tree, const TssGraph& tss) {
+  auto adj = tree.Adjacency();
+  for (int v = 0; v < tree.num_nodes(); ++v) {
+    const std::vector<int>& inc = adj[static_cast<size_t>(v)];
+
+    int containment_parents = 0;
+    for (int ei : inc) {
+      const TssTreeEdge& e = tree.edges[static_cast<size_t>(ei)];
+      const TssEdge& te = tss.edge(e.tss_edge);
+      if (e.to == v && te.kind == EdgeKind::kContainment) ++containment_parents;
+    }
+    if (containment_parents >= 2) return Impossibility::kTwoContainmentParents;
+
+    for (size_t i = 0; i < inc.size(); ++i) {
+      const TssTreeEdge& e1 = tree.edges[static_cast<size_t>(inc[i])];
+      const TssEdge& te1 = tss.edge(e1.tss_edge);
+      for (size_t j = i + 1; j < inc.size(); ++j) {
+        const TssTreeEdge& e2 = tree.edges[static_cast<size_t>(inc[j])];
+        const TssEdge& te2 = tss.edge(e2.tss_edge);
+
+        // Choice conflict: two departures through one exclusively-owned
+        // choice node.
+        if (e1.from == v && e2.from == v &&
+            te1.choice_group != kNoSchemaNode &&
+            te1.choice_group == te2.choice_group &&
+            te1.choice_prefix_mult == Mult::kOne &&
+            te2.choice_prefix_mult == Mult::kOne) {
+          return Impossibility::kChoiceConflict;
+        }
+
+        // To-one duplicates: two same-type, same-orientation neighbors
+        // through an edge that admits exactly one neighbor on that side.
+        if (e1.tss_edge == e2.tss_edge) {
+          bool both_out = e1.from == v && e2.from == v;
+          bool both_in = e1.to == v && e2.to == v;
+          if (both_out && te1.forward_mult == Mult::kOne) {
+            return Impossibility::kToOneDuplicate;
+          }
+          if (both_in && te1.reverse_mult == Mult::kOne) {
+            return Impossibility::kToOneDuplicate;
+          }
+        }
+      }
+    }
+  }
+  return Impossibility::kNone;
+}
+
+}  // namespace xk::schema

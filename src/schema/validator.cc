@@ -1,0 +1,155 @@
+#include "schema/validator.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace xk::schema {
+
+namespace {
+
+/// Finds the schema root with the given label, or an error.
+Result<SchemaNodeId> RootByLabel(const SchemaGraph& schema, const std::string& label) {
+  for (SchemaNodeId r : schema.Roots()) {
+    if (schema.label(r) == label) return r;
+  }
+  return Status::Corruption(StrFormat("no schema root labeled '%s'", label.c_str()));
+}
+
+}  // namespace
+
+Result<ValidationResult> Validate(const xml::XmlGraph& graph,
+                                  const SchemaGraph& schema) {
+  ValidationResult out;
+  out.node_types.assign(static_cast<size_t>(graph.NumNodes()), kNoSchemaNode);
+  out.node_counts.assign(static_cast<size_t>(schema.NumNodes()), 0);
+
+  // Type roots, then propagate down containment edges (iterative DFS).
+  std::vector<xml::NodeId> stack;
+  for (xml::NodeId root : graph.Roots()) {
+    XK_ASSIGN_OR_RETURN(SchemaNodeId s, RootByLabel(schema, graph.label(root)));
+    out.node_types[static_cast<size_t>(root)] = s;
+    stack.push_back(root);
+  }
+
+  std::vector<int64_t> edge_counts(static_cast<size_t>(schema.NumEdges()), 0);
+
+  while (!stack.empty()) {
+    xml::NodeId n = stack.back();
+    stack.pop_back();
+    SchemaNodeId sn = out.node_types[static_cast<size_t>(n)];
+    ++out.node_counts[static_cast<size_t>(sn)];
+
+    // Type children; count per containment edge for maxOccurs/choice checks.
+    std::unordered_map<SchemaEdgeId, int> child_edge_counts;
+    for (xml::NodeId c : graph.children(n)) {
+      const std::string& label = graph.label(c);
+      SchemaNodeId cs = kNoSchemaNode;
+      SchemaEdgeId via = -1;
+      for (SchemaEdgeId e : schema.out_edges(sn)) {
+        const SchemaEdge& edge = schema.edge(e);
+        if (edge.kind == EdgeKind::kContainment && schema.label(edge.to) == label) {
+          cs = edge.to;
+          via = e;
+          break;
+        }
+      }
+      if (cs == kNoSchemaNode) {
+        return Status::Corruption(
+            StrFormat("element '%s' not allowed under '%s'", label.c_str(),
+                      schema.label(sn).c_str()));
+      }
+      out.node_types[static_cast<size_t>(c)] = cs;
+      ++child_edge_counts[via];
+      ++edge_counts[static_cast<size_t>(via)];
+      stack.push_back(c);
+    }
+
+    for (const auto& [e, count] : child_edge_counts) {
+      if (!schema.edge(e).max_occurs_many && count > 1) {
+        return Status::Corruption(StrFormat(
+            "edge %s -> %s has maxOccurs 1 but %d children",
+            schema.label(schema.edge(e).from).c_str(),
+            schema.label(schema.edge(e).to).c_str(), count));
+      }
+    }
+  }
+
+  // Every node must have been reached (graph is a containment forest).
+  for (xml::NodeId n = 0; n < graph.NumNodes(); ++n) {
+    if (out.node_types[static_cast<size_t>(n)] == kNoSchemaNode) {
+      return Status::Corruption(
+          StrFormat("node %lld ('%s') unreachable from any root",
+                    static_cast<long long>(n), graph.label(n).c_str()));
+    }
+  }
+
+  // Check reference edges and count them per schema edge; also enforce
+  // choice content models (an instance of a choice node picks exactly one
+  // alternative, whether the alternatives are children or references).
+  for (xml::NodeId n = 0; n < graph.NumNodes(); ++n) {
+    SchemaNodeId sn = out.node_types[static_cast<size_t>(n)];
+    std::unordered_map<SchemaEdgeId, int> ref_counts;
+    for (xml::NodeId t : graph.references_out(n)) {
+      SchemaNodeId st = out.node_types[static_cast<size_t>(t)];
+      auto e = schema.FindReferenceEdge(sn, st);
+      if (!e.ok()) {
+        return Status::Corruption(
+            StrFormat("reference %s -> %s not in schema",
+                      schema.label(sn).c_str(), schema.label(st).c_str()));
+      }
+      ++ref_counts[*e];
+      ++edge_counts[static_cast<size_t>(*e)];
+    }
+    for (const auto& [e, count] : ref_counts) {
+      if (!schema.edge(e).max_occurs_many && count > 1) {
+        return Status::Corruption(StrFormat(
+            "reference %s -> %s has maxOccurs 1 but %d targets",
+            schema.label(schema.edge(e).from).c_str(),
+            schema.label(schema.edge(e).to).c_str(), count));
+      }
+    }
+    if (schema.kind(sn) == NodeKind::kChoice) {
+      std::unordered_set<SchemaEdgeId> alternatives;
+      for (const auto& [e, count] : ref_counts) {
+        (void)count;
+        alternatives.insert(e);
+      }
+      for (xml::NodeId c : graph.children(n)) {
+        SchemaNodeId cs = out.node_types[static_cast<size_t>(c)];
+        for (SchemaEdgeId e : schema.out_edges(sn)) {
+          if (schema.edge(e).kind == EdgeKind::kContainment &&
+              schema.edge(e).to == cs) {
+            alternatives.insert(e);
+            break;
+          }
+        }
+      }
+      if (alternatives.size() > 1) {
+        return Status::Corruption(
+            StrFormat("choice node '%s' instantiates %zu alternatives",
+                      schema.label(sn).c_str(), alternatives.size()));
+      }
+    }
+  }
+
+  // Fanout statistics.
+  out.avg_fanout.assign(static_cast<size_t>(schema.NumEdges()), 0.0);
+  out.avg_reverse_fanout.assign(static_cast<size_t>(schema.NumEdges()), 0.0);
+  for (SchemaEdgeId e = 0; e < schema.NumEdges(); ++e) {
+    const SchemaEdge& edge = schema.edge(e);
+    int64_t from_count = out.node_counts[static_cast<size_t>(edge.from)];
+    int64_t to_count = out.node_counts[static_cast<size_t>(edge.to)];
+    int64_t instances = edge_counts[static_cast<size_t>(e)];
+    out.avg_fanout[static_cast<size_t>(e)] =
+        from_count == 0 ? 0.0
+                        : static_cast<double>(instances) / static_cast<double>(from_count);
+    out.avg_reverse_fanout[static_cast<size_t>(e)] =
+        to_count == 0 ? 0.0
+                      : static_cast<double>(instances) / static_cast<double>(to_count);
+  }
+  return out;
+}
+
+}  // namespace xk::schema

@@ -1,0 +1,42 @@
+// Copyright (c) the XKeyword authors.
+//
+// Validation of an XML graph against a schema graph: assigns every XML node
+// its schema type, checks containment/reference conformance, choice-node and
+// maxOccurs constraints, and gathers the statistics of Section 4
+// (s(S) node counts, c(S -> S') average fanouts).
+
+#ifndef XK_SCHEMA_VALIDATOR_H_
+#define XK_SCHEMA_VALIDATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "schema/schema_graph.h"
+#include "xml/xml_graph.h"
+
+namespace xk::schema {
+
+/// Outcome of validating an XML graph.
+struct ValidationResult {
+  /// Schema node of each XML node (indexed by xml::NodeId).
+  std::vector<SchemaNodeId> node_types;
+  /// s(S): instance count per schema node (indexed by SchemaNodeId).
+  std::vector<int64_t> node_counts;
+  /// Average forward fanout per schema edge (indexed by SchemaEdgeId):
+  /// c(S -> S') = (#instance edges) / s(S).
+  std::vector<double> avg_fanout;
+  /// Reverse fanout per schema edge: (#instance edges) / s(S').
+  std::vector<double> avg_reverse_fanout;
+};
+
+/// Validates `graph` against `schema`. Every XML root must match a schema
+/// root by label; children are typed by label within their parent's schema
+/// node; reference edges must match schema reference edges; choice nodes may
+/// have at most one child edge kind instantiated; maxOccurs=1 edges at most
+/// one instance child.
+Result<ValidationResult> Validate(const xml::XmlGraph& graph,
+                                  const SchemaGraph& schema);
+
+}  // namespace xk::schema
+
+#endif  // XK_SCHEMA_VALIDATOR_H_

@@ -1,0 +1,24 @@
+#include "storage/blob_store.h"
+
+#include "common/strings.h"
+
+namespace xk::storage {
+
+Status BlobStore::Put(ObjectId id, std::string blob) {
+  auto [it, inserted] = blobs_.emplace(id, std::move(blob));
+  if (!inserted) {
+    return Status::AlreadyExists(StrFormat("blob %lld exists", static_cast<long long>(id)));
+  }
+  bytes_ += it->second.size();
+  return Status::OK();
+}
+
+Result<std::string_view> BlobStore::Get(ObjectId id) const {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) {
+    return Status::NotFound(StrFormat("blob %lld", static_cast<long long>(id)));
+  }
+  return std::string_view(it->second);
+}
+
+}  // namespace xk::storage

@@ -1,0 +1,45 @@
+// Copyright (c) the XKeyword authors.
+//
+// BLOB store for target objects (Section 4, item 3): "BLOBs of target objects,
+// which given an object id instantly return the whole target object." We store
+// the serialized XML fragment of each target object, so the presentation layer
+// can render results without touching the XML graph.
+
+#ifndef XK_STORAGE_BLOB_STORE_H_
+#define XK_STORAGE_BLOB_STORE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace xk::storage {
+
+/// Maps target-object ids to their serialized content.
+class BlobStore {
+ public:
+  BlobStore() = default;
+
+  /// Stores `blob` under `id`; fails if the id is already present.
+  Status Put(ObjectId id, std::string blob);
+
+  /// The blob for `id`, or NotFound.
+  Result<std::string_view> Get(ObjectId id) const;
+
+  bool Contains(ObjectId id) const { return blobs_.contains(id); }
+  size_t size() const { return blobs_.size(); }
+
+  /// Total payload bytes (for the space ablation bench).
+  size_t MemoryBytes() const { return bytes_; }
+
+ private:
+  std::unordered_map<ObjectId, std::string> blobs_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace xk::storage
+
+#endif  // XK_STORAGE_BLOB_STORE_H_

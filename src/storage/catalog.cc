@@ -1,0 +1,63 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace xk::storage {
+
+Result<Table*> Catalog::CreateTable(const std::string& name,
+                                    std::vector<std::string> column_names) {
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists(StrFormat("table %s", name.c_str()));
+  }
+  auto table = std::make_unique<Table>(name, std::move(column_names));
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  return ptr;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("table %s", name.c_str()));
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("table %s", name.c_str()));
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound(StrFormat("table %s", name.c_str()));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    (void)table;
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t Catalog::MemoryBytes() const {
+  size_t bytes = blob_store_.MemoryBytes();
+  for (const auto& [name, table] : tables_) {
+    (void)name;
+    bytes += table->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace xk::storage

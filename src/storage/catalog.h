@@ -1,0 +1,56 @@
+// Copyright (c) the XKeyword authors.
+//
+// Catalog: the namespace of relations produced by the load stage (Figure 7).
+// Owns all connection relations plus the target-object BLOB store.
+
+#ifndef XK_STORAGE_CATALOG_H_
+#define XK_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/blob_store.h"
+#include "storage/table.h"
+
+namespace xk::storage {
+
+/// Owns tables by name; lookups return stable pointers (tables are never
+/// relocated once created).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table; fails if the name is taken.
+  Result<Table*> CreateTable(const std::string& name,
+                             std::vector<std::string> column_names);
+
+  /// The table called `name`, or NotFound.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const { return tables_.contains(name); }
+
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+  size_t NumTables() const { return tables_.size(); }
+
+  BlobStore& blob_store() { return blob_store_; }
+  const BlobStore& blob_store() const { return blob_store_; }
+
+  /// Total footprint across tables and blobs.
+  size_t MemoryBytes() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  BlobStore blob_store_;
+};
+
+}  // namespace xk::storage
+
+#endif  // XK_STORAGE_CATALOG_H_

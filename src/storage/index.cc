@@ -1,0 +1,71 @@
+#include "storage/index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "storage/table.h"
+
+namespace xk::storage {
+
+HashIndex::HashIndex(const Table& table, int column) : column_(column) {
+  buckets_.reserve(table.NumRows());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    buckets_[table.At(static_cast<RowId>(r), column)].push_back(static_cast<RowId>(r));
+  }
+}
+
+const std::vector<RowId>& HashIndex::Lookup(ObjectId key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? empty_ : it->second;
+}
+
+size_t HashIndex::MemoryBytes() const {
+  size_t bytes = buckets_.size() * (sizeof(ObjectId) + sizeof(std::vector<RowId>));
+  for (const auto& [key, rows] : buckets_) {
+    (void)key;
+    bytes += rows.capacity() * sizeof(RowId);
+  }
+  return bytes;
+}
+
+CompositeIndex::CompositeIndex(const Table& table, std::vector<int> key_columns)
+    : table_(table), key_columns_(std::move(key_columns)) {
+  XK_CHECK(!key_columns_.empty());
+  order_.resize(table.NumRows());
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = static_cast<RowId>(i);
+  std::stable_sort(order_.begin(), order_.end(), [&](RowId a, RowId b) {
+    for (int c : key_columns_) {
+      ObjectId va = table_.At(a, c);
+      ObjectId vb = table_.At(b, c);
+      if (va != vb) return va < vb;
+    }
+    return false;
+  });
+}
+
+int CompositeIndex::ComparePrefix(RowId row, TupleView prefix) const {
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    ObjectId v = table_.At(row, key_columns_[i]);
+    if (v < prefix[i]) return -1;
+    if (v > prefix[i]) return 1;
+  }
+  return 0;
+}
+
+std::span<const RowId> CompositeIndex::LookupPrefix(TupleView prefix) const {
+  XK_CHECK_LE(prefix.size(), key_columns_.size());
+  auto lower = std::partition_point(order_.begin(), order_.end(), [&](RowId r) {
+    return ComparePrefix(r, prefix) < 0;
+  });
+  auto upper = std::partition_point(lower, order_.end(), [&](RowId r) {
+    return ComparePrefix(r, prefix) == 0;
+  });
+  return std::span<const RowId>(order_.data() + (lower - order_.begin()),
+                                static_cast<size_t>(upper - lower));
+}
+
+size_t CompositeIndex::MemoryBytes() const {
+  return order_.capacity() * sizeof(RowId);
+}
+
+}  // namespace xk::storage

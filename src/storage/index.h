@@ -1,0 +1,76 @@
+// Copyright (c) the XKeyword authors.
+//
+// Secondary indexes over tables. Two physical forms, mirroring what the paper
+// tunes on Oracle (Section 5.1):
+//  * HashIndex      — single-attribute equality index ("single attribute
+//                     indices ... on every attribute").
+//  * CompositeIndex — multi-attribute sorted index; with the key being a
+//                     prefix of the table's column order this doubles as the
+//                     clustering order of an index-organized table
+//                     ("clustering is performed using index-organized tables").
+
+#ifndef XK_STORAGE_INDEX_H_
+#define XK_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/tuple.h"
+
+namespace xk::storage {
+
+class Table;
+
+/// Row positions within a table.
+using RowId = uint32_t;
+
+/// Single-column hash index: column value -> row ids.
+class HashIndex {
+ public:
+  HashIndex(const Table& table, int column);
+
+  int column() const { return column_; }
+
+  /// Rows whose indexed column equals `key` (empty vector if none).
+  const std::vector<RowId>& Lookup(ObjectId key) const;
+
+  size_t distinct_keys() const { return buckets_.size(); }
+  /// Approximate heap footprint, for the space ablation bench.
+  size_t MemoryBytes() const;
+
+ private:
+  int column_;
+  std::unordered_map<ObjectId, std::vector<RowId>> buckets_;
+  std::vector<RowId> empty_;
+};
+
+/// Multi-attribute sorted index: rows ordered by the key columns; supports
+/// range lookup by any key prefix. Lookups return a contiguous run of entries,
+/// which is what makes clustered access cheaper than hash probing.
+class CompositeIndex {
+ public:
+  CompositeIndex(const Table& table, std::vector<int> key_columns);
+
+  const std::vector<int>& key_columns() const { return key_columns_; }
+
+  /// Row ids whose key columns start with `prefix` (prefix.size() <= arity of
+  /// the key). The returned span is a contiguous, key-ordered run.
+  std::span<const RowId> LookupPrefix(TupleView prefix) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  const Table& table_;
+  std::vector<int> key_columns_;
+  std::vector<RowId> order_;  // row ids sorted by key columns
+
+  // Compares row `row` against `prefix` on the first prefix.size() key cols.
+  int ComparePrefix(RowId row, TupleView prefix) const;
+};
+
+}  // namespace xk::storage
+
+#endif  // XK_STORAGE_INDEX_H_

@@ -1,0 +1,27 @@
+#include "storage/statistics.h"
+
+namespace xk::storage {
+
+size_t Statistics::NodeCount(int type_id) const {
+  auto it = node_counts_.find(type_id);
+  return it == node_counts_.end() ? 0 : it->second;
+}
+
+double Statistics::AvgFanout(int edge_id) const {
+  auto it = fanouts_.find(edge_id);
+  return it == fanouts_.end() ? 1.0 : it->second;
+}
+
+double Statistics::AvgReverseFanout(int edge_id) const {
+  auto it = reverse_fanouts_.find(edge_id);
+  return it == reverse_fanouts_.end() ? 1.0 : it->second;
+}
+
+double Statistics::EstimateProbeRows(const Table& table, int column) {
+  if (table.NumRows() == 0) return 0.0;
+  size_t distinct = table.DistinctCount(column);
+  if (distinct == 0) return 0.0;
+  return static_cast<double>(table.NumRows()) / static_cast<double>(distinct);
+}
+
+}  // namespace xk::storage

@@ -1,0 +1,55 @@
+// Copyright (c) the XKeyword authors.
+//
+// Statistics of Section 4, item 2: "(a) the number s(S) of nodes of type S in
+// the XML graph and (b) the average number c(S -> S') of children of type S'
+// for a random node of type S." The optimizer's cost model (src/opt) reads
+// these to order join loops and to price fragment tilings.
+//
+// Keys are opaque ints (schema node ids / TSS edge ids) so the storage layer
+// stays independent of the schema layer above it.
+
+#ifndef XK_STORAGE_STATISTICS_H_
+#define XK_STORAGE_STATISTICS_H_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "storage/table.h"
+
+namespace xk::storage {
+
+/// Registry of data-distribution statistics gathered at load time.
+class Statistics {
+ public:
+  Statistics() = default;
+
+  /// Records s(S) for schema node (or TSS) `type_id`.
+  void SetNodeCount(int type_id, size_t count) { node_counts_[type_id] = count; }
+  /// s(S); 0 when unknown.
+  size_t NodeCount(int type_id) const;
+
+  /// Records c(edge) = average fanout along edge `edge_id` in its forward
+  /// direction.
+  void SetAvgFanout(int edge_id, double fanout) { fanouts_[edge_id] = fanout; }
+  /// Average forward fanout; 1.0 when unknown (neutral estimate).
+  double AvgFanout(int edge_id) const;
+
+  /// Records the reverse-direction fanout of an edge.
+  void SetAvgReverseFanout(int edge_id, double fanout) {
+    reverse_fanouts_[edge_id] = fanout;
+  }
+  double AvgReverseFanout(int edge_id) const;
+
+  /// Estimated rows matching an equality probe on `column` of `table`:
+  /// rows / distinct(column). Returns rows when the table is empty-safe.
+  static double EstimateProbeRows(const Table& table, int column);
+
+ private:
+  std::unordered_map<int, size_t> node_counts_;
+  std::unordered_map<int, double> fanouts_;
+  std::unordered_map<int, double> reverse_fanouts_;
+};
+
+}  // namespace xk::storage
+
+#endif  // XK_STORAGE_STATISTICS_H_

@@ -1,0 +1,168 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xk::storage {
+
+Table::Table(std::string name, std::vector<std::string> column_names)
+    : name_(std::move(name)),
+      column_names_(std::move(column_names)),
+      arity_(static_cast<int>(column_names_.size())) {
+  XK_CHECK_GT(arity_, 0);
+  distinct_cache_.resize(static_cast<size_t>(arity_));
+}
+
+Result<int> Table::ColumnIndex(const std::string& name) const {
+  for (int i = 0; i < arity_; ++i) {
+    if (column_names_[static_cast<size_t>(i)] == name) return i;
+  }
+  return Status::NotFound(
+      StrFormat("table %s has no column %s", name_.c_str(), name.c_str()));
+}
+
+Status Table::Append(TupleView row) {
+  if (frozen_) {
+    return Status::Aborted(StrFormat("table %s is frozen", name_.c_str()));
+  }
+  if (static_cast<int>(row.size()) != arity_) {
+    return Status::InvalidArgument(
+        StrFormat("table %s arity %d, got row of %zu", name_.c_str(), arity_,
+                  row.size()));
+  }
+  rows_.insert(rows_.end(), row.begin(), row.end());
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::Cluster(std::vector<int> key_columns) {
+  if (!hash_indexes_.empty() || !composite_indexes_.empty()) {
+    return Status::Aborted("cluster before building secondary indexes");
+  }
+  if (key_columns.empty()) {
+    return Status::InvalidArgument("empty clustering key");
+  }
+  for (int c : key_columns) {
+    if (c < 0 || c >= arity_) {
+      return Status::OutOfRange(StrFormat("clustering column %d out of range", c));
+    }
+  }
+  // Stable sort of row ids by key, then rewrite the flat storage in order.
+  std::vector<RowId> order(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) order[i] = static_cast<RowId>(i);
+  std::stable_sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+    for (int c : key_columns) {
+      ObjectId va = At(a, c);
+      ObjectId vb = At(b, c);
+      if (va != vb) return va < vb;
+    }
+    return false;
+  });
+  std::vector<ObjectId> sorted;
+  sorted.reserve(rows_.size());
+  for (RowId r : order) {
+    TupleView row = Row(r);
+    sorted.insert(sorted.end(), row.begin(), row.end());
+  }
+  rows_ = std::move(sorted);
+  clustering_ = std::move(key_columns);
+  return Status::OK();
+}
+
+std::pair<RowId, RowId> Table::ClusteredRange(TupleView prefix) const {
+  XK_CHECK(clustering_.has_value());
+  XK_CHECK_LE(prefix.size(), clustering_->size());
+  const std::vector<int>& key = *clustering_;
+  // Binary search over row positions (rows are physically sorted).
+  auto cmp_lower = [&](RowId r) {  // true if Row(r) < prefix
+    for (size_t i = 0; i < prefix.size(); ++i) {
+      ObjectId v = At(r, key[i]);
+      if (v != prefix[i]) return v < prefix[i];
+    }
+    return false;
+  };
+  auto cmp_upper = [&](RowId r) {  // true if Row(r) <= prefix
+    for (size_t i = 0; i < prefix.size(); ++i) {
+      ObjectId v = At(r, key[i]);
+      if (v != prefix[i]) return v < prefix[i];
+    }
+    return true;
+  };
+  RowId lo = 0;
+  RowId hi = static_cast<RowId>(num_rows_);
+  while (lo < hi) {
+    RowId mid = lo + (hi - lo) / 2;
+    if (cmp_lower(mid)) lo = mid + 1; else hi = mid;
+  }
+  RowId begin = lo;
+  hi = static_cast<RowId>(num_rows_);
+  while (lo < hi) {
+    RowId mid = lo + (hi - lo) / 2;
+    if (cmp_upper(mid)) lo = mid + 1; else hi = mid;
+  }
+  return {begin, lo};
+}
+
+Status Table::BuildHashIndex(int column) {
+  if (column < 0 || column >= arity_) {
+    return Status::OutOfRange(StrFormat("index column %d out of range", column));
+  }
+  if (GetHashIndex(column) != nullptr) return Status::OK();
+  hash_indexes_.push_back(std::make_unique<HashIndex>(*this, column));
+  return Status::OK();
+}
+
+Status Table::BuildCompositeIndex(std::vector<int> key_columns) {
+  if (key_columns.empty()) return Status::InvalidArgument("empty composite key");
+  for (int c : key_columns) {
+    if (c < 0 || c >= arity_) {
+      return Status::OutOfRange(StrFormat("index column %d out of range", c));
+    }
+  }
+  for (const auto& idx : composite_indexes_) {
+    if (idx->key_columns() == key_columns) return Status::OK();
+  }
+  composite_indexes_.push_back(std::make_unique<CompositeIndex>(*this, key_columns));
+  return Status::OK();
+}
+
+const HashIndex* Table::GetHashIndex(int column) const {
+  for (const auto& idx : hash_indexes_) {
+    if (idx->column() == column) return idx.get();
+  }
+  return nullptr;
+}
+
+const CompositeIndex* Table::GetCompositeIndex(const std::vector<int>& columns) const {
+  for (const auto& idx : composite_indexes_) {
+    if (idx->key_columns().size() >= columns.size() &&
+        std::equal(columns.begin(), columns.end(), idx->key_columns().begin())) {
+      return idx.get();
+    }
+  }
+  return nullptr;
+}
+
+size_t Table::MemoryBytes() const {
+  size_t bytes = rows_.capacity() * sizeof(ObjectId);
+  for (const auto& idx : hash_indexes_) bytes += idx->MemoryBytes();
+  for (const auto& idx : composite_indexes_) bytes += idx->MemoryBytes();
+  return bytes;
+}
+
+size_t Table::DistinctCount(int column) const {
+  XK_CHECK(column >= 0 && column < arity_);
+  auto& slot = distinct_cache_[static_cast<size_t>(column)];
+  if (frozen_ && slot.has_value()) return *slot;
+  std::unordered_set<ObjectId> seen;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    seen.insert(At(static_cast<RowId>(r), column));
+  }
+  if (frozen_) slot = seen.size();
+  return seen.size();
+}
+
+}  // namespace xk::storage

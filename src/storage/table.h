@@ -1,0 +1,106 @@
+// Copyright (c) the XKeyword authors.
+//
+// In-memory relational tables holding the connection relations of Section 5.
+// Rows are fixed-arity ObjectId tuples stored in one flat array (row-major),
+// so full scans stream through contiguous memory. A table may be
+// index-organized ("clustered") on a column order and may carry any number of
+// hash / composite secondary indexes — the decomposition policies of Section 7
+// differ exactly in which of these they create.
+
+#ifndef XK_STORAGE_TABLE_H_
+#define XK_STORAGE_TABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/index.h"
+#include "storage/tuple.h"
+
+namespace xk::storage {
+
+/// A relation with named ObjectId columns.
+class Table {
+ public:
+  Table(std::string name, std::vector<std::string> column_names);
+
+  const std::string& name() const { return name_; }
+  int arity() const { return static_cast<int>(column_names_.size()); }
+  const std::vector<std::string>& column_names() const { return column_names_; }
+
+  /// Index of the column called `name`, or an error.
+  Result<int> ColumnIndex(const std::string& name) const;
+
+  /// Appends a row. Fails if the arity does not match or the table is frozen.
+  Status Append(TupleView row);
+  Status Append(const Tuple& row) { return Append(TupleView(row)); }
+
+  size_t NumRows() const { return num_rows_; }
+
+  /// Read access to row `r` (no bounds check beyond debug builds).
+  TupleView Row(RowId r) const {
+    return TupleView(&rows_[static_cast<size_t>(r) * arity_], arity_);
+  }
+  ObjectId At(RowId r, int col) const {
+    return rows_[static_cast<size_t>(r) * arity_ + static_cast<size_t>(col)];
+  }
+
+  // --- Physical design -------------------------------------------------
+
+  /// Sorts rows by the given column order (index-organized table). Must be
+  /// called before any secondary index is built. Lookups on a prefix of the
+  /// clustering key then return contiguous row ranges.
+  Status Cluster(std::vector<int> key_columns);
+
+  bool IsClustered() const { return clustering_.has_value(); }
+  const std::vector<int>& clustering_key() const { return *clustering_; }
+
+  /// Row-id range [begin, end) whose clustering key starts with `prefix`.
+  /// Requires IsClustered() and prefix no longer than the clustering key.
+  std::pair<RowId, RowId> ClusteredRange(TupleView prefix) const;
+
+  /// Builds (or returns the existing) single-attribute hash index on `column`.
+  Status BuildHashIndex(int column);
+  /// Builds a multi-attribute sorted index.
+  Status BuildCompositeIndex(std::vector<int> key_columns);
+
+  /// The hash index on `column`, or nullptr.
+  const HashIndex* GetHashIndex(int column) const;
+  /// A composite index whose key starts with `columns` (exact prefix match of
+  /// the requested columns), or nullptr.
+  const CompositeIndex* GetCompositeIndex(const std::vector<int>& columns) const;
+
+  bool HasAnyIndex() const { return !hash_indexes_.empty() || !composite_indexes_.empty(); }
+
+  /// Disallows further appends (indexes stay consistent); idempotent.
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  /// Heap footprint of rows + indexes, for the space ablation bench.
+  size_t MemoryBytes() const;
+
+  /// Distinct values in `column` (computed lazily, cached after Freeze()).
+  size_t DistinctCount(int column) const;
+
+ private:
+  friend class HashIndex;
+  friend class CompositeIndex;
+
+  std::string name_;
+  std::vector<std::string> column_names_;
+  int arity_;
+  std::vector<ObjectId> rows_;  // row-major, arity_ ids per row
+  size_t num_rows_ = 0;
+  bool frozen_ = false;
+  std::optional<std::vector<int>> clustering_;
+  std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
+  std::vector<std::unique_ptr<CompositeIndex>> composite_indexes_;
+  mutable std::vector<std::optional<size_t>> distinct_cache_;
+};
+
+}  // namespace xk::storage
+
+#endif  // XK_STORAGE_TABLE_H_

@@ -1,0 +1,39 @@
+// Copyright (c) the XKeyword authors.
+//
+// Tuples of the relational substrate: fixed-arity sequences of ObjectIds.
+
+#ifndef XK_STORAGE_TUPLE_H_
+#define XK_STORAGE_TUPLE_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace xk::storage {
+
+/// A row; arity is fixed by the owning table.
+using Tuple = std::vector<ObjectId>;
+
+/// Read-only view of a row stored inside a table's flat row storage.
+using TupleView = std::span<const ObjectId>;
+
+/// FNV-1a over a sequence of ids; used for hash indexes and join tables.
+inline size_t HashIds(TupleView ids) {
+  uint64_t h = 1469598103934665603ULL;
+  for (ObjectId v : ids) {
+    h ^= static_cast<uint64_t>(v);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return HashIds(t); }
+};
+
+}  // namespace xk::storage
+
+#endif  // XK_STORAGE_TUPLE_H_

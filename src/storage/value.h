@@ -1,0 +1,27 @@
+// Copyright (c) the XKeyword authors.
+//
+// Scalar types of the relational substrate. Connection relations store only
+// target-object IDs (Section 5: "In RDBMS's we use the integer type to
+// represent the ID datatype"), so the substrate is ID(int64)-typed throughout;
+// strings live in the BLOB store and the master index.
+
+#ifndef XK_STORAGE_VALUE_H_
+#define XK_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace xk::storage {
+
+/// Identifier of a target object, XML node, or any other catalogued entity.
+using ObjectId = int64_t;
+
+/// Sentinel for "no object" (never a valid id; generators allocate from 0).
+inline constexpr ObjectId kInvalidId = -1;
+
+/// Unordered set of ids; used for keyword restrictions (containing lists).
+using IdSet = std::unordered_set<ObjectId>;
+
+}  // namespace xk::storage
+
+#endif  // XK_STORAGE_VALUE_H_

@@ -1,0 +1,78 @@
+#include "xml/xml_graph.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace xk::xml {
+
+namespace {
+const std::string kEmptyValue;
+}  // namespace
+
+NodeId XmlGraph::AddNode(std::string label, std::optional<std::string> value) {
+  nodes_.push_back(Node{std::move(label), std::move(value), kNoNode, {}, {}, {}});
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+void XmlGraph::SetValue(NodeId n, std::string value) {
+  nodes_[Check(n)].value = std::move(value);
+}
+
+size_t XmlGraph::Check(NodeId n) const {
+  XK_CHECK(ValidNode(n));
+  return static_cast<size_t>(n);
+}
+
+Status XmlGraph::AddContainmentEdge(NodeId parent, NodeId child) {
+  if (!ValidNode(parent) || !ValidNode(child)) {
+    return Status::OutOfRange("containment edge endpoint out of range");
+  }
+  if (parent == child) {
+    return Status::InvalidArgument("self containment edge");
+  }
+  Node& c = nodes_[static_cast<size_t>(child)];
+  if (c.parent != kNoNode) {
+    return Status::InvalidArgument(StrFormat(
+        "node %lld already has a containment parent", static_cast<long long>(child)));
+  }
+  c.parent = parent;
+  nodes_[static_cast<size_t>(parent)].children.push_back(child);
+  ++num_containment_edges_;
+  return Status::OK();
+}
+
+Status XmlGraph::AddReferenceEdge(NodeId src, NodeId dst) {
+  if (!ValidNode(src) || !ValidNode(dst)) {
+    return Status::OutOfRange("reference edge endpoint out of range");
+  }
+  nodes_[static_cast<size_t>(src)].refs_out.push_back(dst);
+  nodes_[static_cast<size_t>(dst)].refs_in.push_back(src);
+  ++num_reference_edges_;
+  return Status::OK();
+}
+
+const std::string& XmlGraph::value(NodeId n) const {
+  const Node& node = nodes_[Check(n)];
+  return node.value.has_value() ? *node.value : kEmptyValue;
+}
+
+std::vector<NodeId> XmlGraph::Roots() const {
+  std::vector<NodeId> roots;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent == kNoNode) roots.push_back(static_cast<NodeId>(i));
+  }
+  return roots;
+}
+
+std::vector<NodeId> XmlGraph::UndirectedNeighbors(NodeId n) const {
+  const Node& node = nodes_[Check(n)];
+  std::vector<NodeId> out;
+  out.reserve(node.children.size() + node.refs_out.size() + node.refs_in.size() + 1);
+  if (node.parent != kNoNode) out.push_back(node.parent);
+  out.insert(out.end(), node.children.begin(), node.children.end());
+  out.insert(out.end(), node.refs_out.begin(), node.refs_out.end());
+  out.insert(out.end(), node.refs_in.begin(), node.refs_in.end());
+  return out;
+}
+
+}  // namespace xk::xml

@@ -1,0 +1,97 @@
+// Copyright (c) the XKeyword authors.
+//
+// The XML graph of Definition 3.1: a labeled directed graph where every node
+// has a unique id, a label (element tag), and optionally a string value.
+// Edges are containment (element - subelement) or reference (IDREF-to-ID /
+// XLink). The graph may have multiple roots — the paper deliberately drops
+// artificial document roots and supports cross-document links.
+
+#ifndef XK_XML_XML_GRAPH_H_
+#define XK_XML_XML_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace xk::xml {
+
+/// Dense node identifier (0-based insertion order).
+using NodeId = int64_t;
+
+inline constexpr NodeId kNoNode = -1;
+
+/// Labeled directed graph over XML elements.
+class XmlGraph {
+ public:
+  XmlGraph() = default;
+
+  /// Adds a node; `value` empty-optional for pure structural elements.
+  NodeId AddNode(std::string label, std::optional<std::string> value = std::nullopt);
+
+  /// Sets or replaces the string value of `n` (parsers discover element text
+  /// after creating the node).
+  void SetValue(NodeId n, std::string value);
+
+  /// Adds a containment edge parent -> child. A node has at most one
+  /// containment parent (XML is a tree under containment).
+  Status AddContainmentEdge(NodeId parent, NodeId child);
+
+  /// Adds a reference (IDREF-to-ID / XLink) edge src -> dst.
+  Status AddReferenceEdge(NodeId src, NodeId dst);
+
+  int64_t NumNodes() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t NumContainmentEdges() const { return num_containment_edges_; }
+  int64_t NumReferenceEdges() const { return num_reference_edges_; }
+
+  const std::string& label(NodeId n) const { return nodes_[Check(n)].label; }
+  bool has_value(NodeId n) const { return nodes_[Check(n)].value.has_value(); }
+  /// The string value; empty string when the node has none.
+  const std::string& value(NodeId n) const;
+
+  /// Containment parent, or kNoNode for roots.
+  NodeId parent(NodeId n) const { return nodes_[Check(n)].parent; }
+  const std::vector<NodeId>& children(NodeId n) const {
+    return nodes_[Check(n)].children;
+  }
+  const std::vector<NodeId>& references_out(NodeId n) const {
+    return nodes_[Check(n)].refs_out;
+  }
+  const std::vector<NodeId>& references_in(NodeId n) const {
+    return nodes_[Check(n)].refs_in;
+  }
+
+  /// Nodes with no containment parent, in insertion order.
+  std::vector<NodeId> Roots() const;
+
+  /// All neighbors of `n` regardless of edge kind or direction — results are
+  /// trees on the *undirected* view ("we allow edges to be followed in either
+  /// direction", Section 1).
+  std::vector<NodeId> UndirectedNeighbors(NodeId n) const;
+
+  bool ValidNode(NodeId n) const {
+    return n >= 0 && n < static_cast<NodeId>(nodes_.size());
+  }
+
+ private:
+  struct Node {
+    std::string label;
+    std::optional<std::string> value;
+    NodeId parent = kNoNode;
+    std::vector<NodeId> children;
+    std::vector<NodeId> refs_out;
+    std::vector<NodeId> refs_in;
+  };
+
+  size_t Check(NodeId n) const;
+
+  std::vector<Node> nodes_;
+  int64_t num_containment_edges_ = 0;
+  int64_t num_reference_edges_ = 0;
+};
+
+}  // namespace xk::xml
+
+#endif  // XK_XML_XML_GRAPH_H_

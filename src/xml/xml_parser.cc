@@ -1,0 +1,339 @@
+#include "xml/xml_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace xk::xml {
+
+namespace {
+
+/// Hand-rolled recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  Parser(std::string_view input, const ParserOptions& options)
+      : input_(input), options_(options) {}
+
+  Result<ParsedDocument> Parse() {
+    SkipProlog();
+    while (!AtEnd()) {
+      SkipMisc();
+      if (AtEnd()) break;
+      if (Peek() != '<') {
+        return Error("unexpected text outside of any element");
+      }
+      XK_ASSIGN_OR_RETURN(NodeId root, ParseElement());
+      doc_.roots.push_back(root);
+      SkipMisc();
+    }
+    if (doc_.roots.empty()) return Error("no elements in input");
+    XK_RETURN_NOT_OK(ResolveReferences());
+    return std::move(doc_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < input_.size() ? input_[pos_ + off] : '\0';
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (input_.substr(pos_).starts_with(lit)) {
+      AdvanceBy(lit.size());
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::Corruption(
+        StrFormat("%s at line %zu column %zu", msg.c_str(), line_, col_));
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
+  }
+
+  /// Skips <?...?> declarations, <!DOCTYPE ...>, comments, and whitespace.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '<') return;
+      if (PeekAt(1) == '?') {
+        while (!AtEnd() && !ConsumeLiteral("?>")) Advance();
+      } else if (input_.substr(pos_).starts_with("<!--")) {
+        AdvanceBy(4);
+        while (!AtEnd() && !ConsumeLiteral("-->")) Advance();
+      } else if (input_.substr(pos_).starts_with("<!DOCTYPE")) {
+        // Skip to the matching '>' (internal subsets with [] supported).
+        int depth = 0;
+        while (!AtEnd()) {
+          char c = Peek();
+          Advance();
+          if (c == '[') ++depth;
+          if (c == ']') --depth;
+          if (c == '>' && depth <= 0) break;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipProlog() { SkipMisc(); }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected name");
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      name.push_back(Peek());
+      Advance();
+    }
+    return name;
+  }
+
+  /// Decodes the five predefined entities plus numeric character references.
+  Result<std::string> DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity reference");
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") out.push_back('&');
+      else if (ent == "lt") out.push_back('<');
+      else if (ent == "gt") out.push_back('>');
+      else if (ent == "quot") out.push_back('"');
+      else if (ent == "apos") out.push_back('\'');
+      else if (!ent.empty() && ent[0] == '#') {
+        int base = 10;
+        std::string_view digits = ent.substr(1);
+        if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+          base = 16;
+          digits = digits.substr(1);
+        }
+        unsigned long code = 0;
+        for (char c : digits) {
+          int d;
+          if (c >= '0' && c <= '9') d = c - '0';
+          else if (base == 16 && c >= 'a' && c <= 'f') d = c - 'a' + 10;
+          else if (base == 16 && c >= 'A' && c <= 'F') d = c - 'A' + 10;
+          else return Error("bad character reference");
+          code = code * static_cast<unsigned long>(base) + static_cast<unsigned long>(d);
+        }
+        if (code == 0 || code > 0x10FFFF) return Error("character reference out of range");
+        // Encode as UTF-8.
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        return Error(StrFormat("unknown entity &%.*s;", static_cast<int>(ent.size()),
+                               ent.data()));
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Result<std::string> ParseAttributeValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) Advance();
+    if (AtEnd()) return Error("unterminated attribute value");
+    std::string_view raw = input_.substr(start, pos_ - start);
+    Advance();  // closing quote
+    return DecodeEntities(raw);
+  }
+
+  bool IsIdAttribute(const std::string& name) const {
+    std::string lower = ToLower(name);
+    return std::find(options_.id_attributes.begin(), options_.id_attributes.end(),
+                     lower) != options_.id_attributes.end();
+  }
+  bool IsIdrefAttribute(const std::string& name) const {
+    std::string lower = ToLower(name);
+    return std::find(options_.idref_attributes.begin(),
+                     options_.idref_attributes.end(),
+                     lower) != options_.idref_attributes.end();
+  }
+
+  Result<NodeId> ParseElement() {
+    if (!ConsumeLiteral("<")) return Error("expected '<'");
+    XK_ASSIGN_OR_RETURN(std::string tag, ParseName());
+    NodeId node = doc_.graph.AddNode(tag);
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') break;
+      XK_ASSIGN_OR_RETURN(std::string attr, ParseName());
+      SkipWhitespace();
+      if (!ConsumeLiteral("=")) return Error("expected '=' after attribute name");
+      SkipWhitespace();
+      XK_ASSIGN_OR_RETURN(std::string value, ParseAttributeValue());
+      if (IsIdAttribute(attr)) {
+        auto [it, inserted] = doc_.ids.emplace(value, node);
+        (void)it;
+        if (!inserted) return Error(StrFormat("duplicate ID '%s'", value.c_str()));
+      } else if (IsIdrefAttribute(attr)) {
+        for (const std::string& target : Tokenize2(value)) {
+          pending_refs_.push_back({node, target});
+        }
+      } else {
+        NodeId attr_node = doc_.graph.AddNode(attr, std::move(value));
+        XK_RETURN_NOT_OK(doc_.graph.AddContainmentEdge(node, attr_node));
+      }
+    }
+
+    if (ConsumeLiteral("/>")) return node;
+    if (!ConsumeLiteral(">")) return Error("expected '>'");
+
+    // Content: children and text.
+    std::string text;
+    while (true) {
+      if (AtEnd()) return Error(StrFormat("unterminated element <%s>", tag.c_str()));
+      if (Peek() == '<') {
+        if (PeekAt(1) == '/') {
+          AdvanceBy(2);
+          XK_ASSIGN_OR_RETURN(std::string close, ParseName());
+          SkipWhitespace();
+          if (!ConsumeLiteral(">")) return Error("expected '>' in end tag");
+          if (close != tag) {
+            return Error(StrFormat("mismatched end tag </%s> for <%s>", close.c_str(),
+                                   tag.c_str()));
+          }
+          break;
+        }
+        if (input_.substr(pos_).starts_with("<!--")) {
+          AdvanceBy(4);
+          while (!AtEnd() && !ConsumeLiteral("-->")) Advance();
+          continue;
+        }
+        if (input_.substr(pos_).starts_with("<![CDATA[")) {
+          AdvanceBy(9);
+          size_t start = pos_;
+          while (!AtEnd() && !input_.substr(pos_).starts_with("]]>")) Advance();
+          if (AtEnd()) return Error("unterminated CDATA");
+          text.append(input_.substr(start, pos_ - start));
+          AdvanceBy(3);
+          continue;
+        }
+        if (PeekAt(1) == '?') {
+          while (!AtEnd() && !ConsumeLiteral("?>")) Advance();
+          continue;
+        }
+        XK_ASSIGN_OR_RETURN(NodeId child, ParseElement());
+        XK_RETURN_NOT_OK(doc_.graph.AddContainmentEdge(node, child));
+        continue;
+      }
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') Advance();
+      XK_ASSIGN_OR_RETURN(std::string decoded,
+                          DecodeEntities(input_.substr(start, pos_ - start)));
+      text.append(decoded);
+    }
+
+    std::string_view trimmed = Trim(text);
+    if (!trimmed.empty()) {
+      // Mixed content: keep the concatenated, trimmed text as the value.
+      doc_.graph.SetValue(node, std::string(trimmed));
+    }
+    return node;
+  }
+
+  Status ResolveReferences() {
+    for (const auto& [src, target] : pending_refs_) {
+      auto it = doc_.ids.find(target);
+      if (it == doc_.ids.end()) {
+        if (options_.strict_references) {
+          return Status::Corruption(StrFormat("unresolved IDREF '%s'", target.c_str()));
+        }
+        continue;
+      }
+      XK_RETURN_NOT_OK(doc_.graph.AddReferenceEdge(src, it->second));
+    }
+    return Status::OK();
+  }
+
+  /// Whitespace tokenizer for IDREFS values (keeps case, unlike Tokenize()).
+  static std::vector<std::string> Tokenize2(std::string_view s) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!cur.empty()) {
+          out.push_back(std::move(cur));
+          cur.clear();
+        }
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) out.push_back(std::move(cur));
+    return out;
+  }
+
+  std::string_view input_;
+  const ParserOptions& options_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+  ParsedDocument doc_;
+  std::vector<std::pair<NodeId, std::string>> pending_refs_;
+};
+
+}  // namespace
+
+Result<ParsedDocument> ParseXml(std::string_view input, const ParserOptions& options) {
+  Parser parser(input, options);
+  return parser.Parse();
+}
+
+}  // namespace xk::xml

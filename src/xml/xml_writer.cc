@@ -1,0 +1,97 @@
+#include "xml/xml_writer.h"
+
+#include "common/strings.h"
+
+namespace xk::xml {
+
+std::string EscapeXml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WriteNode(const XmlGraph& g, NodeId n,
+               const std::unordered_set<NodeId>* restrict_to, bool pretty,
+               bool with_ids, int depth, std::string* out) {
+  if (restrict_to != nullptr && !restrict_to->contains(n)) return;
+  auto indent = [&]() {
+    if (pretty) out->append(static_cast<size_t>(depth) * 2, ' ');
+  };
+  indent();
+  out->push_back('<');
+  out->append(g.label(n));
+  if (with_ids) {
+    out->append(StrFormat(" id=\"n%lld\"", static_cast<long long>(n)));
+  }
+  if (!g.references_out(n).empty()) {
+    out->append(" idref=\"");
+    bool first = true;
+    for (NodeId r : g.references_out(n)) {
+      if (!first) out->push_back(' ');
+      first = false;
+      out->append(StrFormat("n%lld", static_cast<long long>(r)));
+    }
+    out->push_back('"');
+  }
+
+  bool has_emitted_child = false;
+  for (NodeId c : g.children(n)) {
+    if (restrict_to == nullptr || restrict_to->contains(c)) {
+      has_emitted_child = true;
+      break;
+    }
+  }
+  const bool has_text = g.has_value(n) && !g.value(n).empty();
+
+  if (!has_emitted_child && !has_text) {
+    out->append("/>");
+    if (pretty) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  if (has_text) out->append(EscapeXml(g.value(n)));
+  if (has_emitted_child) {
+    if (pretty) out->push_back('\n');
+    for (NodeId c : g.children(n)) {
+      WriteNode(g, c, restrict_to, pretty, with_ids, depth + 1, out);
+    }
+    indent();
+  }
+  out->append("</");
+  out->append(g.label(n));
+  out->push_back('>');
+  if (pretty) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string WriteSubtree(const XmlGraph& graph, NodeId root,
+                         const std::unordered_set<NodeId>* restrict_to,
+                         bool pretty, bool with_ids) {
+  std::string out;
+  WriteNode(graph, root, restrict_to, pretty, with_ids, 0, &out);
+  return out;
+}
+
+std::string WriteGraph(const XmlGraph& graph, bool pretty, bool with_ids) {
+  std::string out;
+  for (NodeId root : graph.Roots()) {
+    WriteNode(graph, root, nullptr, pretty, with_ids, 0, &out);
+    if (!pretty) out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace xk::xml

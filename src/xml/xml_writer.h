@@ -1,0 +1,35 @@
+// Copyright (c) the XKeyword authors.
+//
+// Serialization of XML graph (sub)trees back to text. The load stage uses
+// this to fill the target-object BLOB store; examples use it for display.
+
+#ifndef XK_XML_XML_WRITER_H_
+#define XK_XML_XML_WRITER_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "xml/xml_graph.h"
+
+namespace xk::xml {
+
+/// Escapes &, <, >, " and ' for safe embedding in XML text/attributes.
+std::string EscapeXml(std::string_view text);
+
+/// Serializes the containment subtree rooted at `root`.
+/// If `restrict_to` is non-null, only nodes in the set are emitted (used to
+/// serialize a target object, which is a subset of a subtree).
+/// Reference edges are emitted as idref="nX" pseudo-attributes; with
+/// `with_ids`, every node also gets an id="nX" attribute so the output
+/// round-trips through ParseXml with references intact.
+std::string WriteSubtree(const XmlGraph& graph, NodeId root,
+                         const std::unordered_set<NodeId>* restrict_to = nullptr,
+                         bool pretty = false, bool with_ids = false);
+
+/// Serializes the whole (multi-root) graph.
+std::string WriteGraph(const XmlGraph& graph, bool pretty = false,
+                       bool with_ids = false);
+
+}  // namespace xk::xml
+
+#endif  // XK_XML_XML_WRITER_H_

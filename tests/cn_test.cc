@@ -1,0 +1,274 @@
+// Tests for the candidate network generator and the CN -> CTSSN reduction.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cn/cn_generator.h"
+#include "cn/ctssn.h"
+#include "datagen/dblp_gen.h"
+#include "datagen/tpch_gen.h"
+#include "test_util.h"
+
+namespace xk::cn {
+namespace {
+
+using schema::SchemaNodeId;
+
+class CnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tss_ = datagen::BuildTpchSchema(&schema_).MoveValueUnsafe();
+    person_name_ = FindChild("person", "name");
+    part_name_ = FindChild("part", "name");
+    product_descr_ = FindChild("product", "descr");
+    nation_ = FindChild("person", "nation");
+  }
+
+  SchemaNodeId FindChild(const char* parent, const char* child) {
+    SchemaNodeId p = *schema_.NodeByUniqueLabel(parent);
+    return *schema_.ChildByLabel(p, child);
+  }
+
+  std::vector<CandidateNetwork> Generate(
+      std::vector<std::vector<SchemaNodeId>> keyword_nodes, int z) {
+    CnGeneratorOptions opts;
+    opts.max_size = z;
+    CnGenerator gen(&schema_, opts);
+    auto r = gen.Generate(keyword_nodes);
+    XK_EXPECT_OK(r.status());
+    return r.ok() ? r.MoveValueUnsafe() : std::vector<CandidateNetwork>{};
+  }
+
+  schema::SchemaGraph schema_;
+  std::unique_ptr<schema::TssGraph> tss_;
+  SchemaNodeId person_name_, part_name_, product_descr_, nation_;
+};
+
+TEST_F(CnTest, EveryNetworkIsTotalMinimalAndPossible) {
+  auto cns = Generate({{person_name_}, {part_name_, product_descr_}}, 8);
+  ASSERT_FALSE(cns.empty());
+  for (const CandidateNetwork& cn : cns) {
+    EXPECT_LE(cn.size(), 8);
+    EXPECT_TRUE(CnStructurallyPossible(cn, schema_)) << cn.ToString(schema_);
+    // Total: both keywords placed exactly once (disjoint partitions).
+    std::vector<int> placed;
+    for (const CnNode& n : cn.nodes) {
+      placed.insert(placed.end(), n.keywords.begin(), n.keywords.end());
+    }
+    std::sort(placed.begin(), placed.end());
+    EXPECT_EQ(placed, (std::vector<int>{0, 1})) << cn.ToString(schema_);
+    // Minimal: leaves non-free.
+    auto adj = cn.Adjacency();
+    for (int v = 0; v < cn.num_nodes(); ++v) {
+      if (adj[static_cast<size_t>(v)].size() <= 1) {
+        EXPECT_FALSE(cn.nodes[static_cast<size_t>(v)].free())
+            << cn.ToString(schema_);
+      }
+    }
+  }
+}
+
+TEST_F(CnTest, NetworksAreDeduplicated) {
+  auto cns = Generate({{person_name_}, {part_name_}}, 8);
+  std::set<std::string> keys;
+  for (const CandidateNetwork& cn : cns) {
+    EXPECT_TRUE(keys.insert(cn.CanonicalKey()).second) << cn.ToString(schema_);
+  }
+}
+
+TEST_F(CnTest, SortedBySize) {
+  auto cns = Generate({{person_name_}, {part_name_, product_descr_}}, 8);
+  for (size_t i = 1; i < cns.size(); ++i) {
+    EXPECT_LE(cns[i - 1].size(), cns[i].size());
+  }
+}
+
+TEST_F(CnTest, SizeBoundIsRespectedAndGrowsNetworks) {
+  auto small = Generate({{person_name_}, {part_name_}}, 6);
+  auto large = Generate({{person_name_}, {part_name_}}, 8);
+  EXPECT_LT(small.size(), large.size());
+  for (const CandidateNetwork& cn : small) EXPECT_LE(cn.size(), 6);
+}
+
+TEST_F(CnTest, KeywordOnMissingNodeYieldsNothing) {
+  EXPECT_TRUE(Generate({{person_name_}, {}}, 6).empty());
+}
+
+TEST_F(CnTest, SingleNodeNetworkWhenOneNodeHoldsBothKeywords) {
+  // Both keywords on part names: the single-occurrence network part^{0,1}
+  // does NOT exist (a name node is one value; but part/name can hold both
+  // tokens, e.g. "tv vcr"). The generator emits the size-0 network since
+  // the schema node supports both.
+  auto cns = Generate({{part_name_}, {part_name_}}, 4);
+  bool found_single = false;
+  for (const CandidateNetwork& cn : cns) {
+    if (cn.size() == 0) {
+      found_single = true;
+      EXPECT_EQ(cn.nodes[0].keywords, (std::vector<int>{0, 1}));
+    }
+  }
+  EXPECT_TRUE(found_single);
+}
+
+TEST_F(CnTest, ChoicePruningRejectsPartAndProductUnderOneLine) {
+  SchemaNodeId line = *schema_.NodeByUniqueLabel("line");
+  SchemaNodeId part = *schema_.NodeByUniqueLabel("part");
+  SchemaNodeId product = *schema_.NodeByUniqueLabel("product");
+  CandidateNetwork cn;
+  cn.nodes = {CnNode{line, {}}, CnNode{part, {0}}, CnNode{product, {1}}};
+  schema::SchemaEdgeId to_part = *schema_.FindReferenceEdge(line, part);
+  schema::SchemaEdgeId to_product = *schema_.FindReferenceEdge(line, product);
+  cn.edges = {CnEdge{0, 1, to_part}, CnEdge{0, 2, to_product}};
+  EXPECT_FALSE(CnStructurallyPossible(cn, schema_));
+}
+
+TEST_F(CnTest, ToOneDuplicatePruning) {
+  // One supplier dummy referencing two persons: impossible (maxOccurs 1).
+  SchemaNodeId supplier = *schema_.NodeByUniqueLabel("supplier");
+  SchemaNodeId person = *schema_.NodeByUniqueLabel("person");
+  schema::SchemaEdgeId ref = *schema_.FindReferenceEdge(supplier, person);
+  CandidateNetwork cn;
+  cn.nodes = {CnNode{supplier, {}}, CnNode{person, {0}}, CnNode{person, {1}}};
+  cn.edges = {CnEdge{0, 1, ref}, CnEdge{0, 2, ref}};
+  EXPECT_FALSE(CnStructurallyPossible(cn, schema_));
+}
+
+TEST_F(CnTest, TwoContainmentParentsPruning) {
+  SchemaNodeId person = *schema_.NodeByUniqueLabel("person");
+  SchemaNodeId order = *schema_.NodeByUniqueLabel("order");
+  schema::SchemaEdgeId edge = -1;
+  for (schema::SchemaEdgeId e : schema_.out_edges(person)) {
+    if (schema_.edge(e).to == order) edge = e;
+  }
+  ASSERT_NE(edge, -1);
+  CandidateNetwork cn;
+  cn.nodes = {CnNode{person, {0}}, CnNode{order, {}}, CnNode{person, {1}}};
+  cn.edges = {CnEdge{0, 1, edge}, CnEdge{2, 1, edge}};
+  EXPECT_FALSE(CnStructurallyPossible(cn, schema_));
+}
+
+// --- Reduction ---------------------------------------------------------------
+
+TEST_F(CnTest, EveryGeneratedNetworkReduces) {
+  auto cns = Generate({{person_name_}, {part_name_, product_descr_}}, 8);
+  for (const CandidateNetwork& cn : cns) {
+    auto reduced = ReduceToCtssn(cn, schema_, *tss_);
+    XK_EXPECT_OK(reduced.status());
+    if (!reduced.ok()) continue;
+    EXPECT_EQ(reduced->cn_size, cn.size());
+    XK_EXPECT_OK(reduced->tree.Validate(*tss_));
+    // Keyword annotations survive with their schema nodes.
+    int keywords = 0;
+    for (const auto& kws : reduced->node_keywords) {
+      keywords += static_cast<int>(kws.size());
+    }
+    EXPECT_EQ(keywords, 2);
+  }
+}
+
+TEST_F(CnTest, ReductionMergesIntraSegmentOccurrencesAndAbsorbsDummies) {
+  // name^{0} <- person <- supplier <- lineitem -> line -> product -> descr^{1}
+  SchemaNodeId person = *schema_.NodeByUniqueLabel("person");
+  SchemaNodeId supplier = *schema_.NodeByUniqueLabel("supplier");
+  SchemaNodeId lineitem = *schema_.NodeByUniqueLabel("lineitem");
+  SchemaNodeId line = *schema_.NodeByUniqueLabel("line");
+  SchemaNodeId product = *schema_.NodeByUniqueLabel("product");
+
+  auto edge_between = [&](SchemaNodeId a, SchemaNodeId b) {
+    for (schema::SchemaEdgeId e : schema_.out_edges(a)) {
+      if (schema_.edge(e).to == b) return e;
+    }
+    ADD_FAILURE();
+    return -1;
+  };
+
+  CandidateNetwork cn;
+  cn.nodes = {CnNode{person_name_, {0}}, CnNode{person, {}},
+              CnNode{supplier, {}},      CnNode{lineitem, {}},
+              CnNode{line, {}},          CnNode{product, {}},
+              CnNode{product_descr_, {1}}};
+  cn.edges = {CnEdge{1, 0, edge_between(person, person_name_)},
+              CnEdge{2, 1, edge_between(supplier, person)},
+              CnEdge{3, 2, edge_between(lineitem, supplier)},
+              CnEdge{3, 4, edge_between(lineitem, line)},
+              CnEdge{4, 5, edge_between(line, product)},
+              CnEdge{5, 6, edge_between(product, product_descr_)}};
+
+  XK_ASSERT_OK_AND_ASSIGN(Ctssn reduced, ReduceToCtssn(cn, schema_, *tss_));
+  EXPECT_EQ(reduced.cn_size, 6);
+  // Segments: P, L, Pr -> 3 nodes, 2 edges.
+  EXPECT_EQ(reduced.num_nodes(), 3);
+  EXPECT_EQ(reduced.tree.size(), 2);
+  // Keywords sit on P (via name) and Pr (via descr).
+  int annotated = 0;
+  for (int v = 0; v < reduced.num_nodes(); ++v) {
+    if (!reduced.IsFree(v)) ++annotated;
+  }
+  EXPECT_EQ(annotated, 2);
+}
+
+TEST_F(CnTest, ReductionHandlesRecursivePartChains) {
+  // part^{0} -> sub -> part -> sub -> part^{1}: reduces to Pa-Pa-Pa chain.
+  SchemaNodeId part = *schema_.NodeByUniqueLabel("part");
+  SchemaNodeId sub = *schema_.NodeByUniqueLabel("sub");
+  auto edge_between = [&](SchemaNodeId a, SchemaNodeId b) {
+    for (schema::SchemaEdgeId e : schema_.out_edges(a)) {
+      if (schema_.edge(e).to == b) return e;
+    }
+    return -1;
+  };
+  schema::SchemaEdgeId part_sub = edge_between(part, sub);
+  schema::SchemaEdgeId sub_part = edge_between(sub, part);
+
+  CandidateNetwork cn;
+  cn.nodes = {CnNode{part_name_, {0}}, CnNode{part, {}}, CnNode{sub, {}},
+              CnNode{part, {}},        CnNode{sub, {}},  CnNode{part, {}},
+              CnNode{part_name_, {1}}};
+  cn.edges = {CnEdge{1, 0, edge_between(part, part_name_)},
+              CnEdge{1, 2, part_sub},
+              CnEdge{2, 3, sub_part},
+              CnEdge{3, 4, part_sub},
+              CnEdge{4, 5, sub_part},
+              CnEdge{5, 6, edge_between(part, part_name_)}};
+  XK_ASSERT_OK_AND_ASSIGN(Ctssn reduced, ReduceToCtssn(cn, schema_, *tss_));
+  EXPECT_EQ(reduced.num_nodes(), 3);
+  EXPECT_EQ(reduced.tree.size(), 2);
+  EXPECT_EQ(reduced.cn_size, 6);
+}
+
+TEST_F(CnTest, DblpGeneratorSmoke) {
+  schema::SchemaGraph dblp;
+  auto tss = datagen::BuildDblpSchema(&dblp).MoveValueUnsafe();
+  SchemaNodeId author = *dblp.NodeByUniqueLabel("author");
+  CnGeneratorOptions opts;
+  opts.max_size = 6;
+  CnGenerator gen(&dblp, opts);
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<CandidateNetwork> cns,
+                          gen.Generate({{author}, {author}}));
+  // Author-Paper-Author, plus citation-mediated shapes.
+  ASSERT_FALSE(cns.empty());
+  for (const CandidateNetwork& cn : cns) {
+    XK_EXPECT_OK(ReduceToCtssn(cn, dblp, *tss).status());
+  }
+  // The singleton author^{0,1} sorts first (one author value can hold both
+  // tokens); the classic A <- P -> A network of size 2 must follow.
+  EXPECT_EQ(cns.front().size(), 0);
+  bool found_apa = false;
+  schema::SchemaNodeId paper = *dblp.NodeByUniqueLabel("paper");
+  for (const CandidateNetwork& cn : cns) {
+    if (cn.size() == 2 && cn.num_nodes() == 3) {
+      int authors = 0;
+      int papers = 0;
+      for (const CnNode& n : cn.nodes) {
+        if (n.schema_node == author) ++authors;
+        if (n.schema_node == paper) ++papers;
+      }
+      if (authors == 2 && papers == 1) found_apa = true;
+    }
+  }
+  EXPECT_TRUE(found_apa);
+}
+
+}  // namespace
+}  // namespace xk::cn

@@ -1,0 +1,258 @@
+// Unit tests for the common runtime: Status/Result, strings, random, cache.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/lru_cache.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "test_util.h"
+
+namespace xk {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status st = Status::NotFound("table foo");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "table foo");
+  EXPECT_EQ(st.ToString(), "not found: table foo");
+}
+
+TEST(StatusTest, AllCodesRoundTripThroughToString) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::Corruption("bad xml");
+  Status copy = st;        // NOLINT(performance-unnecessary-copy-initialization)
+  st = Status::OK();
+  EXPECT_TRUE(copy.IsCorruption());
+  EXPECT_EQ(copy.message(), "bad xml");
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    XK_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ValueOr(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = r.MoveValueUnsafe();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto get = [](bool ok) -> Result<int> {
+    if (ok) return 3;
+    return Status::Internal("x");
+  };
+  auto sum = [&](bool ok) -> Result<int> {
+    XK_ASSIGN_OR_RETURN(int a, get(ok));
+    XK_ASSIGN_OR_RETURN(int b, get(true));
+    return a + b;
+  };
+  XK_ASSERT_OK_AND_ASSIGN(int six, sum(true));
+  EXPECT_EQ(six, 6);
+  EXPECT_TRUE(sum(false).status().IsInternal());
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Join({"x", "y", "z"}, "::"), "x::y::z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(ToLower("VCR and Dvd"), "vcr and dvd");
+}
+
+TEST(StringsTest, TokenizeSplitsOnNonAlnum) {
+  EXPECT_EQ(Tokenize("Set of VCR-and/DVD!"),
+            (std::vector<std::string>{"set", "of", "vcr", "and", "dvd"}));
+  EXPECT_TRUE(Tokenize(" .,;").empty());
+  EXPECT_EQ(Tokenize("2002-10-01"), (std::vector<std::string>{"2002", "10", "01"}));
+}
+
+TEST(StringsTest, ContainsTokenIsWholeWordCaseInsensitive) {
+  EXPECT_TRUE(ContainsToken("set of VCR and DVD", "vcr"));
+  EXPECT_TRUE(ContainsToken("set of VCR and DVD", "DVD"));
+  EXPECT_FALSE(ContainsToken("recorder", "record"));  // not whole word
+  EXPECT_FALSE(ContainsToken("anything", ""));
+  EXPECT_TRUE(ContainsToken("vcr", "vcr"));  // token at end of string
+}
+
+TEST(StringsTest, TrimAndAffixes) {
+  EXPECT_EQ(Trim("  x y\t\n"), "x y");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_TRUE(StartsWith("person", "per"));
+  EXPECT_FALSE(StartsWith("per", "person"));
+  EXPECT_TRUE(EndsWith("lineitem", "item"));
+  EXPECT_FALSE(EndsWith("item", "lineitem"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%s", std::string(500, 'a').c_str()), std::string(500, 'a'));
+}
+
+TEST(LruCacheTest, PutGetAndEvictionOrder) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  ASSERT_NE(cache.Get(1), nullptr);  // refresh 1; now 2 is LRU
+  cache.Put(3, 30);                  // evicts 2
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCacheTest, OverwriteRefreshes) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // refresh + overwrite
+  cache.Put(3, 30);  // evicts 2
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), 11);
+  EXPECT_EQ(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, ZeroCapacityStoresNothing) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 10);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, HitMissCounters) {
+  LruCache<std::string, int> cache(4);
+  cache.Put("a", 1);
+  cache.Get("a");
+  cache.Get("b");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(RandomTest, DeterministicBySeed) {
+  Random a(99);
+  Random b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.Uniform(3, 3), 3);
+}
+
+TEST(RandomTest, WordIsLowercaseAlpha) {
+  Random rng(2);
+  std::string w = rng.Word(12);
+  EXPECT_EQ(w.size(), 12u);
+  for (char c : w) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(ZipfTest, SkewPutsMassOnLowRanks) {
+  Random rng(3);
+  ZipfDistribution zipf(100, 0.99);
+  int low = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    size_t r = zipf.Sample(&rng);
+    ASSERT_LT(r, 100u);
+    if (r < 10) ++low;
+  }
+  // Top 10 of 100 ranks should carry well over half the mass under theta .99.
+  EXPECT_GT(low, kSamples / 2);
+}
+
+TEST(ZipfTest, ThetaZeroIsRoughlyUniform) {
+  Random rng(4);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch sw;
+  int64_t a = sw.ElapsedMicros();
+  int64_t b = sw.ElapsedMicros();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+  sw.Restart();
+  EXPECT_GE(sw.ElapsedMicros(), 0);
+}
+
+TEST(LoggingTest, LevelGating) {
+  LogLevel old = SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  XK_LOG(Info) << "should not print";
+  SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace xk

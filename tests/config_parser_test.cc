@@ -1,0 +1,177 @@
+// Tests for the schema/TSS configuration format.
+
+#include <gtest/gtest.h>
+
+#include "datagen/dblp_gen.h"
+#include "datagen/tpch_gen.h"
+#include "engine/xkeyword.h"
+#include "schema/config_parser.h"
+#include "test_util.h"
+
+namespace xk::schema {
+namespace {
+
+constexpr const char* kDblpConfig = R"(
+# The Figure-14 DBLP configuration.
+node conference conference
+node cname name
+node confyear confyear
+node year year
+node paper paper
+node title title
+node author author
+node cite cite          # dummy: mediates citations
+
+containment conference cname one
+containment conference confyear many
+containment confyear year one
+containment confyear paper many
+containment paper title one
+containment paper author many
+containment paper cite many
+reference cite paper one
+
+segment Conf conference cname
+segment Year confyear year
+segment Paper paper title
+segment Author author
+
+annotate Conf Year "in year" "of conference"
+annotate Paper Author "by author" "of paper"
+)";
+
+TEST(ConfigParserTest, ParsesDblpConfiguration) {
+  XK_ASSERT_OK_AND_ASSIGN(auto config, ParseSchemaConfig(kDblpConfig));
+  EXPECT_EQ(config->schema.NumNodes(), 8);
+  EXPECT_EQ(config->schema.NumEdges(), 8);
+  ASSERT_NE(config->tss, nullptr);
+  EXPECT_TRUE(config->tss->finalized());
+  EXPECT_EQ(config->tss->NumSegments(), 4);
+  // Conf-Year, Year-Paper, Paper-Author, Paper-Paper (via cite).
+  EXPECT_EQ(config->tss->NumEdges(), 4);
+  TssId paper = *config->tss->SegmentByName("Paper");
+  XK_EXPECT_OK(config->tss->FindEdge(paper, paper).status());
+  // Annotations landed.
+  TssId conf = *config->tss->SegmentByName("Conf");
+  TssId year = *config->tss->SegmentByName("Year");
+  const TssEdge& cy = config->tss->edge(*config->tss->FindEdge(conf, year));
+  EXPECT_EQ(cy.forward_desc, "in year");
+  EXPECT_EQ(cy.reverse_desc, "of conference");
+}
+
+TEST(ConfigParserTest, DuplicateLabelsViaDistinctIds) {
+  constexpr const char* kConfig = R"(
+node person person
+node pname name
+node part part
+node paname name
+containment person pname one
+containment part paname one
+segment P person pname
+segment Pa part paname
+)";
+  XK_ASSERT_OK_AND_ASSIGN(auto config, ParseSchemaConfig(kConfig));
+  EXPECT_EQ(config->schema.NumNodes(), 4);
+  EXPECT_TRUE(config->schema.NodeByUniqueLabel("name").status().IsInvalidArgument());
+}
+
+TEST(ConfigParserTest, ChoiceNodesAndMultiplicities) {
+  constexpr const char* kConfig = R"(
+node li lineitem
+node line line choice
+node part part
+node product product
+containment li line one
+reference line part
+reference line product
+segment L li
+segment Pa part
+segment Pr product
+)";
+  XK_ASSERT_OK_AND_ASSIGN(auto config, ParseSchemaConfig(kConfig));
+  SchemaNodeId line = *config->schema.NodeByUniqueLabel("line");
+  EXPECT_EQ(config->schema.kind(line), NodeKind::kChoice);
+  TssId l = *config->tss->SegmentByName("L");
+  TssId pa = *config->tss->SegmentByName("Pa");
+  const TssEdge& lpa = config->tss->edge(*config->tss->FindEdge(l, pa));
+  EXPECT_EQ(lpa.forward_mult, Mult::kOne);  // reference default one
+  EXPECT_NE(lpa.choice_group, kNoSchemaNode);
+}
+
+TEST(ConfigParserTest, ErrorsCarryLineNumbers) {
+  auto unknown_verb = ParseSchemaConfig("node a a\nfrobnicate a\n");
+  ASSERT_FALSE(unknown_verb.ok());
+  EXPECT_NE(unknown_verb.status().message().find("line 2"), std::string::npos);
+
+  auto unknown_id = ParseSchemaConfig("node a a\ncontainment a ghost\n");
+  ASSERT_FALSE(unknown_id.ok());
+  EXPECT_NE(unknown_id.status().message().find("ghost"), std::string::npos);
+
+  EXPECT_FALSE(ParseSchemaConfig("node a a\nnode a b\nsegment S a\n").ok());
+  EXPECT_FALSE(ParseSchemaConfig("node a a\n").ok());  // no segment
+  EXPECT_FALSE(ParseSchemaConfig("node a a\nsegment S a\nannotate S T \"x\" \"y\"\n")
+                   .ok());
+  EXPECT_FALSE(
+      ParseSchemaConfig("node a a\ncontainment a a maybe\nsegment S a\n").ok());
+  EXPECT_FALSE(ParseSchemaConfig("node a a\nsegment S a \"unterminated\n").ok());
+}
+
+TEST(ConfigParserTest, RoundTripsBuiltinSchemas) {
+  {
+    SchemaGraph schema;
+    auto tss = datagen::BuildTpchSchema(&schema).MoveValueUnsafe();
+    std::string text = WriteSchemaConfig(schema, *tss);
+    XK_ASSERT_OK_AND_ASSIGN(auto config, ParseSchemaConfig(text));
+    EXPECT_EQ(config->schema.NumNodes(), schema.NumNodes());
+    EXPECT_EQ(config->schema.NumEdges(), schema.NumEdges());
+    EXPECT_EQ(config->tss->NumSegments(), tss->NumSegments());
+    EXPECT_EQ(config->tss->NumEdges(), tss->NumEdges());
+  }
+  {
+    SchemaGraph schema;
+    auto tss = datagen::BuildDblpSchema(&schema).MoveValueUnsafe();
+    std::string text = WriteSchemaConfig(schema, *tss);
+    XK_ASSERT_OK_AND_ASSIGN(auto config, ParseSchemaConfig(text));
+    EXPECT_EQ(config->tss->NumSegments(), tss->NumSegments());
+    EXPECT_EQ(config->tss->NumEdges(), tss->NumEdges());
+    // Annotations survive for unique segment pairs.
+    TssId p_orig = *tss->SegmentByName("Paper");
+    TssId a_orig = *tss->SegmentByName("Author");
+    TssId p_new = *config->tss->SegmentByName("Paper");
+    TssId a_new = *config->tss->SegmentByName("Author");
+    EXPECT_EQ(config->tss->edge(*config->tss->FindEdge(p_new, a_new)).forward_desc,
+              tss->edge(*tss->FindEdge(p_orig, a_orig)).forward_desc);
+  }
+}
+
+TEST(ConfigParserTest, ParsedConfigRunsEndToEnd) {
+  // A config-defined schema drives a real query.
+  XK_ASSERT_OK_AND_ASSIGN(auto config, ParseSchemaConfig(kDblpConfig));
+  xml::XmlGraph g;
+  xml::NodeId conf = g.AddNode("conference");
+  XK_EXPECT_OK(g.AddContainmentEdge(conf, g.AddNode("name", "icde")));
+  xml::NodeId cy = g.AddNode("confyear");
+  XK_EXPECT_OK(g.AddContainmentEdge(conf, cy));
+  XK_EXPECT_OK(g.AddContainmentEdge(cy, g.AddNode("year", "2003")));
+  xml::NodeId paper = g.AddNode("paper");
+  XK_EXPECT_OK(g.AddContainmentEdge(cy, paper));
+  XK_EXPECT_OK(
+      g.AddContainmentEdge(paper, g.AddNode("title", "keyword proximity")));
+  XK_EXPECT_OK(g.AddContainmentEdge(paper, g.AddNode("author", "hristidis")));
+  XK_EXPECT_OK(g.AddContainmentEdge(paper, g.AddNode("author", "balmin")));
+
+  auto xk = engine::XKeyword::Load(&g, &config->schema, config->tss.get())
+                .MoveValueUnsafe();
+  XK_ASSERT_OK(xk->AddDecomposition(decomp::MakeMinimal(
+      *config->tss, decomp::PhysicalDesign::kClusterPerDirection)));
+  engine::QueryOptions options;
+  options.max_size_z = 4;
+  XK_ASSERT_OK_AND_ASSIGN(
+      std::vector<present::Mtton> results,
+      xk->TopK({"hristidis", "balmin"}, "MinClust", options));
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results.front().score, 2);  // author <- paper -> author
+}
+
+}  // namespace
+}  // namespace xk::schema

@@ -1,0 +1,147 @@
+// Tests for the synthetic data generators.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/dblp_gen.h"
+#include "datagen/tpch_gen.h"
+#include "schema/validator.h"
+#include "test_util.h"
+
+namespace xk::datagen {
+namespace {
+
+TEST(TpchGenTest, InstancesValidateAgainstTheirSchema) {
+  TpchConfig config;
+  config.seed = 1;
+  XK_ASSERT_OK_AND_ASSIGN(auto db, TpchDatabase::Generate(config));
+  XK_EXPECT_OK(schema::Validate(db->graph(), db->schema()).status());
+  EXPECT_GT(db->graph().NumNodes(), 100);
+  EXPECT_GT(db->graph().NumReferenceEdges(), 0);
+}
+
+TEST(TpchGenTest, DeterministicBySeed) {
+  TpchConfig config;
+  config.seed = 9;
+  XK_ASSERT_OK_AND_ASSIGN(auto a, TpchDatabase::Generate(config));
+  XK_ASSERT_OK_AND_ASSIGN(auto b, TpchDatabase::Generate(config));
+  EXPECT_EQ(a->graph().NumNodes(), b->graph().NumNodes());
+  EXPECT_EQ(a->graph().NumReferenceEdges(), b->graph().NumReferenceEdges());
+  for (xml::NodeId n = 0; n < a->graph().NumNodes(); n += 17) {
+    EXPECT_EQ(a->graph().label(n), b->graph().label(n));
+    EXPECT_EQ(a->graph().value(n), b->graph().value(n));
+  }
+  TpchConfig other = config;
+  other.seed = 10;
+  XK_ASSERT_OK_AND_ASSIGN(auto c, TpchDatabase::Generate(other));
+  EXPECT_NE(a->graph().NumNodes(), c->graph().NumNodes());
+}
+
+TEST(TpchGenTest, PartHierarchyIsAcyclic) {
+  TpchConfig config;
+  config.num_parts = 60;
+  config.avg_subparts_per_part = 3.0;
+  XK_ASSERT_OK_AND_ASSIGN(auto db, TpchDatabase::Generate(config));
+  const xml::XmlGraph& g = db->graph();
+  // sub -> part references always point to a later-created part.
+  for (xml::NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (g.label(n) != "sub") continue;
+    ASSERT_EQ(g.references_out(n).size(), 1u);
+    EXPECT_GT(g.references_out(n)[0], g.parent(n));
+  }
+}
+
+TEST(TpchGenTest, RunningExampleKeywordsPresent) {
+  TpchConfig config;
+  XK_ASSERT_OK_AND_ASSIGN(auto db, TpchDatabase::Generate(config));
+  EXPECT_EQ(db->part_names()[0], "tv");
+  EXPECT_EQ(db->part_names()[1], "vcr");
+  EXPECT_EQ(db->person_names()[0], "john");
+}
+
+TEST(TpchGenTest, ScalesWithConfig) {
+  TpchConfig small;
+  small.num_persons = 5;
+  small.num_parts = 5;
+  small.num_products = 2;
+  TpchConfig big = small;
+  big.num_persons = 50;
+  big.num_parts = 50;
+  big.num_products = 20;
+  XK_ASSERT_OK_AND_ASSIGN(auto s, TpchDatabase::Generate(small));
+  XK_ASSERT_OK_AND_ASSIGN(auto b, TpchDatabase::Generate(big));
+  EXPECT_GT(b->graph().NumNodes(), 3 * s->graph().NumNodes());
+}
+
+TEST(DblpGenTest, InstancesValidateAgainstTheirSchema) {
+  DblpConfig config;
+  XK_ASSERT_OK_AND_ASSIGN(auto db, DblpDatabase::Generate(config));
+  XK_EXPECT_OK(schema::Validate(db->graph(), db->schema()).status());
+}
+
+TEST(DblpGenTest, CitationFanoutTracksConfig) {
+  DblpConfig config;
+  config.num_conferences = 4;
+  config.years_per_conference = 3;
+  config.avg_papers_per_year = 10;
+  config.avg_citations_per_paper = 6.0;
+  config.seed = 3;
+  XK_ASSERT_OK_AND_ASSIGN(auto db, DblpDatabase::Generate(config));
+  const xml::XmlGraph& g = db->graph();
+  int64_t papers = 0;
+  int64_t cites = 0;
+  for (xml::NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (g.label(n) == "paper") ++papers;
+    if (g.label(n) == "cite") ++cites;
+  }
+  ASSERT_GT(papers, 0);
+  double avg = static_cast<double>(cites) / static_cast<double>(papers);
+  EXPECT_GT(avg, 3.0);
+  EXPECT_LT(avg, 9.0);
+}
+
+TEST(DblpGenTest, NoSelfCitations) {
+  DblpConfig config;
+  config.seed = 4;
+  XK_ASSERT_OK_AND_ASSIGN(auto db, DblpDatabase::Generate(config));
+  const xml::XmlGraph& g = db->graph();
+  for (xml::NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (g.label(n) != "cite") continue;
+    for (xml::NodeId t : g.references_out(n)) {
+      EXPECT_NE(t, g.parent(n));
+    }
+  }
+}
+
+TEST(DblpGenTest, AuthorSkewIsZipfian) {
+  DblpConfig config;
+  config.num_conferences = 6;
+  config.avg_papers_per_year = 12;
+  config.seed = 5;
+  XK_ASSERT_OK_AND_ASSIGN(auto db, DblpDatabase::Generate(config));
+  const xml::XmlGraph& g = db->graph();
+  std::map<std::string, int> counts;
+  int total = 0;
+  for (xml::NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (g.label(n) == "author") {
+      ++counts[g.value(n)];
+      ++total;
+    }
+  }
+  // The most frequent author name should be far above uniform share.
+  int max_count = 0;
+  for (const auto& [name, c] : counts) max_count = std::max(max_count, c);
+  ASSERT_GT(total, 0);
+  EXPECT_GT(max_count * static_cast<int>(db->author_names().size()), 3 * total);
+}
+
+TEST(DblpGenTest, SeedVocabularyUsable) {
+  DblpConfig config;
+  XK_ASSERT_OK_AND_ASSIGN(auto db, DblpDatabase::Generate(config));
+  EXPECT_EQ(db->author_names()[0], "ullman");
+  EXPECT_EQ(db->title_words()[0], "keyword");
+}
+
+}  // namespace
+}  // namespace xk::datagen

@@ -1,0 +1,152 @@
+// Tests for the target decomposition (target object graph) and master index.
+
+#include <gtest/gtest.h>
+
+#include "keyword/master_index.h"
+#include "schema/decomposer.h"
+#include "schema/validator.h"
+#include "test_util.h"
+
+namespace xk::schema {
+namespace {
+
+class DecomposerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeFigure1Database();
+    validation_ = Validate(db_->graph, db_->schema).MoveValueUnsafe();
+    Decomposer decomposer(&db_->graph, &validation_, db_->tss.get());
+    objects_ = decomposer.Run().MoveValueUnsafe();
+  }
+
+  TssId Seg(const char* name) { return *db_->tss->SegmentByName(name); }
+
+  std::unique_ptr<testing::Figure1Database> db_;
+  ValidationResult validation_;
+  TargetObjectGraph objects_;
+};
+
+TEST_F(DecomposerTest, ObjectCountsPerSegment) {
+  EXPECT_EQ(objects_.NumObjects(), 13);
+  EXPECT_EQ(objects_.CountOfSegment(Seg("P")), 2);
+  EXPECT_EQ(objects_.CountOfSegment(Seg("S")), 1);
+  EXPECT_EQ(objects_.CountOfSegment(Seg("O")), 2);
+  EXPECT_EQ(objects_.CountOfSegment(Seg("L")), 3);
+  EXPECT_EQ(objects_.CountOfSegment(Seg("Pa")), 4);
+  EXPECT_EQ(objects_.CountOfSegment(Seg("Pr")), 1);
+}
+
+TEST_F(DecomposerTest, MembersFoldIntoHeadObject) {
+  storage::ObjectId john = objects_.ObjectOfNode(db_->john);
+  ASSERT_NE(john, storage::kInvalidId);
+  // person + name + nation.
+  EXPECT_EQ(objects_.MemberNodes(john).size(), 3u);
+  EXPECT_EQ(objects_.object(john).head, db_->john);
+  EXPECT_EQ(objects_.object(john).tss, Seg("P"));
+  // The name child maps to the same object.
+  for (xml::NodeId c : db_->graph.children(db_->john)) {
+    if (db_->graph.label(c) == "name") {
+      EXPECT_EQ(objects_.ObjectOfNode(c), john);
+    }
+  }
+}
+
+TEST_F(DecomposerTest, DummyNodesHaveNoObject) {
+  for (xml::NodeId n = 0; n < db_->graph.NumNodes(); ++n) {
+    const std::string& label = db_->graph.label(n);
+    if (label == "supplier" || label == "sub" || label == "line") {
+      EXPECT_EQ(objects_.ObjectOfNode(n), storage::kInvalidId);
+    } else {
+      EXPECT_NE(objects_.ObjectOfNode(n), storage::kInvalidId);
+    }
+  }
+}
+
+TEST_F(DecomposerTest, EdgesIncludeDummyMediatedConnections) {
+  storage::ObjectId john = objects_.ObjectOfNode(db_->john);
+  storage::ObjectId tv = objects_.ObjectOfNode(db_->tv_part);
+  storage::ObjectId vcr1 = objects_.ObjectOfNode(db_->vcr_part1);
+  storage::ObjectId vcr2 = objects_.ObjectOfNode(db_->vcr_part2);
+
+  // Pa -> Pa: the TV's two VCR sub-parts.
+  schema::TssEdgeId papa = *db_->tss->FindEdge(Seg("Pa"), Seg("Pa"));
+  std::vector<storage::ObjectId> subs = objects_.Forward(tv, papa);
+  EXPECT_EQ(subs.size(), 2u);
+  EXPECT_NE(std::find(subs.begin(), subs.end(), vcr1), subs.end());
+  EXPECT_NE(std::find(subs.begin(), subs.end(), vcr2), subs.end());
+  EXPECT_EQ(objects_.Reverse(vcr1, papa), std::vector<storage::ObjectId>{tv});
+
+  // L -> P: all three lineitems point at John.
+  schema::TssEdgeId lp = *db_->tss->FindEdge(Seg("L"), Seg("P"));
+  EXPECT_EQ(objects_.Reverse(john, lp).size(), 3u);
+}
+
+TEST_F(DecomposerTest, ForwardOnMissingEdgeIsEmpty) {
+  storage::ObjectId john = objects_.ObjectOfNode(db_->john);
+  schema::TssEdgeId papa = *db_->tss->FindEdge(Seg("Pa"), Seg("Pa"));
+  EXPECT_TRUE(objects_.Forward(john, papa).empty());
+}
+
+TEST_F(DecomposerTest, ObjectsOfSegmentListsAll) {
+  const std::vector<storage::ObjectId>& parts = objects_.ObjectsOfSegment(Seg("Pa"));
+  EXPECT_EQ(parts.size(), 4u);
+  for (storage::ObjectId o : parts) {
+    EXPECT_EQ(objects_.object(o).tss, Seg("Pa"));
+  }
+}
+
+// --- Master index ----------------------------------------------------------
+
+class MasterIndexTest : public DecomposerTest {
+ protected:
+  void SetUp() override {
+    DecomposerTest::SetUp();
+    index_ = keyword::MasterIndex::Build(db_->graph, validation_, objects_);
+  }
+
+  keyword::MasterIndex index_;
+};
+
+TEST_F(MasterIndexTest, PostingsPointIntoTargetObjects) {
+  const std::vector<keyword::Posting>& john = index_.ContainingList("john");
+  ASSERT_EQ(john.size(), 1u);
+  EXPECT_EQ(john[0].to_id, objects_.ObjectOfNode(db_->john));
+  EXPECT_EQ(db_->graph.label(john[0].node_id), "name");
+  EXPECT_EQ(db_->schema.label(john[0].schema_node), "name");
+}
+
+TEST_F(MasterIndexTest, CaseInsensitiveAndTokenized) {
+  // "VCR" appears in two part names and the product descr.
+  EXPECT_EQ(index_.ContainingList("VCR").size(), 3u);
+  EXPECT_EQ(index_.ContainingList("vcr").size(), 3u);
+  // "set of VCR and DVD" tokenizes into words.
+  EXPECT_EQ(index_.ContainingList("set").size(), 1u);
+  // "dvd" appears in the product descr and the service-call descr.
+  EXPECT_EQ(index_.ContainingList("dvd").size(), 2u);
+}
+
+TEST_F(MasterIndexTest, TagsAreIndexedToo) {
+  // Every lineitem object contains the token "lineitem" via its tag.
+  EXPECT_EQ(index_.ContainingList("lineitem").size(), 3u);
+  EXPECT_EQ(index_.ContainingList("quantity").size(), 3u);
+}
+
+TEST_F(MasterIndexTest, SchemaNodesContaining) {
+  std::vector<schema::SchemaNodeId> nodes = index_.SchemaNodesContaining("vcr");
+  // part/name and product/descr.
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(db_->schema.label(nodes[0]), "name");
+  EXPECT_EQ(db_->schema.label(nodes[1]), "descr");
+  EXPECT_TRUE(index_.SchemaNodesContaining("nosuch").empty());
+}
+
+TEST_F(MasterIndexTest, SizesAndMissingKeyword) {
+  EXPECT_GT(index_.NumKeywords(), 10u);
+  EXPECT_GT(index_.NumPostings(), index_.NumKeywords() / 2);
+  EXPECT_GT(index_.MemoryBytes(), 0u);
+  EXPECT_TRUE(index_.ContainingList("absentword").empty());
+  EXPECT_FALSE(index_.Contains("absentword"));
+}
+
+}  // namespace
+}  // namespace xk::schema

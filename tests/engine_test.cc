@@ -1,0 +1,288 @@
+// Tests for the execution engine: caching executor vs naive baseline, full
+// executor modes, per-network and global limits, thread pool, stats.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "datagen/tpch_gen.h"
+#include "engine/thread_pool.h"
+#include "engine/xkeyword.h"
+#include "test_util.h"
+
+namespace xk::engine {
+namespace {
+
+using present::Mtton;
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReentrant) {
+  ThreadPool pool(2);
+  pool.Wait();  // no tasks
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  // The loaded database is immutable across tests; build it once.
+  static void SetUpTestSuite() {
+    datagen::TpchConfig config;
+    config.num_persons = 30;
+    config.num_parts = 40;
+    config.num_products = 20;
+    config.seed = 77;
+    db_ = datagen::TpchDatabase::Generate(config).MoveValueUnsafe().release();
+    xk_ = XKeyword::Load(&db_->graph(), &db_->schema(), &db_->tss())
+              .MoveValueUnsafe()
+              .release();
+    ASSERT_TRUE(xk_->AddDecomposition(
+                       decomp::MakeMinimal(
+                           db_->tss(), decomp::PhysicalDesign::kClusterPerDirection))
+                    .ok());
+    ASSERT_TRUE(xk_->AddDecomposition(
+                       decomp::MakeMinimal(db_->tss(),
+                                           decomp::PhysicalDesign::kHashIndexPerColumn))
+                    .ok());
+    ASSERT_TRUE(xk_->AddDecomposition(
+                       decomp::MakeMinimal(db_->tss(), decomp::PhysicalDesign::kNone,
+                                           /*use_indexes_at_runtime=*/false))
+                    .ok());
+    ASSERT_TRUE(
+        xk_->AddDecomposition(decomp::MakeXKeyword(db_->tss(), 2, 6).MoveValueUnsafe())
+            .ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete xk_;
+    xk_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  std::multiset<std::vector<storage::ObjectId>> Shapes(
+      const std::vector<Mtton>& results) {
+    std::multiset<std::vector<storage::ObjectId>> out;
+    for (const Mtton& m : results) {
+      std::vector<storage::ObjectId> key = m.objects;
+      key.push_back(m.ctssn_index);
+      key.push_back(m.score);
+      std::sort(key.begin(), key.end() - 2);
+      out.insert(std::move(key));
+    }
+    return out;
+  }
+
+  static datagen::TpchDatabase* db_;
+  static XKeyword* xk_;
+};
+
+datagen::TpchDatabase* EngineTest::db_ = nullptr;
+XKeyword* EngineTest::xk_ = nullptr;
+
+TEST_F(EngineTest, CachedEqualsNaiveAcrossQueries) {
+  QueryOptions options;
+  options.max_size_z = 6;
+  options.per_network_k = 100000;
+  options.num_threads = 1;
+  const std::vector<std::vector<std::string>> queries = {
+      {"john", "tv"}, {"vcr", "dvd"}, {"mike", "radio"}, {"us", "tv"}};
+  for (const auto& q : queries) {
+    ExecutionStats cached_stats;
+    ExecutionStats naive_stats;
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> cached,
+                            xk_->TopK(q, "MinClust", options, &cached_stats));
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> naive,
+                            xk_->TopKNaive(q, "MinClust", options, &naive_stats));
+    EXPECT_EQ(cached, naive) << q[0] << "," << q[1];
+    // The cache trades probes for hits.
+    if (cached_stats.cache_hits > 0) {
+      EXPECT_LE(cached_stats.probes.probes, naive_stats.probes.probes);
+    }
+  }
+}
+
+TEST_F(EngineTest, AllDecompositionsProduceSameResults) {
+  QueryOptions options;
+  options.max_size_z = 6;
+  options.per_network_k = 100000;
+  options.num_threads = 1;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> a,
+                          xk_->TopK({"john", "tv"}, "MinClust", options));
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> b,
+                          xk_->TopK({"john", "tv"}, "MinNClustIndx", options));
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> c,
+                          xk_->TopK({"john", "tv"}, "MinNClustNIndx", options));
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> d,
+                          xk_->TopK({"john", "tv"}, "XKeyword", options));
+  EXPECT_EQ(Shapes(a), Shapes(b));
+  EXPECT_EQ(Shapes(a), Shapes(c));
+  // XKeyword uses different (wider) relations, so plan indexes match but
+  // object multisets must agree.
+  EXPECT_EQ(Shapes(a), Shapes(d));
+}
+
+TEST_F(EngineTest, FullExecutorModesAgree) {
+  QueryOptions options;
+  options.max_size_z = 6;
+  FullExecutorOptions hash;
+  hash.mode = FullMode::kHashJoin;
+  FullExecutorOptions inlj;
+  inlj.mode = FullMode::kIndexNestedLoop;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> h,
+                          xk_->AllResults({"vcr", "dvd"}, "MinClust", options, hash));
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> n,
+                          xk_->AllResults({"vcr", "dvd"}, "MinClust", options, inlj));
+  EXPECT_EQ(Shapes(h), Shapes(n));
+}
+
+TEST_F(EngineTest, ReuseReducesWork) {
+  QueryOptions options;
+  options.max_size_z = 6;
+  FullExecutorOptions with;
+  with.mode = FullMode::kHashJoin;
+  with.enable_reuse = true;
+  FullExecutorOptions without;
+  without.mode = FullMode::kHashJoin;
+  without.enable_reuse = false;
+  ExecutionStats with_stats, without_stats;
+  XK_ASSERT_OK_AND_ASSIGN(
+      std::vector<Mtton> a,
+      xk_->AllResults({"john", "tv"}, "MinClust", options, with, &with_stats));
+  XK_ASSERT_OK_AND_ASSIGN(
+      std::vector<Mtton> b,
+      xk_->AllResults({"john", "tv"}, "MinClust", options, without, &without_stats));
+  EXPECT_EQ(Shapes(a), Shapes(b));
+  EXPECT_GT(with_stats.reuse_hits, 0u);
+  EXPECT_LT(with_stats.probes.probes, without_stats.probes.probes);
+}
+
+TEST_F(EngineTest, PerNetworkKLimitsEachNetwork) {
+  QueryOptions options;
+  options.max_size_z = 6;
+  options.per_network_k = 2;
+  options.num_threads = 1;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
+                          xk_->TopK({"tv", "vcr"}, "MinClust", options));
+  std::map<int, int> per_network;
+  for (const Mtton& m : results) ++per_network[m.ctssn_index];
+  for (const auto& [net, count] : per_network) {
+    EXPECT_LE(count, 2) << "network " << net;
+  }
+}
+
+TEST_F(EngineTest, GlobalKCapsTotal) {
+  QueryOptions options;
+  options.max_size_z = 6;
+  options.per_network_k = 100000;
+  options.global_k = 5;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
+                          xk_->TopK({"tv", "vcr"}, "MinClust", options));
+  EXPECT_LE(results.size(), 5u);
+}
+
+TEST_F(EngineTest, MultiThreadedMatchesSingleThreaded) {
+  QueryOptions single;
+  single.max_size_z = 6;
+  single.per_network_k = 100000;
+  single.num_threads = 1;
+  QueryOptions multi = single;
+  multi.num_threads = 4;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> a,
+                          xk_->TopK({"vcr", "tv"}, "MinClust", single));
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> b,
+                          xk_->TopK({"vcr", "tv"}, "MinClust", multi));
+  EXPECT_EQ(Shapes(a), Shapes(b));
+}
+
+TEST_F(EngineTest, ResultsContainAllKeywordsSomewhere) {
+  QueryOptions options;
+  options.max_size_z = 6;
+  options.per_network_k = 1000;
+  options.num_threads = 1;
+  XK_ASSERT_OK_AND_ASSIGN(PreparedQuery q,
+                          xk_->Prepare({"john", "tv"}, "MinClust", options));
+  TopKExecutor executor;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results, executor.Run(q, options));
+  for (const Mtton& m : results) {
+    const cn::Ctssn& c = q.ctssns[static_cast<size_t>(m.ctssn_index)];
+    // Every keyword-annotated occurrence's object is in that keyword's
+    // containing list for the right schema node.
+    for (int v = 0; v < c.num_nodes(); ++v) {
+      for (const cn::CtssnKeyword& kw : c.node_keywords[static_cast<size_t>(v)]) {
+        bool found = false;
+        for (const keyword::Posting& p : xk_->master_index().ContainingList(
+                 q.keywords[static_cast<size_t>(kw.keyword)])) {
+          if (p.to_id == m.objects[static_cast<size_t>(v)] &&
+              p.schema_node == kw.schema_node) {
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+    }
+  }
+}
+
+TEST_F(EngineTest, ResultsAreRealTreesInTheTargetObjectGraph) {
+  QueryOptions options;
+  options.max_size_z = 6;
+  options.per_network_k = 500;
+  options.num_threads = 1;
+  XK_ASSERT_OK_AND_ASSIGN(PreparedQuery q,
+                          xk_->Prepare({"vcr", "dvd"}, "MinClust", options));
+  TopKExecutor executor;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results, executor.Run(q, options));
+  ASSERT_FALSE(results.empty());
+  for (const Mtton& m : results) {
+    const cn::Ctssn& c = q.ctssns[static_cast<size_t>(m.ctssn_index)];
+    for (const schema::TssTreeEdge& e : c.tree.edges) {
+      storage::ObjectId from = m.objects[static_cast<size_t>(e.from)];
+      storage::ObjectId to = m.objects[static_cast<size_t>(e.to)];
+      const std::vector<storage::ObjectId>& fwd =
+          xk_->objects().Forward(from, e.tss_edge);
+      EXPECT_NE(std::find(fwd.begin(), fwd.end(), to), fwd.end())
+          << "edge instance missing in target object graph";
+    }
+    // Distinctness within same-segment occurrences.
+    for (int a = 0; a < c.num_nodes(); ++a) {
+      for (int b = a + 1; b < c.num_nodes(); ++b) {
+        if (c.tree.nodes[static_cast<size_t>(a)] ==
+            c.tree.nodes[static_cast<size_t>(b)]) {
+          EXPECT_NE(m.objects[static_cast<size_t>(a)],
+                    m.objects[static_cast<size_t>(b)]);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(EngineTest, UnknownDecompositionRejected) {
+  QueryOptions options;
+  EXPECT_TRUE(xk_->TopK({"a"}, "nosuch", options).status().IsNotFound());
+  EXPECT_TRUE(xk_->Prepare({}, "MinClust", options).status().IsInvalidArgument());
+}
+
+TEST_F(EngineTest, AddDecompositionTwiceRejected) {
+  EXPECT_TRUE(xk_->AddDecomposition(decomp::MakeMinimal(
+                      db_->tss(), decomp::PhysicalDesign::kClusterPerDirection))
+                  .IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace xk::engine

@@ -1,0 +1,230 @@
+// Tests for the on-demand expansion algorithm (Figure 13).
+
+#include <gtest/gtest.h>
+
+#include "engine/xkeyword.h"
+#include "test_util.h"
+
+namespace xk::engine {
+namespace {
+
+using present::Mtton;
+using present::PresentationGraph;
+
+class ExpansionTest : public ::testing::Test {
+ protected:
+  // Loaded database and prepared query are read-only across tests.
+  static void SetUpTestSuite() {
+    db_ = testing::MakeFigure1Database().release();
+    xk_ = XKeyword::Load(&db_->graph, &db_->schema, db_->tss.get())
+              .MoveValueUnsafe()
+              .release();
+    ASSERT_TRUE(xk_->AddDecomposition(
+                       decomp::MakeMinimal(
+                           *db_->tss, decomp::PhysicalDesign::kClusterPerDirection))
+                    .ok());
+    ASSERT_TRUE(
+        xk_->AddDecomposition(decomp::MakeXKeyword(*db_->tss, 2, 6).MoveValueUnsafe())
+            .ok());
+
+    QueryOptions options;
+    options.max_size_z = 8;
+    options.per_network_k = 1;  // top-1 per network seeds the graphs
+    options.num_threads = 1;
+    query_ = new PreparedQuery(
+        xk_->Prepare({"us", "vcr"}, "MinClust", options).MoveValueUnsafe());
+    TopKExecutor executor;
+    seeds_ = new std::vector<Mtton>(executor.Run(*query_, options).MoveValueUnsafe());
+  }
+
+  static void TearDownTestSuite() {
+    delete seeds_;
+    delete query_;
+    delete xk_;
+    delete db_;
+    seeds_ = nullptr;
+    query_ = nullptr;
+    xk_ = nullptr;
+    db_ = nullptr;
+  }
+
+  /// Index of the P-L-Pa-Pa network among the prepared CTSSNs.
+  int FindPlpapaNetwork() {
+    schema::TssId p = *db_->tss->SegmentByName("P");
+    schema::TssId l = *db_->tss->SegmentByName("L");
+    schema::TssId pa = *db_->tss->SegmentByName("Pa");
+    for (size_t i = 0; i < query_->ctssns.size(); ++i) {
+      const cn::Ctssn& c = query_->ctssns[i];
+      std::vector<schema::TssId> sorted = c.tree.nodes;
+      std::sort(sorted.begin(), sorted.end());
+      std::vector<schema::TssId> want = {p, l, pa, pa};
+      std::sort(want.begin(), want.end());
+      if (sorted == want && c.tree.size() == 3) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  static testing::Figure1Database* db_;
+  static XKeyword* xk_;
+  static PreparedQuery* query_;
+  static std::vector<Mtton>* seeds_;
+};
+
+testing::Figure1Database* ExpansionTest::db_ = nullptr;
+XKeyword* ExpansionTest::xk_ = nullptr;
+PreparedQuery* ExpansionTest::query_ = nullptr;
+std::vector<Mtton>* ExpansionTest::seeds_ = nullptr;
+
+TEST_F(ExpansionTest, NeighborsProbeConnectionRelations) {
+  XK_ASSERT_OK_AND_ASSIGN(ExpansionEngine engine,
+                          xk_->MakeExpansionEngine("MinClust"));
+  schema::TssId pa = *db_->tss->SegmentByName("Pa");
+  schema::TssEdgeId papa = *db_->tss->FindEdge(pa, pa);
+  storage::ObjectId tv = xk_->objects().ObjectOfNode(db_->tv_part);
+  exec::ProbeStats probes;
+  std::vector<storage::ObjectId> subs = engine.Neighbors(papa, true, tv, &probes);
+  EXPECT_EQ(subs.size(), 2u);
+  EXPECT_GT(probes.probes, 0u);
+  storage::ObjectId vcr1 = xk_->objects().ObjectOfNode(db_->vcr_part1);
+  std::vector<storage::ObjectId> super = engine.Neighbors(papa, false, vcr1, nullptr);
+  EXPECT_EQ(super, std::vector<storage::ObjectId>{tv});
+}
+
+TEST_F(ExpansionTest, ExpandLineitemRevealsAllConnectedLineitems) {
+  int net = FindPlpapaNetwork();
+  ASSERT_GE(net, 0);
+  XK_ASSERT_OK_AND_ASSIGN(PresentationGraph pg,
+                          xk_->MakePresentationGraph(*query_, net, *seeds_));
+  ASSERT_EQ(pg.NumMttons(), 1u);
+
+  // Find the lineitem occurrence.
+  schema::TssId l = *db_->tss->SegmentByName("L");
+  int li_occ = -1;
+  const cn::Ctssn& c = query_->ctssns[static_cast<size_t>(net)];
+  for (int v = 0; v < c.num_nodes(); ++v) {
+    if (c.tree.nodes[static_cast<size_t>(v)] == l) li_occ = v;
+  }
+  ASSERT_GE(li_occ, 0);
+
+  XK_ASSERT_OK_AND_ASSIGN(ExpansionEngine engine,
+                          xk_->MakeExpansionEngine("MinClust"));
+  ExpansionEngine::Stats stats;
+  XK_ASSERT_OK_AND_ASSIGN(
+      std::vector<Mtton> expansions,
+      engine.ExpandNode(c, query_->node_filters[static_cast<size_t>(net)], net,
+                        li_occ, pg, &stats));
+  // Both of order2's lineitems reference the TV part -> two lineitems can
+  // appear in this role.
+  std::set<storage::ObjectId> lineitems;
+  for (const Mtton& m : expansions) {
+    lineitems.insert(m.objects[static_cast<size_t>(li_occ)]);
+    // Every expansion is a genuine result tree.
+    for (const schema::TssTreeEdge& e : c.tree.edges) {
+      const std::vector<storage::ObjectId>& fwd = xk_->objects().Forward(
+          m.objects[static_cast<size_t>(e.from)], e.tss_edge);
+      EXPECT_NE(std::find(fwd.begin(), fwd.end(),
+                          m.objects[static_cast<size_t>(e.to)]),
+                fwd.end());
+    }
+  }
+  EXPECT_EQ(lineitems.size(), 2u);
+  EXPECT_GT(stats.candidates, 0u);
+  EXPECT_GT(stats.expanded, 0u);
+
+  // Feeding the expansions back grows the presentation graph.
+  for (const Mtton& m : expansions) pg.AddMtton(m);
+  XK_ASSERT_OK(pg.Expand(li_occ));
+  size_t displayed_lineitems = 0;
+  for (const auto& [occ, obj] : pg.Displayed()) {
+    (void)obj;
+    if (occ == li_occ) ++displayed_lineitems;
+  }
+  EXPECT_EQ(displayed_lineitems, 2u);
+  EXPECT_TRUE(pg.InvariantHolds());
+}
+
+TEST_F(ExpansionTest, ExpansionPrefersDisplayedConnections) {
+  int net = FindPlpapaNetwork();
+  ASSERT_GE(net, 0);
+  XK_ASSERT_OK_AND_ASSIGN(PresentationGraph pg,
+                          xk_->MakePresentationGraph(*query_, net, *seeds_));
+  const cn::Ctssn& c = query_->ctssns[static_cast<size_t>(net)];
+  // Expand the keyword-bearing VCR occurrence: its candidates come from the
+  // keyword filter.
+  int vcr_occ = -1;
+  for (int v = 0; v < c.num_nodes(); ++v) {
+    if (!c.IsFree(v) &&
+        c.tree.nodes[static_cast<size_t>(v)] == *db_->tss->SegmentByName("Pa")) {
+      vcr_occ = v;
+    }
+  }
+  ASSERT_GE(vcr_occ, 0);
+  XK_ASSERT_OK_AND_ASSIGN(ExpansionEngine engine,
+                          xk_->MakeExpansionEngine("MinClust"));
+  XK_ASSERT_OK_AND_ASSIGN(
+      std::vector<Mtton> expansions,
+      engine.ExpandNode(c, query_->node_filters[static_cast<size_t>(net)], net,
+                        vcr_occ, pg, nullptr));
+  // Both VCR sub-parts connect.
+  std::set<storage::ObjectId> vcrs;
+  for (const Mtton& m : expansions) {
+    vcrs.insert(m.objects[static_cast<size_t>(vcr_occ)]);
+  }
+  EXPECT_EQ(vcrs.size(), 2u);
+  // Minimal extension: expansions reuse the displayed TV part where possible.
+  storage::ObjectId tv = xk_->objects().ObjectOfNode(db_->tv_part);
+  for (const Mtton& m : expansions) {
+    EXPECT_NE(std::find(m.objects.begin(), m.objects.end(), tv), m.objects.end());
+  }
+}
+
+TEST_F(ExpansionTest, WiderDecompositionGivesSameExpansions) {
+  int net = FindPlpapaNetwork();
+  ASSERT_GE(net, 0);
+  XK_ASSERT_OK_AND_ASSIGN(PresentationGraph pg,
+                          xk_->MakePresentationGraph(*query_, net, *seeds_));
+  const cn::Ctssn& c = query_->ctssns[static_cast<size_t>(net)];
+  schema::TssId l = *db_->tss->SegmentByName("L");
+  int li_occ = -1;
+  for (int v = 0; v < c.num_nodes(); ++v) {
+    if (c.tree.nodes[static_cast<size_t>(v)] == l) li_occ = v;
+  }
+
+  XK_ASSERT_OK_AND_ASSIGN(ExpansionEngine minimal,
+                          xk_->MakeExpansionEngine("MinClust"));
+  XK_ASSERT_OK_AND_ASSIGN(ExpansionEngine inlined,
+                          xk_->MakeExpansionEngine("XKeyword"));
+  XK_ASSERT_OK_AND_ASSIGN(
+      std::vector<Mtton> a,
+      minimal.ExpandNode(c, query_->node_filters[static_cast<size_t>(net)], net,
+                         li_occ, pg, nullptr));
+  XK_ASSERT_OK_AND_ASSIGN(
+      std::vector<Mtton> b,
+      inlined.ExpandNode(c, query_->node_filters[static_cast<size_t>(net)], net,
+                         li_occ, pg, nullptr));
+  // The candidate object sets agree regardless of the probing relations.
+  auto role_objects = [li_occ](const std::vector<Mtton>& ms) {
+    std::set<storage::ObjectId> out;
+    for (const Mtton& m : ms) out.insert(m.objects[static_cast<size_t>(li_occ)]);
+    return out;
+  };
+  EXPECT_EQ(role_objects(a), role_objects(b));
+}
+
+TEST_F(ExpansionTest, BadOccurrenceRejected) {
+  int net = FindPlpapaNetwork();
+  ASSERT_GE(net, 0);
+  XK_ASSERT_OK_AND_ASSIGN(PresentationGraph pg,
+                          xk_->MakePresentationGraph(*query_, net, *seeds_));
+  XK_ASSERT_OK_AND_ASSIGN(ExpansionEngine engine,
+                          xk_->MakeExpansionEngine("MinClust"));
+  const cn::Ctssn& c = query_->ctssns[static_cast<size_t>(net)];
+  EXPECT_TRUE(engine
+                  .ExpandNode(c, query_->node_filters[static_cast<size_t>(net)],
+                              net, 99, pg, nullptr)
+                  .status()
+                  .IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace xk::engine

@@ -1,0 +1,157 @@
+// End-to-end tests of the whole pipeline on the paper's running example
+// (Figure 1) — the "John, VCR" and "US, VCR" queries of Sections 1 and 3.
+
+#include <gtest/gtest.h>
+
+#include "engine/xkeyword.h"
+#include "test_util.h"
+
+namespace xk {
+namespace {
+
+using engine::QueryOptions;
+using engine::XKeyword;
+using present::Mtton;
+using testing::Figure1Database;
+using testing::MakeFigure1Database;
+
+class Figure1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeFigure1Database();
+    auto loaded = XKeyword::Load(&db_->graph, &db_->schema, db_->tss.get());
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    xk_ = loaded.MoveValueUnsafe();
+    XK_ASSERT_OK(xk_->AddDecomposition(decomp::MakeMinimal(
+        *db_->tss, decomp::PhysicalDesign::kClusterPerDirection)));
+  }
+
+  std::unique_ptr<Figure1Database> db_;
+  std::unique_ptr<XKeyword> xk_;
+};
+
+TEST_F(Figure1Test, LoadBuildsObjectsAndIndex) {
+  // Target objects: 4 parts + 1 product + 2 persons + 1 service call +
+  // 2 orders + 3 lineitems = 13.
+  EXPECT_EQ(xk_->objects().NumObjects(), 13);
+  // Master index knows the running keywords.
+  EXPECT_TRUE(xk_->master_index().Contains("john"));
+  EXPECT_TRUE(xk_->master_index().Contains("VCR"));   // case-insensitive
+  EXPECT_TRUE(xk_->master_index().Contains("dvd"));
+  EXPECT_FALSE(xk_->master_index().Contains("zzz"));
+}
+
+TEST_F(Figure1Test, JohnVcrFindsBothPaperResults) {
+  QueryOptions options;
+  options.max_size_z = 8;
+  options.per_network_k = 100;
+  engine::ExecutionStats stats;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
+                          xk_->TopK({"john", "vcr"}, "MinClust", options, &stats));
+  ASSERT_FALSE(results.empty());
+
+  // The best result (size 6) connects John to the "set of VCR and DVD"
+  // product through the lineitem he supplies.
+  EXPECT_EQ(results.front().score, 6);
+  storage::ObjectId john_obj = xk_->objects().ObjectOfNode(db_->john);
+  storage::ObjectId product_obj = xk_->objects().ObjectOfNode(db_->product);
+  const Mtton& best = results.front();
+  EXPECT_NE(std::find(best.objects.begin(), best.objects.end(), john_obj),
+            best.objects.end());
+  EXPECT_NE(std::find(best.objects.begin(), best.objects.end(), product_obj),
+            best.objects.end());
+
+  // A size-8 result through TV's VCR sub-parts also exists.
+  storage::ObjectId vcr1 = xk_->objects().ObjectOfNode(db_->vcr_part1);
+  bool found_subpart_result = false;
+  for (const Mtton& m : results) {
+    if (m.score == 8 &&
+        std::find(m.objects.begin(), m.objects.end(), vcr1) != m.objects.end() &&
+        std::find(m.objects.begin(), m.objects.end(), john_obj) !=
+            m.objects.end()) {
+      found_subpart_result = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_subpart_result);
+}
+
+TEST_F(Figure1Test, ResultsSortedByScore) {
+  QueryOptions options;
+  options.max_size_z = 8;
+  options.per_network_k = 50;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
+                          xk_->TopK({"john", "vcr"}, "MinClust", options));
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i - 1].score, results[i].score);
+  }
+}
+
+TEST_F(Figure1Test, NaiveAndCachedAgree) {
+  QueryOptions options;
+  options.max_size_z = 8;
+  options.per_network_k = 1000;
+  options.num_threads = 1;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> cached,
+                          xk_->TopK({"john", "vcr"}, "MinClust", options));
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> naive,
+                          xk_->TopKNaive({"john", "vcr"}, "MinClust", options));
+  EXPECT_EQ(cached, naive);
+}
+
+TEST_F(Figure1Test, FullExecutorMatchesTopKWithLargeK) {
+  QueryOptions options;
+  options.max_size_z = 6;
+  options.per_network_k = 1000000;
+  options.num_threads = 1;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> topk,
+                          xk_->TopK({"us", "vcr"}, "MinClust", options));
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> full,
+                          xk_->AllResults({"us", "vcr"}, "MinClust", options));
+  EXPECT_EQ(topk, full);
+}
+
+TEST_F(Figure1Test, MissingKeywordYieldsNoResults) {
+  QueryOptions options;
+  options.max_size_z = 6;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
+                          xk_->TopK({"john", "nosuchword"}, "MinClust", options));
+  EXPECT_TRUE(results.empty());
+}
+
+TEST_F(Figure1Test, SingleKeywordSingleObjectResults) {
+  QueryOptions options;
+  options.max_size_z = 4;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
+                          xk_->TopK({"mike"}, "MinClust", options));
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results.front().score, 0);
+  EXPECT_EQ(results.front().objects.size(), 1u);
+  EXPECT_EQ(results.front().objects[0], xk_->objects().ObjectOfNode(db_->mike));
+}
+
+TEST_F(Figure1Test, UsVcrHasMultivaluedFamilyOfResults) {
+  // Figure 2: p1 supplies l1, l2; both reference TV whose sub-parts are two
+  // VCRs -> the P-L-Pa-Pa network yields 4 combinations N1..N4.
+  QueryOptions options;
+  options.max_size_z = 8;
+  options.per_network_k = 1000;
+  options.num_threads = 1;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
+                          xk_->TopK({"us", "vcr"}, "MinClust", options));
+  storage::ObjectId tv = xk_->objects().ObjectOfNode(db_->tv_part);
+  storage::ObjectId john_obj = xk_->objects().ObjectOfNode(db_->john);
+  int family = 0;
+  for (const Mtton& m : results) {
+    if (std::find(m.objects.begin(), m.objects.end(), tv) != m.objects.end() &&
+        std::find(m.objects.begin(), m.objects.end(), john_obj) !=
+            m.objects.end()) {
+      ++family;
+    }
+  }
+  // At least the four N1..N4 combinations (two lineitems x two VCR subparts).
+  EXPECT_GE(family, 4);
+}
+
+}  // namespace
+}  // namespace xk

@@ -1,0 +1,167 @@
+// Tests for MTTON rendering and presentation-graph semantics (Section 3.2) —
+// including the Figure 2/3 scenario: four results N1..N4 over two lineitems
+// and two VCR sub-parts, expanded and contracted per the formal properties.
+
+#include <gtest/gtest.h>
+
+#include "present/mtton.h"
+#include "present/presentation_graph.h"
+#include "test_util.h"
+
+namespace xk::present {
+namespace {
+
+class PresentationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing::MakeFigure1Database();
+    // Network P - L - Pa - Pa (person supplies lineitem whose part has a
+    // sub-part), the CTSSN behind Figure 2's N1..N4.
+    schema::TssId p = *db_->tss->SegmentByName("P");
+    schema::TssId l = *db_->tss->SegmentByName("L");
+    schema::TssId pa = *db_->tss->SegmentByName("Pa");
+    ctssn_.tree.nodes = {p, l, pa, pa};
+    ctssn_.tree.edges = {
+        schema::TssTreeEdge{1, 0, *db_->tss->FindEdge(l, p)},
+        schema::TssTreeEdge{1, 2, *db_->tss->FindEdge(l, pa)},
+        schema::TssTreeEdge{2, 3, *db_->tss->FindEdge(pa, pa)}};
+    ctssn_.node_keywords.resize(4);
+    ctssn_.cn_size = 8;
+  }
+
+  /// N_i: (person=100, lineitem=li, tv=300, vcr).
+  Mtton N(storage::ObjectId li, storage::ObjectId vcr) {
+    return Mtton{0, {100, li, 300, vcr}, 8};
+  }
+
+  std::unique_ptr<testing::Figure1Database> db_;
+  cn::Ctssn ctssn_;
+};
+
+TEST_F(PresentationTest, InitialDisplayIsFirstResult) {
+  PresentationGraph pg(&ctssn_);
+  pg.AddMtton(N(201, 401));
+  pg.AddMtton(N(202, 402));
+  EXPECT_EQ(pg.NumMttons(), 2u);
+  EXPECT_EQ(pg.Displayed().size(), 4u);
+  EXPECT_TRUE(pg.IsDisplayed(1, 201));
+  EXPECT_FALSE(pg.IsDisplayed(1, 202));
+  EXPECT_TRUE(pg.InvariantHolds());
+}
+
+TEST_F(PresentationTest, DuplicateResultsIgnored) {
+  PresentationGraph pg(&ctssn_);
+  pg.AddMtton(N(201, 401));
+  pg.AddMtton(N(201, 401));
+  EXPECT_EQ(pg.NumMttons(), 1u);
+}
+
+TEST_F(PresentationTest, ExpandShowsAllObjectsOfRole) {
+  // Figure 3(b): clicking the lineitem displays all lineitems connected to
+  // the person and part of the initial tree.
+  PresentationGraph pg(&ctssn_);
+  pg.AddMtton(N(201, 401));
+  pg.AddMtton(N(202, 401));
+  pg.AddMtton(N(202, 402));
+  pg.AddMtton(N(201, 402));
+  XK_ASSERT_OK(pg.Expand(1));
+  EXPECT_TRUE(pg.IsDisplayed(1, 201));
+  EXPECT_TRUE(pg.IsDisplayed(1, 202));
+  EXPECT_TRUE(pg.IsExpanded(1));
+  // Property (c): every displayed node on a displayed result.
+  EXPECT_TRUE(pg.InvariantHolds());
+  // Minimality: the second VCR was NOT needed to show lineitem 202.
+  EXPECT_FALSE(pg.IsDisplayed(3, 402));
+}
+
+TEST_F(PresentationTest, ExpandIsMonotonic) {
+  PresentationGraph pg(&ctssn_);
+  pg.AddMtton(N(201, 401));
+  pg.AddMtton(N(202, 402));
+  auto before = pg.Displayed();
+  XK_ASSERT_OK(pg.Expand(3));
+  for (const DisplayNode& n : before) {
+    EXPECT_TRUE(pg.Displayed().contains(n));  // property (a)
+  }
+  EXPECT_TRUE(pg.InvariantHolds());
+}
+
+TEST_F(PresentationTest, ContractKeepsOnlyChosenRoleObject) {
+  // Figure 3(c): contract back onto one lineitem.
+  PresentationGraph pg(&ctssn_);
+  pg.AddMtton(N(201, 401));
+  pg.AddMtton(N(202, 401));
+  pg.AddMtton(N(202, 402));
+  XK_ASSERT_OK(pg.Expand(1));
+  XK_ASSERT_OK(pg.Expand(3));
+  ASSERT_TRUE(pg.IsDisplayed(1, 202));
+  XK_ASSERT_OK(pg.Contract(1, 201));
+  // (b) 201 is the only lineitem left.
+  EXPECT_TRUE(pg.IsDisplayed(1, 201));
+  EXPECT_FALSE(pg.IsDisplayed(1, 202));
+  // (c)+(d): maximal valid subgraph through 201.
+  EXPECT_TRUE(pg.IsDisplayed(3, 401));
+  EXPECT_FALSE(pg.IsDisplayed(3, 402));  // 402 only reachable via 202
+  EXPECT_TRUE(pg.InvariantHolds());
+  EXPECT_FALSE(pg.IsExpanded(1));
+}
+
+TEST_F(PresentationTest, ContractValidatesArguments) {
+  PresentationGraph pg(&ctssn_);
+  pg.AddMtton(N(201, 401));
+  EXPECT_TRUE(pg.Contract(9, 201).IsOutOfRange());
+  EXPECT_TRUE(pg.Contract(1, 999).IsNotFound());
+  EXPECT_TRUE(pg.Expand(-1).IsOutOfRange());
+}
+
+TEST_F(PresentationTest, ExpandHonorsNodeBudget) {
+  PresentationGraph pg(&ctssn_);
+  pg.AddMtton(N(201, 401));
+  for (storage::ObjectId li = 210; li < 230; ++li) pg.AddMtton(N(li, 401));
+  // "if the expanded nodes are too many to fit in the screen then only the
+  // first 10 are displayed".
+  XK_ASSERT_OK(pg.Expand(1, /*max_new_nodes=*/10));
+  size_t lineitems = 0;
+  for (const DisplayNode& n : pg.Displayed()) {
+    if (n.first == 1) ++lineitems;
+  }
+  EXPECT_LE(lineitems, 11u);  // initial + up to 10 new
+  EXPECT_TRUE(pg.InvariantHolds());
+}
+
+TEST_F(PresentationTest, DisplayedEdgesComeFromContainedResults) {
+  PresentationGraph pg(&ctssn_);
+  pg.AddMtton(N(201, 401));
+  pg.AddMtton(N(202, 402));
+  auto edges = pg.DisplayedEdges();
+  // Only N(201,401) displayed -> its 3 edges.
+  EXPECT_EQ(edges.size(), 3u);
+  XK_ASSERT_OK(pg.Expand(1));
+  EXPECT_GT(pg.DisplayedEdges().size(), 3u);
+}
+
+TEST_F(PresentationTest, RenderMttonShowsBlobsAndAnnotations) {
+  storage::BlobStore blobs;
+  XK_ASSERT_OK(blobs.Put(100, "<person><name>John</name></person>"));
+  XK_ASSERT_OK(blobs.Put(201, "<lineitem/>"));
+  XK_ASSERT_OK(blobs.Put(300, "<part><name>TV</name></part>"));
+  XK_ASSERT_OK(blobs.Put(401, "<part><name>VCR</name></part>"));
+  std::string text = RenderMtton(N(201, 401), ctssn_, *db_->tss, blobs);
+  EXPECT_NE(text.find("John"), std::string::npos);
+  EXPECT_NE(text.find("score 8"), std::string::npos);
+  EXPECT_NE(text.find("sub-part"), std::string::npos);  // edge annotation
+}
+
+TEST(MttonTest, HashDistinguishesNetworksAndObjects) {
+  MttonHash hash;
+  Mtton a{0, {1, 2}, 3};
+  Mtton b{0, {1, 2}, 3};
+  Mtton c{1, {1, 2}, 3};
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace xk::present

@@ -1,0 +1,224 @@
+// Randomized property sweeps (TEST_P over generator seeds): for arbitrary
+// DBLP-like instances and keyword pairs, every executor and every
+// decomposition must produce the same result sets, and every result must be
+// a genuine, keyword-complete tree of the target object graph.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "datagen/dblp_gen.h"
+#include "engine/xkeyword.h"
+#include "test_util.h"
+
+namespace xk {
+namespace {
+
+using engine::ExecutionStats;
+using engine::QueryOptions;
+using engine::XKeyword;
+using present::Mtton;
+
+class QueryProperties : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    datagen::DblpConfig config;
+    config.num_conferences = 3;
+    config.years_per_conference = 3;
+    config.avg_papers_per_year = 6;
+    config.avg_citations_per_paper = 3.0;
+    config.author_vocab = 25;
+    config.title_vocab = 30;
+    config.seed = static_cast<uint64_t>(GetParam());
+    db_ = datagen::DblpDatabase::Generate(config).MoveValueUnsafe();
+    xk_ = XKeyword::Load(&db_->graph(), &db_->schema(), &db_->tss())
+              .MoveValueUnsafe();
+    XK_ASSERT_OK(xk_->AddDecomposition(decomp::MakeMinimal(
+        db_->tss(), decomp::PhysicalDesign::kClusterPerDirection)));
+    // M = 4 matches the queries' max_size_z below (CTSSN size <= CN size).
+    XK_ASSERT_OK(xk_->AddDecomposition(
+        decomp::MakeXKeyword(db_->tss(), /*B=*/2, /*M=*/4).MoveValueUnsafe()));
+    XK_ASSERT_OK(
+        xk_->AddDecomposition(decomp::MakeComplete(db_->tss(), 2).MoveValueUnsafe()));
+
+    // Keyword pairs drawn from the instance's vocabularies.
+    Random rng(config.seed * 31 + 7);
+    for (int i = 0; i < 3; ++i) {
+      queries_.push_back({rng.Pick(db_->author_names()),
+                          rng.Pick(db_->title_words())});
+    }
+    queries_.push_back({"ullman", "keyword"});
+  }
+
+  /// Multiset of result "shapes" — objects + score, network-agnostic is NOT
+  /// desired: identical networks must match across executors.
+  std::multiset<std::vector<storage::ObjectId>> Shapes(
+      const std::vector<Mtton>& results) {
+    std::multiset<std::vector<storage::ObjectId>> out;
+    for (const Mtton& m : results) {
+      std::vector<storage::ObjectId> key = m.objects;
+      std::sort(key.begin(), key.end());
+      key.push_back(m.ctssn_index);
+      key.push_back(m.score);
+      out.insert(std::move(key));
+    }
+    return out;
+  }
+
+  std::unique_ptr<datagen::DblpDatabase> db_;
+  std::unique_ptr<XKeyword> xk_;
+  std::vector<std::vector<std::string>> queries_;
+};
+
+TEST_P(QueryProperties, ExecutorsAgree) {
+  QueryOptions options;
+  options.max_size_z = 4;
+  options.per_network_k = 1u << 20;
+  options.num_threads = 1;
+  for (const auto& q : queries_) {
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> cached,
+                            xk_->TopK(q, "MinClust", options));
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> naive,
+                            xk_->TopKNaive(q, "MinClust", options));
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> full,
+                            xk_->AllResults(q, "MinClust", options));
+    EXPECT_EQ(Shapes(cached), Shapes(naive)) << q[0] << " " << q[1];
+    EXPECT_EQ(Shapes(cached), Shapes(full)) << q[0] << " " << q[1];
+  }
+}
+
+TEST_P(QueryProperties, DecompositionsAgree) {
+  QueryOptions options;
+  options.max_size_z = 4;
+  options.per_network_k = 1u << 20;
+  options.num_threads = 1;
+  for (const auto& q : queries_) {
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> minimal,
+                            xk_->TopK(q, "MinClust", options));
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> xkeyword,
+                            xk_->TopK(q, "XKeyword", options));
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> complete,
+                            xk_->TopK(q, "Complete", options));
+    EXPECT_EQ(Shapes(minimal), Shapes(xkeyword)) << q[0] << " " << q[1];
+    EXPECT_EQ(Shapes(minimal), Shapes(complete)) << q[0] << " " << q[1];
+  }
+}
+
+TEST_P(QueryProperties, ResultsAreKeywordCompleteTrees) {
+  QueryOptions options;
+  options.max_size_z = 4;
+  options.per_network_k = 200;
+  options.num_threads = 1;
+  for (const auto& q : queries_) {
+    XK_ASSERT_OK_AND_ASSIGN(engine::PreparedQuery prepared,
+                            xk_->Prepare(q, "MinClust", options));
+    engine::TopKExecutor executor;
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
+                            executor.Run(prepared, options));
+    for (const Mtton& m : results) {
+      const cn::Ctssn& c = prepared.ctssns[static_cast<size_t>(m.ctssn_index)];
+      EXPECT_EQ(m.score, c.cn_size);
+      // Edges exist in the target object graph.
+      for (const schema::TssTreeEdge& e : c.tree.edges) {
+        const std::vector<storage::ObjectId>& fwd = xk_->objects().Forward(
+            m.objects[static_cast<size_t>(e.from)], e.tss_edge);
+        ASSERT_NE(std::find(fwd.begin(), fwd.end(),
+                            m.objects[static_cast<size_t>(e.to)]),
+                  fwd.end());
+      }
+      // Keyword filters honored.
+      for (int v = 0; v < c.num_nodes(); ++v) {
+        for (const cn::CtssnKeyword& kw :
+             c.node_keywords[static_cast<size_t>(v)]) {
+          bool found = false;
+          for (const keyword::Posting& p : xk_->master_index().ContainingList(
+                   q[static_cast<size_t>(kw.keyword)])) {
+            if (p.to_id == m.objects[static_cast<size_t>(v)] &&
+                p.schema_node == kw.schema_node) {
+              found = true;
+              break;
+            }
+          }
+          EXPECT_TRUE(found);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(QueryProperties, NoDuplicateResultsWithinANetwork) {
+  QueryOptions options;
+  options.max_size_z = 4;
+  options.per_network_k = 1u << 20;
+  options.num_threads = 1;
+  for (const auto& q : queries_) {
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
+                            xk_->TopK(q, "MinClust", options));
+    std::set<std::pair<int, std::vector<storage::ObjectId>>> seen;
+    for (const Mtton& m : results) {
+      EXPECT_TRUE(seen.insert({m.ctssn_index, m.objects}).second)
+          << "duplicate result in network " << m.ctssn_index;
+    }
+  }
+}
+
+TEST_P(QueryProperties, ScoresNondecreasingAndBounded) {
+  QueryOptions options;
+  options.max_size_z = 4;
+  options.per_network_k = 50;
+  for (const auto& q : queries_) {
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
+                            xk_->TopK(q, "MinClust", options));
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_LE(results[i - 1].score, results[i].score);
+    }
+    for (const Mtton& m : results) {
+      EXPECT_GE(m.score, 0);
+      EXPECT_LE(m.score, options.max_size_z);
+    }
+  }
+}
+
+TEST_P(QueryProperties, PresentationGraphInvariantAfterRandomActions) {
+  QueryOptions options;
+  options.max_size_z = 4;
+  options.per_network_k = 64;
+  options.num_threads = 1;
+  const auto& q = queries_.back();  // "ullman keyword" always matches
+  XK_ASSERT_OK_AND_ASSIGN(engine::PreparedQuery prepared,
+                          xk_->Prepare(q, "MinClust", options));
+  engine::TopKExecutor executor;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
+                          executor.Run(prepared, options));
+  std::map<int, int> per_network;
+  for (const Mtton& m : results) ++per_network[m.ctssn_index];
+  Random rng(static_cast<uint64_t>(GetParam()) + 999);
+  for (const auto& [net, count] : per_network) {
+    if (count < 2) continue;
+    XK_ASSERT_OK_AND_ASSIGN(present::PresentationGraph pg,
+                            xk_->MakePresentationGraph(prepared, net, results));
+    const cn::Ctssn& c = prepared.ctssns[static_cast<size_t>(net)];
+    for (int action = 0; action < 8; ++action) {
+      int occ = static_cast<int>(rng.Uniform(0, c.num_nodes() - 1));
+      if (rng.OneIn(3) && pg.IsExpanded(occ)) {
+        // Contract onto an arbitrary displayed object of this role.
+        for (const auto& [o, obj] : pg.Displayed()) {
+          if (o == occ) {
+            XK_ASSERT_OK(pg.Contract(occ, obj));
+            break;
+          }
+        }
+      } else {
+        XK_ASSERT_OK(pg.Expand(occ));
+      }
+      ASSERT_TRUE(pg.InvariantHolds()) << "network " << net;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryProperties, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace xk

@@ -1,0 +1,176 @@
+// Robustness sweeps: the parser must never crash on mangled input, the
+// engine must reject malformed usage with clean Status codes, and
+// three-keyword queries must behave like two-keyword ones.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/dblp_gen.h"
+#include "datagen/tpch_gen.h"
+#include "decomp/classify.h"
+#include "engine/xkeyword.h"
+#include "test_util.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace xk {
+namespace {
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, MutatedDocumentsNeverCrash) {
+  // Start from a valid document; apply random mutations; parsing must
+  // either succeed or fail with a Corruption status — never crash.
+  datagen::TpchConfig config;
+  config.num_persons = 3;
+  config.num_parts = 4;
+  config.num_products = 2;
+  config.seed = 7;
+  XK_ASSERT_OK_AND_ASSIGN(auto db, datagen::TpchDatabase::Generate(config));
+  std::string xml = xml::WriteGraph(db->graph(), false, true);
+
+  Random rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = xml;
+    int mutations = static_cast<int>(rng.Uniform(1, 8));
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(mutated.size()) - 1));
+      switch (rng.Uniform(0, 3)) {
+        case 0: mutated[pos] = static_cast<char>(rng.Uniform(32, 126)); break;
+        case 1: mutated.erase(pos, 1); break;
+        case 2: mutated.insert(pos, 1, '<'); break;
+        case 3: mutated.insert(pos, "&bad;"); break;
+      }
+    }
+    auto result = xml::ParseXml(mutated);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsCorruption()) << result.status().ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1, 5));
+
+TEST(ParserLimits, DeeplyNestedDocument) {
+  std::string xml;
+  const int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) xml += "<a>";
+  xml += "x";
+  for (int i = 0; i < kDepth; ++i) xml += "</a>";
+  auto doc = xml::ParseXml(xml);
+  XK_ASSERT_OK(doc.status());
+  EXPECT_EQ(doc->graph.NumNodes(), kDepth);
+}
+
+TEST(ThreeKeywordTest, QueriesWork) {
+  auto db = testing::MakeFigure1Database();
+  auto xk = engine::XKeyword::Load(&db->graph, &db->schema, db->tss.get())
+                .MoveValueUnsafe();
+  XK_ASSERT_OK(xk->AddDecomposition(decomp::MakeMinimal(
+      *db->tss, decomp::PhysicalDesign::kClusterPerDirection)));
+  engine::QueryOptions options;
+  options.max_size_z = 8;
+  options.per_network_k = 100;
+  options.num_threads = 1;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<present::Mtton> results,
+                          xk->TopK({"john", "tv", "dvd"}, "MinClust", options));
+  ASSERT_FALSE(results.empty());
+  // Every result's keyword occurrences check out.
+  XK_ASSERT_OK_AND_ASSIGN(engine::PreparedQuery q,
+                          xk->Prepare({"john", "tv", "dvd"}, "MinClust", options));
+  for (const present::Mtton& m : results) {
+    const cn::Ctssn& c = q.ctssns[static_cast<size_t>(m.ctssn_index)];
+    std::set<int> keywords;
+    for (const auto& kws : c.node_keywords) {
+      for (const cn::CtssnKeyword& kw : kws) keywords.insert(kw.keyword);
+    }
+    EXPECT_EQ(keywords, (std::set<int>{0, 1, 2}));
+  }
+  // Naive agrees.
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<present::Mtton> naive,
+                          xk->TopKNaive({"john", "tv", "dvd"}, "MinClust", options));
+  EXPECT_EQ(results, naive);
+}
+
+TEST(InlinedDecompositionTest, DropsRedundantSingleEdges) {
+  schema::SchemaGraph s;
+  auto tss = datagen::BuildDblpSchema(&s).MoveValueUnsafe();
+  XK_ASSERT_OK_AND_ASSIGN(decomp::Decomposition full,
+                          decomp::MakeXKeyword(*tss, 2, 4));
+  XK_ASSERT_OK_AND_ASSIGN(decomp::Decomposition inlined,
+                          decomp::MakeInlined(*tss, 2, 4));
+  EXPECT_EQ(inlined.name, "Inlined");
+  EXPECT_LT(inlined.fragments.size(), full.fragments.size());
+  // Every TSS edge is still covered (Definition 5.2).
+  std::set<schema::TssEdgeId> covered;
+  for (const decomp::Fragment& f : inlined.fragments) {
+    for (const schema::TssTreeEdge& e : f.tree.edges) covered.insert(e.tss_edge);
+  }
+  EXPECT_EQ(covered.size(), static_cast<size_t>(tss->NumEdges()));
+}
+
+TEST(MaximalDecompositionTest, ZeroJoinsForEveryNetwork) {
+  schema::SchemaGraph s;
+  auto tss = datagen::BuildDblpSchema(&s).MoveValueUnsafe();
+  XK_ASSERT_OK_AND_ASSIGN(decomp::Decomposition maximal,
+                          decomp::MakeMaximal(*tss, 3));
+  decomp::EnumerateOptions opts;
+  opts.max_size = 3;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<schema::TssTree> nets,
+                          decomp::EnumerateTrees(*tss, opts));
+  for (const schema::TssTree& net : nets) {
+    EXPECT_TRUE(decomp::Covered(net, *tss, maximal.fragments, 0))
+        << net.ToString(*tss);
+  }
+}
+
+TEST(ExpansionPiecesTest, MinimalYieldsPerEdgePieces) {
+  auto db = testing::MakeFigure1Database();
+  auto xk = engine::XKeyword::Load(&db->graph, &db->schema, db->tss.get())
+                .MoveValueUnsafe();
+  XK_ASSERT_OK(xk->AddDecomposition(decomp::MakeMinimal(
+      *db->tss, decomp::PhysicalDesign::kClusterPerDirection)));
+  XK_ASSERT_OK_AND_ASSIGN(engine::ExpansionEngine engine,
+                          xk->MakeExpansionEngine("MinClust"));
+
+  schema::TssId p = *db->tss->SegmentByName("P");
+  schema::TssId l = *db->tss->SegmentByName("L");
+  schema::TssId pa = *db->tss->SegmentByName("Pa");
+  cn::Ctssn c;
+  c.tree.nodes = {p, l, pa};
+  c.tree.edges = {schema::TssTreeEdge{1, 0, *db->tss->FindEdge(l, p)},
+                  schema::TssTreeEdge{1, 2, *db->tss->FindEdge(l, pa)}};
+  c.node_keywords.resize(3);
+
+  std::vector<engine::ExpansionEngine::Piece> pieces = engine.PlanPieces(c, 1, opt::NodeFilters(3));
+  EXPECT_EQ(pieces.size(), 2u);  // one per edge
+  for (const auto& piece : pieces) {
+    EXPECT_EQ(piece.table->arity(), 2);
+  }
+}
+
+TEST(ExpansionPiecesTest, WiderDecompositionYieldsFewerPieces) {
+  auto db = testing::MakeFigure1Database();
+  auto xk = engine::XKeyword::Load(&db->graph, &db->schema, db->tss.get())
+                .MoveValueUnsafe();
+  XK_ASSERT_OK(
+      xk->AddDecomposition(decomp::MakeXKeyword(*db->tss, 2, 4).MoveValueUnsafe()));
+  XK_ASSERT_OK_AND_ASSIGN(engine::ExpansionEngine engine,
+                          xk->MakeExpansionEngine("XKeyword"));
+
+  schema::TssId p = *db->tss->SegmentByName("P");
+  schema::TssId l = *db->tss->SegmentByName("L");
+  schema::TssId pa = *db->tss->SegmentByName("Pa");
+  cn::Ctssn c;
+  c.tree.nodes = {p, l, pa};
+  c.tree.edges = {schema::TssTreeEdge{1, 0, *db->tss->FindEdge(l, p)},
+                  schema::TssTreeEdge{1, 2, *db->tss->FindEdge(l, pa)}};
+  c.node_keywords.resize(3);
+
+  std::vector<engine::ExpansionEngine::Piece> pieces = engine.PlanPieces(c, 1, opt::NodeFilters(3));
+  EXPECT_EQ(pieces.size(), 1u);  // one P<-L->Pa star fragment
+}
+
+}  // namespace
+}  // namespace xk

@@ -1,0 +1,177 @@
+// Tests for schema graphs and instance validation.
+
+#include <gtest/gtest.h>
+
+#include "datagen/tpch_gen.h"
+#include "schema/schema_graph.h"
+#include "schema/validator.h"
+#include "test_util.h"
+
+namespace xk::schema {
+namespace {
+
+TEST(SchemaGraphTest, NodesAndEdges) {
+  SchemaGraph s;
+  SchemaNodeId a = s.AddNode("a");
+  SchemaNodeId b = s.AddNode("b", NodeKind::kChoice);
+  XK_ASSERT_OK_AND_ASSIGN(SchemaEdgeId e, s.AddContainmentEdge(a, b, true));
+  EXPECT_EQ(s.NumNodes(), 2);
+  EXPECT_EQ(s.NumEdges(), 1);
+  EXPECT_EQ(s.label(b), "b");
+  EXPECT_EQ(s.kind(b), NodeKind::kChoice);
+  EXPECT_EQ(s.edge(e).kind, EdgeKind::kContainment);
+  EXPECT_TRUE(s.edge(e).max_occurs_many);
+  EXPECT_EQ(s.ContainmentParent(b), a);
+  EXPECT_EQ(s.ContainmentParent(a), kNoSchemaNode);
+  EXPECT_EQ(s.Roots(), std::vector<SchemaNodeId>{a});
+}
+
+TEST(SchemaGraphTest, EdgeMultiplicities) {
+  SchemaGraph s;
+  SchemaNodeId a = s.AddNode("a");
+  SchemaNodeId b = s.AddNode("b");
+  XK_ASSERT_OK_AND_ASSIGN(SchemaEdgeId many, s.AddContainmentEdge(a, b, true));
+  XK_ASSERT_OK_AND_ASSIGN(SchemaEdgeId ref, s.AddReferenceEdge(a, b, false));
+  EXPECT_EQ(s.edge(many).forward_mult(), Mult::kMany);
+  EXPECT_EQ(s.edge(many).reverse_mult(), Mult::kOne);  // one parent
+  EXPECT_EQ(s.edge(ref).forward_mult(), Mult::kOne);
+  EXPECT_EQ(s.edge(ref).reverse_mult(), Mult::kMany);  // many referrers
+}
+
+TEST(SchemaGraphTest, Lookups) {
+  SchemaGraph s;
+  SchemaNodeId person = s.AddNode("person");
+  SchemaNodeId name1 = s.AddNode("name");
+  SchemaNodeId part = s.AddNode("part");
+  SchemaNodeId name2 = s.AddNode("name");
+  XK_EXPECT_OK(s.AddContainmentEdge(person, name1).status());
+  XK_EXPECT_OK(s.AddContainmentEdge(part, name2).status());
+  XK_ASSERT_OK_AND_ASSIGN(SchemaNodeId found, s.ChildByLabel(person, "name"));
+  EXPECT_EQ(found, name1);
+  EXPECT_TRUE(s.ChildByLabel(person, "ghost").status().IsNotFound());
+  // "name" is ambiguous globally; "person" is unique.
+  EXPECT_TRUE(s.NodeByUniqueLabel("name").status().IsInvalidArgument());
+  XK_ASSERT_OK_AND_ASSIGN(SchemaNodeId p, s.NodeByUniqueLabel("person"));
+  EXPECT_EQ(p, person);
+  EXPECT_TRUE(s.NodeByUniqueLabel("zzz").status().IsNotFound());
+  EXPECT_TRUE(s.FindReferenceEdge(person, part).status().IsNotFound());
+}
+
+TEST(MultiplicityTest, Compose) {
+  EXPECT_EQ(Compose(Mult::kOne, Mult::kOne), Mult::kOne);
+  EXPECT_EQ(Compose(Mult::kOne, Mult::kMany), Mult::kMany);
+  EXPECT_EQ(Compose(Mult::kMany, Mult::kOne), Mult::kMany);
+  EXPECT_STREQ(MultToString(Mult::kOne), "one");
+}
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tss_ = datagen::BuildTpchSchema(&schema_).MoveValueUnsafe();
+  }
+
+  schema::SchemaGraph schema_;
+  std::unique_ptr<schema::TssGraph> tss_;
+};
+
+TEST_F(ValidatorTest, AcceptsFigure1Instance) {
+  auto db = testing::MakeFigure1Database();
+  XK_ASSERT_OK_AND_ASSIGN(ValidationResult v, Validate(db->graph, db->schema));
+  // Every node typed.
+  for (xml::NodeId n = 0; n < db->graph.NumNodes(); ++n) {
+    EXPECT_NE(v.node_types[static_cast<size_t>(n)], kNoSchemaNode);
+  }
+  // Counts: 2 persons, 4 parts, 3 lineitems.
+  XK_ASSERT_OK_AND_ASSIGN(SchemaNodeId person, db->schema.NodeByUniqueLabel("person"));
+  XK_ASSERT_OK_AND_ASSIGN(SchemaNodeId part, db->schema.NodeByUniqueLabel("part"));
+  XK_ASSERT_OK_AND_ASSIGN(SchemaNodeId li, db->schema.NodeByUniqueLabel("lineitem"));
+  EXPECT_EQ(v.node_counts[static_cast<size_t>(person)], 2);
+  EXPECT_EQ(v.node_counts[static_cast<size_t>(part)], 4);
+  EXPECT_EQ(v.node_counts[static_cast<size_t>(li)], 3);
+}
+
+TEST_F(ValidatorTest, RejectsUnknownRootAndChild) {
+  {
+    xml::XmlGraph g;
+    g.AddNode("alien");
+    EXPECT_TRUE(Validate(g, schema_).status().IsCorruption());
+  }
+  {
+    xml::XmlGraph g;
+    xml::NodeId p = g.AddNode("person");
+    xml::NodeId x = g.AddNode("orderzzz");
+    XK_ASSERT_OK(g.AddContainmentEdge(p, x));
+    EXPECT_TRUE(Validate(g, schema_).status().IsCorruption());
+  }
+}
+
+TEST_F(ValidatorTest, RejectsChoiceViolation) {
+  // A line with references to both a part and a product.
+  xml::XmlGraph g;
+  xml::NodeId part = g.AddNode("part");
+  xml::NodeId product = g.AddNode("product");
+  xml::NodeId person = g.AddNode("person");
+  xml::NodeId order = g.AddNode("order");
+  xml::NodeId li = g.AddNode("lineitem");
+  xml::NodeId line = g.AddNode("line");
+  XK_ASSERT_OK(g.AddContainmentEdge(person, order));
+  XK_ASSERT_OK(g.AddContainmentEdge(order, li));
+  XK_ASSERT_OK(g.AddContainmentEdge(li, line));
+  XK_ASSERT_OK(g.AddReferenceEdge(line, part));
+  XK_ASSERT_OK(g.AddReferenceEdge(line, product));
+  // Both references exist in the schema individually, but the reference
+  // maxOccurs (one target per line alternative) rejects doubles.
+  auto result = Validate(g, schema_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ValidatorTest, RejectsMaxOccursViolation) {
+  // Two name children under one person (maxOccurs = 1).
+  xml::XmlGraph g;
+  xml::NodeId p = g.AddNode("person");
+  xml::NodeId n1 = g.AddNode("name", "a");
+  xml::NodeId n2 = g.AddNode("name", "b");
+  XK_ASSERT_OK(g.AddContainmentEdge(p, n1));
+  XK_ASSERT_OK(g.AddContainmentEdge(p, n2));
+  EXPECT_TRUE(Validate(g, schema_).status().IsCorruption());
+}
+
+TEST_F(ValidatorTest, RejectsBadReferenceTarget) {
+  // supplier must reference a person, not a part.
+  xml::XmlGraph g;
+  xml::NodeId part = g.AddNode("part");
+  xml::NodeId person = g.AddNode("person");
+  xml::NodeId order = g.AddNode("order");
+  xml::NodeId li = g.AddNode("lineitem");
+  xml::NodeId sup = g.AddNode("supplier");
+  XK_ASSERT_OK(g.AddContainmentEdge(person, order));
+  XK_ASSERT_OK(g.AddContainmentEdge(order, li));
+  XK_ASSERT_OK(g.AddContainmentEdge(li, sup));
+  XK_ASSERT_OK(g.AddReferenceEdge(sup, part));
+  EXPECT_TRUE(Validate(g, schema_).status().IsCorruption());
+}
+
+TEST_F(ValidatorTest, FanoutStatistics) {
+  auto db = testing::MakeFigure1Database();
+  XK_ASSERT_OK_AND_ASSIGN(ValidationResult v, Validate(db->graph, db->schema));
+  // order -> lineitem: 2 orders, 3 lineitems -> avg 1.5 forward, 1.0 reverse.
+  XK_ASSERT_OK_AND_ASSIGN(SchemaNodeId order, db->schema.NodeByUniqueLabel("order"));
+  XK_ASSERT_OK_AND_ASSIGN(SchemaNodeId li, db->schema.NodeByUniqueLabel("lineitem"));
+  SchemaEdgeId edge = -1;
+  for (SchemaEdgeId e : db->schema.out_edges(order)) {
+    if (db->schema.edge(e).to == li) edge = e;
+  }
+  ASSERT_NE(edge, -1);
+  EXPECT_DOUBLE_EQ(v.avg_fanout[static_cast<size_t>(edge)], 1.5);
+  EXPECT_DOUBLE_EQ(v.avg_reverse_fanout[static_cast<size_t>(edge)], 1.0);
+}
+
+TEST_F(ValidatorTest, GeneratedDatabasesValidate) {
+  datagen::TpchConfig config;
+  config.seed = 11;
+  XK_ASSERT_OK_AND_ASSIGN(auto db, datagen::TpchDatabase::Generate(config));
+  XK_EXPECT_OK(Validate(db->graph(), db->schema()).status());
+}
+
+}  // namespace
+}  // namespace xk::schema

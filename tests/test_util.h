@@ -1,0 +1,61 @@
+// Copyright (c) the XKeyword authors.
+//
+// Shared fixtures: the paper's running TPC-H example instance (Figure 1) and
+// small helpers for building trees by hand.
+
+#ifndef XK_TESTS_TEST_UTIL_H_
+#define XK_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "datagen/tpch_gen.h"
+#include "schema/tss_graph.h"
+#include "xml/xml_graph.h"
+
+#define XK_ASSERT_OK(expr)                              \
+  do {                                                  \
+    auto _st = (expr);                                  \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (false)
+
+#define XK_EXPECT_OK(expr)                              \
+  do {                                                  \
+    auto _st = (expr);                                  \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();            \
+  } while (false)
+
+/// ASSERT that a Result is ok and bind its value.
+#define XK_ASSERT_OK_AND_ASSIGN(lhs, rexpr)                    \
+  auto XK_CONCAT(_r_, __LINE__) = (rexpr);                     \
+  ASSERT_TRUE(XK_CONCAT(_r_, __LINE__).ok())                   \
+      << XK_CONCAT(_r_, __LINE__).status().ToString();         \
+  lhs = XK_CONCAT(_r_, __LINE__).MoveValueUnsafe()
+
+namespace xk::testing {
+
+/// The hand-built instance of Figure 1: John (US) supplying lineitems whose
+/// lines reference a TV part with VCR sub-parts and a "set of VCR and DVD"
+/// product, plus Mike, orders, and a service call.
+struct Figure1Database {
+  xml::XmlGraph graph;
+  schema::SchemaGraph schema;
+  std::unique_ptr<schema::TssGraph> tss;
+
+  // Handles used by assertions.
+  xml::NodeId john, mike;
+  xml::NodeId tv_part, vcr_part1, vcr_part2;
+  xml::NodeId product;  // descr "set of VCR and DVD"
+  xml::NodeId order1, order2;
+  xml::NodeId lineitem_product;  // the lineitem whose line -> product
+};
+
+/// Builds the Figure-1 database. Dies on internal errors (test-only).
+std::unique_ptr<Figure1Database> MakeFigure1Database();
+
+}  // namespace xk::testing
+
+#endif  // XK_TESTS_TEST_UTIL_H_

@@ -1,0 +1,246 @@
+// Tests for TSS graphs (segments, derived edges, multiplicities, choice
+// groups) and TSS trees (canonical keys, structural possibility).
+
+#include <gtest/gtest.h>
+
+#include "datagen/dblp_gen.h"
+#include "datagen/tpch_gen.h"
+#include "schema/tss_graph.h"
+#include "schema/tss_tree.h"
+#include "test_util.h"
+
+namespace xk::schema {
+namespace {
+
+class TpchTssTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tss_ = datagen::BuildTpchSchema(&schema_).MoveValueUnsafe();
+  }
+
+  TssId Seg(const char* name) { return *tss_->SegmentByName(name); }
+
+  SchemaGraph schema_;
+  std::unique_ptr<TssGraph> tss_;
+};
+
+TEST_F(TpchTssTest, DerivesTheFigure6Edges) {
+  // P->S, P->O, O->L, L->P (supplier), L->Pa, L->Pr, Pa->Pa: seven edges.
+  EXPECT_EQ(tss_->NumSegments(), 6);
+  EXPECT_EQ(tss_->NumEdges(), 7);
+  XK_EXPECT_OK(tss_->FindEdge(Seg("P"), Seg("S")).status());
+  XK_EXPECT_OK(tss_->FindEdge(Seg("P"), Seg("O")).status());
+  XK_EXPECT_OK(tss_->FindEdge(Seg("O"), Seg("L")).status());
+  XK_EXPECT_OK(tss_->FindEdge(Seg("L"), Seg("P")).status());
+  XK_EXPECT_OK(tss_->FindEdge(Seg("L"), Seg("Pa")).status());
+  XK_EXPECT_OK(tss_->FindEdge(Seg("L"), Seg("Pr")).status());
+  XK_EXPECT_OK(tss_->FindEdge(Seg("Pa"), Seg("Pa")).status());
+  EXPECT_TRUE(tss_->FindEdge(Seg("P"), Seg("Pa")).status().IsNotFound());
+}
+
+TEST_F(TpchTssTest, EdgeMultiplicitiesComposeAlongDummyPaths) {
+  // P -> O: containment many/one.
+  const TssEdge& po = tss_->edge(*tss_->FindEdge(Seg("P"), Seg("O")));
+  EXPECT_EQ(po.forward_mult, Mult::kMany);
+  EXPECT_EQ(po.reverse_mult, Mult::kOne);
+  EXPECT_EQ(po.kind, EdgeKind::kContainment);
+  EXPECT_EQ(po.path.size(), 1u);
+
+  // L -> P via supplier dummy: one lineitem has one supplier-person; a
+  // person supplies many lineitems.
+  const TssEdge& lp = tss_->edge(*tss_->FindEdge(Seg("L"), Seg("P")));
+  EXPECT_EQ(lp.forward_mult, Mult::kOne);
+  EXPECT_EQ(lp.reverse_mult, Mult::kMany);
+  EXPECT_EQ(lp.kind, EdgeKind::kReference);
+  EXPECT_EQ(lp.path.size(), 2u);
+
+  // Pa -> Pa via sub: many/many.
+  const TssEdge& papa = tss_->edge(*tss_->FindEdge(Seg("Pa"), Seg("Pa")));
+  EXPECT_EQ(papa.forward_mult, Mult::kMany);
+  EXPECT_EQ(papa.reverse_mult, Mult::kMany);
+}
+
+TEST_F(TpchTssTest, ChoiceGroupsMarkLineAlternatives) {
+  const TssEdge& lpa = tss_->edge(*tss_->FindEdge(Seg("L"), Seg("Pa")));
+  const TssEdge& lpr = tss_->edge(*tss_->FindEdge(Seg("L"), Seg("Pr")));
+  const TssEdge& lp = tss_->edge(*tss_->FindEdge(Seg("L"), Seg("P")));
+  EXPECT_NE(lpa.choice_group, kNoSchemaNode);
+  EXPECT_EQ(lpa.choice_group, lpr.choice_group);
+  EXPECT_EQ(lpa.choice_prefix_mult, Mult::kOne);
+  EXPECT_EQ(lp.choice_group, kNoSchemaNode);
+}
+
+TEST_F(TpchTssTest, SegmentMapping) {
+  XK_ASSERT_OK_AND_ASSIGN(SchemaNodeId person, schema_.NodeByUniqueLabel("person"));
+  XK_ASSERT_OK_AND_ASSIGN(SchemaNodeId supplier,
+                          schema_.NodeByUniqueLabel("supplier"));
+  EXPECT_EQ(tss_->SegmentOfSchemaNode(person), Seg("P"));
+  EXPECT_TRUE(tss_->IsDummy(supplier));
+  EXPECT_EQ(tss_->head(Seg("P")), person);
+  EXPECT_EQ(tss_->members(Seg("P")).size(), 3u);  // person, name, nation
+  EXPECT_TRUE(tss_->SegmentByName("nosuch").status().IsNotFound());
+}
+
+TEST_F(TpchTssTest, Annotations) {
+  TssEdgeId e = *tss_->FindEdge(Seg("P"), Seg("O"));
+  EXPECT_EQ(tss_->edge(e).forward_desc, "placed");
+  EXPECT_EQ(tss_->edge(e).reverse_desc, "placed by");
+  EXPECT_TRUE(tss_->AnnotateEdge(999, "x", "y").IsOutOfRange());
+}
+
+TEST(TssGraphTest, RejectsDoubleMappingAndBadMembers) {
+  SchemaGraph s;
+  SchemaNodeId a = s.AddNode("a");
+  SchemaNodeId b = s.AddNode("b");
+  SchemaNodeId c = s.AddNode("c");
+  XK_EXPECT_OK(s.AddContainmentEdge(a, b).status());
+  TssGraph tss(&s);
+  XK_ASSERT_OK(tss.AddSegment("A", a, {b}).status());
+  // b already mapped.
+  EXPECT_TRUE(tss.AddSegment("B", b).status().IsAlreadyExists());
+  // c is not a containment descendant of a within the segment.
+  TssGraph tss2(&s);
+  XK_ASSERT_OK(tss2.AddSegment("AC", a, {c}).status());
+  EXPECT_TRUE(tss2.Finalize().IsInvalidArgument());
+}
+
+TEST(TssGraphTest, FinalizeIsOneShot) {
+  SchemaGraph s;
+  SchemaNodeId a = s.AddNode("a");
+  TssGraph tss(&s);
+  XK_ASSERT_OK(tss.AddSegment("A", a).status());
+  XK_ASSERT_OK(tss.Finalize());
+  EXPECT_TRUE(tss.Finalize().IsAborted());
+  EXPECT_TRUE(tss.AddSegment("X", a).status().IsAborted());
+}
+
+// --- TssTree --------------------------------------------------------------
+
+class TssTreeTest : public TpchTssTest {
+ protected:
+  TssTree Edge1(const char* from, const char* to) {
+    TssTree t;
+    TssEdgeId e = *tss_->FindEdge(Seg(from), Seg(to));
+    t.nodes = {Seg(from), Seg(to)};
+    t.edges = {TssTreeEdge{0, 1, e}};
+    return t;
+  }
+
+  /// P <- O -> ... path P-O-L as a tree.
+  TssTree Pol() {
+    TssTree t;
+    t.nodes = {Seg("P"), Seg("O"), Seg("L")};
+    t.edges = {TssTreeEdge{0, 1, *tss_->FindEdge(Seg("P"), Seg("O"))},
+               TssTreeEdge{1, 2, *tss_->FindEdge(Seg("O"), Seg("L"))}};
+    return t;
+  }
+};
+
+TEST_F(TssTreeTest, ValidateAcceptsWellFormed) {
+  XK_EXPECT_OK(Pol().Validate(*tss_));
+  XK_EXPECT_OK(Edge1("Pa", "Pa").Validate(*tss_));
+}
+
+TEST_F(TssTreeTest, ValidateRejectsMalformed) {
+  TssTree t = Pol();
+  t.edges.pop_back();  // disconnected third node
+  EXPECT_FALSE(t.Validate(*tss_).ok());
+
+  TssTree wrong = Edge1("P", "O");
+  wrong.nodes[1] = Seg("L");  // edge endpoints don't match the TSS edge
+  EXPECT_FALSE(wrong.Validate(*tss_).ok());
+
+  TssTree empty;
+  EXPECT_TRUE(empty.Validate(*tss_).IsInvalidArgument());
+}
+
+TEST_F(TssTreeTest, OutwardMultFollowsRoles) {
+  TssTree t = Edge1("P", "O");
+  EXPECT_EQ(OutwardMult(t, *tss_, 0, 0), Mult::kMany);  // person -> many orders
+  EXPECT_EQ(OutwardMult(t, *tss_, 1, 0), Mult::kOne);   // order -> one person
+}
+
+TEST_F(TssTreeTest, CanonicalKeyIsIsomorphismInvariant) {
+  TssTree a = Pol();
+  // Same tree with occurrences listed in a different order.
+  TssTree b;
+  b.nodes = {Seg("L"), Seg("O"), Seg("P")};
+  b.edges = {TssTreeEdge{2, 1, *tss_->FindEdge(Seg("P"), Seg("O"))},
+             TssTreeEdge{1, 0, *tss_->FindEdge(Seg("O"), Seg("L"))}};
+  EXPECT_EQ(CanonicalKey(a, *tss_), CanonicalKey(b, *tss_));
+  EXPECT_NE(CanonicalKey(a, *tss_), CanonicalKey(Edge1("P", "O"), *tss_));
+}
+
+TEST_F(TssTreeTest, CanonicalKeyDistinguishesDirections) {
+  // O with two lineitem children vs a chain O->L, O->L ... use P-Pa style:
+  // Pa->Pa chain vs reversed chain are isomorphic as free trees only when
+  // direction labels match.
+  TssEdgeId papa = *tss_->FindEdge(Seg("Pa"), Seg("Pa"));
+  TssTree chain;  // pa0 -> pa1 -> pa2
+  chain.nodes = {Seg("Pa"), Seg("Pa"), Seg("Pa")};
+  chain.edges = {TssTreeEdge{0, 1, papa}, TssTreeEdge{1, 2, papa}};
+  TssTree fork;  // pa1 <- pa0 -> pa2
+  fork.nodes = {Seg("Pa"), Seg("Pa"), Seg("Pa")};
+  fork.edges = {TssTreeEdge{0, 1, papa}, TssTreeEdge{0, 2, papa}};
+  EXPECT_NE(CanonicalKey(chain, *tss_), CanonicalKey(fork, *tss_));
+}
+
+TEST_F(TssTreeTest, ImpossibleChoiceConflict) {
+  // Pa <- L -> Pr through the same line choice: impossible.
+  TssTree t;
+  t.nodes = {Seg("L"), Seg("Pa"), Seg("Pr")};
+  t.edges = {TssTreeEdge{0, 1, *tss_->FindEdge(Seg("L"), Seg("Pa"))},
+             TssTreeEdge{0, 2, *tss_->FindEdge(Seg("L"), Seg("Pr"))}};
+  EXPECT_EQ(CheckStructurallyPossible(t, *tss_), Impossibility::kChoiceConflict);
+}
+
+TEST_F(TssTreeTest, ImpossibleTwoContainmentParents) {
+  // P -> O <- P: an order has one person parent.
+  TssTree t;
+  TssEdgeId po = *tss_->FindEdge(Seg("P"), Seg("O"));
+  t.nodes = {Seg("P"), Seg("O"), Seg("P")};
+  t.edges = {TssTreeEdge{0, 1, po}, TssTreeEdge{2, 1, po}};
+  EXPECT_EQ(CheckStructurallyPossible(t, *tss_),
+            Impossibility::kTwoContainmentParents);
+}
+
+TEST_F(TssTreeTest, ImpossibleToOneDuplicate) {
+  // Pa <- L -> Pa twice through the one line: to-one duplicate.
+  TssTree t;
+  TssEdgeId lpa = *tss_->FindEdge(Seg("L"), Seg("Pa"));
+  t.nodes = {Seg("L"), Seg("Pa"), Seg("Pa")};
+  t.edges = {TssTreeEdge{0, 1, lpa}, TssTreeEdge{0, 2, lpa}};
+  EXPECT_NE(CheckStructurallyPossible(t, *tss_), Impossibility::kNone);
+}
+
+TEST_F(TssTreeTest, PossibleShapes) {
+  // P <- L -> Pa is fine (supplier + part of one lineitem).
+  TssTree t;
+  t.nodes = {Seg("L"), Seg("P"), Seg("Pa")};
+  t.edges = {TssTreeEdge{0, 1, *tss_->FindEdge(Seg("L"), Seg("P"))},
+             TssTreeEdge{0, 2, *tss_->FindEdge(Seg("L"), Seg("Pa"))}};
+  EXPECT_EQ(CheckStructurallyPossible(t, *tss_), Impossibility::kNone);
+  // O -> L, O -> L (an order with two lineitems) is fine.
+  TssTree t2;
+  TssEdgeId ol = *tss_->FindEdge(Seg("O"), Seg("L"));
+  t2.nodes = {Seg("O"), Seg("L"), Seg("L")};
+  t2.edges = {TssTreeEdge{0, 1, ol}, TssTreeEdge{0, 2, ol}};
+  EXPECT_EQ(CheckStructurallyPossible(t2, *tss_), Impossibility::kNone);
+}
+
+TEST(DblpTssTest, DerivesFigure14Edges) {
+  SchemaGraph s;
+  auto tss = datagen::BuildDblpSchema(&s).MoveValueUnsafe();
+  EXPECT_EQ(tss->NumSegments(), 4);
+  // Conf->Year, Year->Paper, Paper->Author, Paper->Paper: four edges.
+  EXPECT_EQ(tss->NumEdges(), 4);
+  TssId paper = *tss->SegmentByName("Paper");
+  const TssEdge& cites = tss->edge(*tss->FindEdge(paper, paper));
+  EXPECT_EQ(cites.kind, EdgeKind::kReference);
+  EXPECT_EQ(cites.forward_mult, Mult::kMany);
+  EXPECT_EQ(cites.reverse_mult, Mult::kMany);
+  EXPECT_EQ(cites.forward_desc, "cites");
+}
+
+}  // namespace
+}  // namespace xk::schema

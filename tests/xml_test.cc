@@ -1,0 +1,193 @@
+// Tests for the XML substrate: graph model, parser, writer, round-trips.
+
+#include <gtest/gtest.h>
+
+#include "datagen/tpch_gen.h"
+#include "test_util.h"
+#include "xml/xml_graph.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace xk::xml {
+namespace {
+
+TEST(XmlGraphTest, NodesLabelsValues) {
+  XmlGraph g;
+  NodeId a = g.AddNode("person");
+  NodeId b = g.AddNode("name", "John");
+  EXPECT_EQ(g.NumNodes(), 2);
+  EXPECT_EQ(g.label(a), "person");
+  EXPECT_FALSE(g.has_value(a));
+  EXPECT_EQ(g.value(a), "");
+  EXPECT_TRUE(g.has_value(b));
+  EXPECT_EQ(g.value(b), "John");
+  g.SetValue(a, "late value");
+  EXPECT_EQ(g.value(a), "late value");
+}
+
+TEST(XmlGraphTest, ContainmentIsSingleParent) {
+  XmlGraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  NodeId c = g.AddNode("c");
+  XK_ASSERT_OK(g.AddContainmentEdge(a, c));
+  EXPECT_TRUE(g.AddContainmentEdge(b, c).IsInvalidArgument());
+  EXPECT_TRUE(g.AddContainmentEdge(a, a).IsInvalidArgument());
+  EXPECT_TRUE(g.AddContainmentEdge(a, 99).IsOutOfRange());
+  EXPECT_EQ(g.parent(c), a);
+  EXPECT_EQ(g.parent(a), kNoNode);
+  EXPECT_EQ(g.children(a), std::vector<NodeId>{c});
+  EXPECT_EQ(g.NumContainmentEdges(), 1);
+}
+
+TEST(XmlGraphTest, ReferencesAndUndirectedNeighbors) {
+  XmlGraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  NodeId c = g.AddNode("c");
+  XK_ASSERT_OK(g.AddContainmentEdge(a, b));
+  XK_ASSERT_OK(g.AddReferenceEdge(b, c));
+  EXPECT_EQ(g.references_out(b), std::vector<NodeId>{c});
+  EXPECT_EQ(g.references_in(c), std::vector<NodeId>{b});
+  EXPECT_EQ(g.NumReferenceEdges(), 1);
+  // b's neighbors: parent a, ref target c.
+  std::vector<NodeId> n = g.UndirectedNeighbors(b);
+  EXPECT_EQ(n.size(), 2u);
+  // Multiple roots: a and c.
+  EXPECT_EQ(g.Roots(), (std::vector<NodeId>{a, c}));
+}
+
+TEST(XmlParserTest, BasicDocument) {
+  auto doc = ParseXml("<person><name>John</name><nation>US</nation></person>");
+  XK_ASSERT_OK(doc.status());
+  const XmlGraph& g = doc->graph;
+  ASSERT_EQ(doc->roots.size(), 1u);
+  NodeId person = doc->roots[0];
+  EXPECT_EQ(g.label(person), "person");
+  ASSERT_EQ(g.children(person).size(), 2u);
+  EXPECT_EQ(g.value(g.children(person)[0]), "John");
+  EXPECT_EQ(g.value(g.children(person)[1]), "US");
+}
+
+TEST(XmlParserTest, AttributesBecomeChildrenExceptIds) {
+  auto doc = ParseXml(R"(<part id="p1" key="1005"><sub idref="p1"/></part>)");
+  XK_ASSERT_OK(doc.status());
+  const XmlGraph& g = doc->graph;
+  NodeId part = doc->roots[0];
+  // key attribute -> child node; id consumed; idref -> reference edge.
+  ASSERT_EQ(g.children(part).size(), 2u);  // key child + sub element
+  EXPECT_EQ(g.label(g.children(part)[0]), "key");
+  EXPECT_EQ(g.value(g.children(part)[0]), "1005");
+  NodeId sub = g.children(part)[1];
+  EXPECT_EQ(g.references_out(sub), std::vector<NodeId>{part});
+  EXPECT_EQ(doc->ids.at("p1"), part);
+}
+
+TEST(XmlParserTest, IdrefsSplitsOnWhitespace) {
+  auto doc = ParseXml(
+      R"(<r><a id="x"/><a id="y"/><b idrefs="x  y"/></r>)");
+  XK_ASSERT_OK(doc.status());
+  const XmlGraph& g = doc->graph;
+  NodeId b = g.children(doc->roots[0])[2];
+  EXPECT_EQ(g.references_out(b).size(), 2u);
+}
+
+TEST(XmlParserTest, MultiRootForest) {
+  auto doc = ParseXml("<a/><b/><c>text</c>");
+  XK_ASSERT_OK(doc.status());
+  EXPECT_EQ(doc->roots.size(), 3u);
+  EXPECT_EQ(doc->graph.value(doc->roots[2]), "text");
+}
+
+TEST(XmlParserTest, PrologCommentsCdataEntities) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?><!DOCTYPE r [<!ELEMENT r ANY>]>\n"
+      "<!-- top comment -->\n"
+      "<r>a &amp; b <!-- inner --> &lt;tag&gt; <![CDATA[<raw>&]]> &#65;&#x42;</r>");
+  XK_ASSERT_OK(doc.status());
+  EXPECT_EQ(doc->graph.value(doc->roots[0]), "a & b  <tag> <raw>& AB");
+}
+
+TEST(XmlParserTest, SelfClosingAndNesting) {
+  auto doc = ParseXml("<a><b/><c><d/></c></a>");
+  XK_ASSERT_OK(doc.status());
+  const XmlGraph& g = doc->graph;
+  NodeId a = doc->roots[0];
+  ASSERT_EQ(g.children(a).size(), 2u);
+  EXPECT_EQ(g.children(g.children(a)[1]).size(), 1u);
+}
+
+TEST(XmlParserTest, ErrorsCarryPositions) {
+  auto r1 = ParseXml("<a><b></a>");
+  ASSERT_TRUE(r1.status().IsCorruption());
+  EXPECT_NE(r1.status().message().find("line 1"), std::string::npos);
+
+  EXPECT_TRUE(ParseXml("<a>").status().IsCorruption());        // unterminated
+  EXPECT_TRUE(ParseXml("text only").status().IsCorruption());  // no element
+  EXPECT_TRUE(ParseXml("").status().IsCorruption());           // empty
+  EXPECT_TRUE(ParseXml("<a attr></a>").status().IsCorruption());
+  EXPECT_TRUE(ParseXml("<a x=\"&bogus;\"/>").status().IsCorruption());
+  EXPECT_TRUE(ParseXml("<a x=\"unclosed/>").status().IsCorruption());
+}
+
+TEST(XmlParserTest, DuplicateIdRejected) {
+  EXPECT_TRUE(
+      ParseXml(R"(<r><a id="x"/><b id="x"/></r>)").status().IsCorruption());
+}
+
+TEST(XmlParserTest, UnresolvedReferenceStrictVsLenient) {
+  const char* input = R"(<r><a idref="ghost"/></r>)";
+  EXPECT_TRUE(ParseXml(input).status().IsCorruption());
+  ParserOptions lenient;
+  lenient.strict_references = false;
+  auto doc = ParseXml(input, lenient);
+  XK_ASSERT_OK(doc.status());
+  EXPECT_EQ(doc->graph.NumReferenceEdges(), 0);
+}
+
+TEST(XmlWriterTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeXml("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(XmlWriterTest, SubtreeRestriction) {
+  XmlGraph g;
+  NodeId person = g.AddNode("person");
+  NodeId name = g.AddNode("name", "John");
+  NodeId order = g.AddNode("order");
+  XK_ASSERT_OK(g.AddContainmentEdge(person, name));
+  XK_ASSERT_OK(g.AddContainmentEdge(person, order));
+  std::unordered_set<NodeId> only_person = {person, name};
+  std::string xml = WriteSubtree(g, person, &only_person);
+  EXPECT_EQ(xml, "<person><name>John</name></person>");
+  std::string full = WriteSubtree(g, person);
+  EXPECT_NE(full.find("<order/>"), std::string::npos);
+}
+
+TEST(XmlWriterTest, RoundTripGeneratedDatabase) {
+  datagen::TpchConfig config;
+  config.num_persons = 8;
+  config.num_parts = 12;
+  config.num_products = 6;
+  config.seed = 5;
+  XK_ASSERT_OK_AND_ASSIGN(auto db, datagen::TpchDatabase::Generate(config));
+
+  std::string xml = WriteGraph(db->graph(), /*pretty=*/false, /*with_ids=*/true);
+  auto doc = ParseXml(xml);
+  XK_ASSERT_OK(doc.status());
+  EXPECT_EQ(doc->graph.NumNodes(), db->graph().NumNodes());
+  EXPECT_EQ(doc->graph.NumContainmentEdges(), db->graph().NumContainmentEdges());
+  EXPECT_EQ(doc->graph.NumReferenceEdges(), db->graph().NumReferenceEdges());
+  EXPECT_EQ(doc->roots.size(), db->graph().Roots().size());
+}
+
+TEST(XmlWriterTest, PrettyPrintingIndents) {
+  XmlGraph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b", "v");
+  XK_ASSERT_OK(g.AddContainmentEdge(a, b));
+  std::string xml = WriteSubtree(g, a, nullptr, /*pretty=*/true);
+  EXPECT_NE(xml.find("\n  <b>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xk::xml
