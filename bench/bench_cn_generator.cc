@@ -71,4 +71,6 @@ BENCHMARK(BM_Generate)
 
 BENCHMARK(BM_Reduce)->ArgName("Z")->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return xk::bench::RunBenchMain("cn_generator", argc, argv);
+}

@@ -16,6 +16,7 @@ int main() {
   auto& fixture = bench::DblpBench::Get();
   const schema::TssGraph& tss = fixture.db().tss();
   const storage::Catalog& catalog = fixture.xk().catalog();
+  bench::BenchJsonWriter writer("decomp_space");
 
   std::printf("Decomposition space (DBLP, B=2, M=6, L=2):\n");
   std::printf("%-16s %6s %6s %6s %6s %12s %10s\n", "decomposition", "frags",
@@ -40,6 +41,11 @@ int main() {
     std::printf("%-16s %6zu %6d %6d %6d %12zu %10.1f\n", name,
                 (*d)->fragments.size(), by_class[0], by_class[1], by_class[2],
                 rows, static_cast<double>(bytes) / 1e6);
+    writer.AddRecord(std::string("DecompSpace/") + name, 0,
+                     {{"fragments", static_cast<double>((*d)->fragments.size())},
+                      {"rows", static_cast<double>(rows)},
+                      {"bytes", static_cast<double>(bytes)}},
+                     name);
   }
 
   // Theorem 5.1 sweep: fragment size bound L vs join bound B for M = 6.
@@ -55,9 +61,14 @@ int main() {
       Stopwatch sw;
       auto d = decomp::MakeXKeyword(tss, b, m);
       if (!d.ok()) continue;
-      std::printf("  B=%d M=%d: %7.1f ms, %3zu fragments\n", b, m,
-                  sw.ElapsedMillis(), d->fragments.size());
+      double ms = sw.ElapsedMillis();
+      std::printf("  B=%d M=%d: %7.1f ms, %3zu fragments\n", b, m, ms,
+                  d->fragments.size());
+      writer.AddRecord(
+          "DecompSpace/build/B:" + std::to_string(b) + "/M:" + std::to_string(m),
+          ms * 1e6, {{"fragments", static_cast<double>(d->fragments.size())}});
     }
   }
+  writer.WriteFile();
   return 0;
 }

@@ -5,6 +5,12 @@
 // of magnitude worse still and omitted there, included here for reference).
 //
 // Workload: DBLP, 2-keyword author queries, Z = 8 (paper Section 7).
+//
+// Two engine-side series beyond the paper's figure:
+//   Fig15aPar/*    — morsel-driven intra-plan parallelism (T = worker
+//                    threads), byte-identical results to T = 1;
+//   Fig15aPrune/*  — semi-join Bloom pruning on/off (rows_scanned drops,
+//                    bloom_skips counts rejected probes).
 
 #include <benchmark/benchmark.h>
 
@@ -13,10 +19,16 @@
 
 namespace {
 
-void BM_TopK(benchmark::State& state, const std::string& decomposition) {
+struct TopKSetup {
+  std::string decomposition;
+  int intra_plan_threads = 1;
+  bool semijoin_pruning = true;
+};
+
+void BM_TopK(benchmark::State& state, const TopKSetup& setup, size_t k,
+             const std::string& label) {
   auto& fixture = xk::bench::DblpBench::Get();
-  const size_t k = static_cast<size_t>(state.range(0));
-  const auto& prepared = fixture.Prepared(decomposition, /*z=*/8);
+  const auto& prepared = fixture.Prepared(setup.decomposition, /*z=*/8);
 
   xk::engine::QueryOptions options;
   options.max_size_z = 8;
@@ -24,13 +36,18 @@ void BM_TopK(benchmark::State& state, const std::string& decomposition) {
   // emit a few size-7 shapes from Z = 8 networks; they explode fruitlessly.)
   options.max_network_size = 6;
   options.per_network_k = k;
-  // Single-threaded: the per-CN thread pool improves first-result latency on
-  // slow back ends; at in-memory microsecond scale, pool spawn would dominate
-  // the measurement.
+  // Single-threaded across plans: the per-CN thread pool improves
+  // first-result latency on slow back ends; at in-memory microsecond scale,
+  // pool spawn would dominate the measurement. Intra-plan morsels share one
+  // pool per executor run instead.
   options.num_threads = 1;
+  options.intra_plan_threads = setup.intra_plan_threads;
+  options.enable_semijoin_pruning = setup.semijoin_pruning;
 
   uint64_t results = 0;
   uint64_t probes = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t bloom_skips = 0;
   for (auto _ : state) {
     for (const xk::engine::PreparedQuery& q : prepared) {
       xk::engine::ExecutionStats stats;
@@ -39,15 +56,21 @@ void BM_TopK(benchmark::State& state, const std::string& decomposition) {
       benchmark::DoNotOptimize(r);
       results += stats.results;
       probes += stats.probes.probes;
+      rows_scanned += stats.probes.rows_scanned;
+      bloom_skips += stats.probes.bloom_skips;
     }
   }
-  state.counters["results/query"] = benchmark::Counter(
-      static_cast<double>(results) /
-      static_cast<double>(state.iterations() * prepared.size()));
-  state.counters["probes/query"] = benchmark::Counter(
-      static_cast<double>(probes) /
-      static_cast<double>(state.iterations() * prepared.size()));
-  state.SetLabel(decomposition);
+  const double per_query =
+      static_cast<double>(state.iterations() * prepared.size());
+  state.counters["results/query"] =
+      benchmark::Counter(static_cast<double>(results) / per_query);
+  state.counters["probes/query"] =
+      benchmark::Counter(static_cast<double>(probes) / per_query);
+  state.counters["rows_scanned"] =
+      benchmark::Counter(static_cast<double>(rows_scanned) / per_query);
+  state.counters["bloom_skips"] =
+      benchmark::Counter(static_cast<double>(bloom_skips) / per_query);
+  state.SetLabel(label);
 }
 
 void RegisterAll() {
@@ -58,9 +81,41 @@ void RegisterAll() {
        {"XKeyword", "Complete", "MinClust", "MinNClustIndx"}) {
     auto* b = benchmark::RegisterBenchmark(
         (std::string("Fig15a/") + decomposition).c_str(),
-        [decomposition](benchmark::State& state) { BM_TopK(state, decomposition); });
+        [decomposition](benchmark::State& state) {
+          BM_TopK(state, TopKSetup{decomposition},
+                  static_cast<size_t>(state.range(0)), decomposition);
+        });
     b->ArgName("K");
     for (int k : {1, 5, 10, 20, 50, 100}) b->Arg(k);
+    b->Unit(benchmark::kMillisecond);
+    b->Iterations(3);
+  }
+
+  // Morsel-driven intra-plan parallelism, deep per-network result streams
+  // (big K keeps every plan busy long enough for the fan-out to pay off).
+  for (const char* decomposition : {"MinClust", "MinNClustIndx"}) {
+    auto* b = benchmark::RegisterBenchmark(
+        (std::string("Fig15aPar/") + decomposition).c_str(),
+        [decomposition](benchmark::State& state) {
+          TopKSetup setup{decomposition};
+          setup.intra_plan_threads = static_cast<int>(state.range(0));
+          BM_TopK(state, setup, /*k=*/5000, decomposition);
+        });
+    b->ArgName("T");
+    for (int t : {1, 2, 4}) b->Arg(t);
+    b->Unit(benchmark::kMillisecond);
+    b->Iterations(2);
+  }
+
+  // Semi-join Bloom pruning ablation at the paper's K = 100 point.
+  for (bool prune : {false, true}) {
+    auto* b = benchmark::RegisterBenchmark(
+        prune ? "Fig15aPrune/on" : "Fig15aPrune/off",
+        [prune](benchmark::State& state) {
+          TopKSetup setup{"MinClust"};
+          setup.semijoin_pruning = prune;
+          BM_TopK(state, setup, /*k=*/100, prune ? "pruned" : "unpruned");
+        });
     b->Unit(benchmark::kMillisecond);
     b->Iterations(3);
   }
@@ -70,8 +125,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return xk::bench::RunBenchMain("fig15a", argc, argv);
 }

@@ -23,6 +23,8 @@ void BM_AllResults(benchmark::State& state, const std::string& decomposition) {
   options.max_network_size = max_size;
 
   uint64_t results = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t bloom_skips = 0;
   for (auto _ : state) {
     for (const xk::engine::PreparedQuery& q : prepared) {
       xk::engine::ExecutionStats stats;
@@ -30,11 +32,18 @@ void BM_AllResults(benchmark::State& state, const std::string& decomposition) {
       auto r = executor.Run(q, &stats);
       benchmark::DoNotOptimize(r);
       results += stats.results;
+      rows_scanned += stats.probes.rows_scanned;
+      bloom_skips += stats.probes.bloom_skips;
     }
   }
-  state.counters["results/query"] = benchmark::Counter(
-      static_cast<double>(results) /
-      static_cast<double>(state.iterations() * prepared.size()));
+  const double per_query =
+      static_cast<double>(state.iterations() * prepared.size());
+  state.counters["results/query"] =
+      benchmark::Counter(static_cast<double>(results) / per_query);
+  state.counters["rows_scanned"] =
+      benchmark::Counter(static_cast<double>(rows_scanned) / per_query);
+  state.counters["bloom_skips"] =
+      benchmark::Counter(static_cast<double>(bloom_skips) / per_query);
   state.SetLabel(decomposition);
 }
 
@@ -60,8 +69,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return xk::bench::RunBenchMain("fig15b", argc, argv);
 }

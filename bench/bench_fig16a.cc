@@ -82,7 +82,9 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   RegisterAll();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  xk::bench::BenchJsonWriter writer("fig16a");
+  xk::bench::JsonTeeReporter reporter(&writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   // The figure's series: speedup = naive / optimized per size.
   std::printf("\nFigure 16(a) series — speedup of caching over naive:\n");
   std::printf("%-12s %12s %12s %10s\n", "maxCTSSN", "naive(ms)", "cached(ms)",
@@ -91,7 +93,10 @@ int main(int argc, char** argv) {
     if (p.cached_ms <= 0) continue;
     std::printf("%-12d %12.2f %12.2f %9.2fx\n", size, p.naive_ms, p.cached_ms,
                 p.naive_ms / p.cached_ms);
+    writer.AddRecord("Fig16a/speedup/maxCTSSN:" + std::to_string(size),
+                     p.cached_ms * 1e6, {{"speedup", p.naive_ms / p.cached_ms}});
   }
+  writer.WriteFile();
   benchmark::Shutdown();
   return 0;
 }

@@ -48,4 +48,6 @@ BENCHMARK_CAPTURE(BM_Probe, tag, std::string("paper"));
 BENCHMARK_CAPTURE(BM_Probe, rare, std::string("author173"));
 BENCHMARK_CAPTURE(BM_Probe, missing, std::string("nosuchword"));
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return xk::bench::RunBenchMain("master_index", argc, argv);
+}

@@ -49,4 +49,6 @@ BENCHMARK_CAPTURE(BM_FullResults, no_reuse, false)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return xk::bench::RunBenchMain("reuse", argc, argv);
+}

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "exec/operators.h"
@@ -112,4 +113,6 @@ BENCHMARK_CAPTURE(BM_Probe, full_scan, Physical::kNone)->Unit(benchmark::kMicros
 BENCHMARK_CAPTURE(BM_Join, index_nested_loop, false)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Join, hash_join, true)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return xk::bench::RunBenchMain("storage", argc, argv);
+}

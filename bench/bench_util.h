@@ -18,8 +18,14 @@
 #ifndef XK_BENCH_BENCH_UTIL_H_
 #define XK_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -27,6 +33,123 @@
 #include "engine/xkeyword.h"
 
 namespace xk::bench {
+
+/// Machine-readable sidecar output: every bench binary writes a
+/// `BENCH_<name>.json` next to its console report so drivers can diff series
+/// (ns/op, rows_scanned, bloom_skips, ...) across commits without scraping
+/// stdout. The file goes to $XK_BENCH_JSON_DIR (default: cwd).
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// One series point. `counters` carries the same values as the benchmark
+  /// counters (rows_scanned, bloom_skips, results/query, ...).
+  void AddRecord(const std::string& name, double ns_per_op,
+                 const std::map<std::string, double>& counters,
+                 const std::string& label = "", double iterations = 0) {
+    records_.push_back(Record{name, label, ns_per_op, iterations, counters});
+  }
+
+  bool WriteFile() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("XK_BENCH_JSON_DIR"); env != nullptr) {
+      dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const char* scale = std::getenv("XK_BENCH_SCALE");
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": \"%s\",\n",
+                 Escaped(bench_name_).c_str(),
+                 scale != nullptr ? Escaped(scale).c_str() : "default");
+    std::fprintf(f, "  \"benchmarks\": [");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"label\": \"%s\", ",
+                   i == 0 ? "" : ",", Escaped(r.name).c_str(),
+                   Escaped(r.label).c_str());
+      std::fprintf(f, "\"iterations\": %.0f, \"ns_per_op\": %.3f", r.iterations,
+                   r.ns_per_op);
+      for (const auto& [key, value] : r.counters) {
+        std::fprintf(f, ", \"%s\": %.3f", Escaped(key).c_str(), value);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("BENCH json: %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    std::string label;
+    double ns_per_op;
+    double iterations;
+    std::map<std::string, double> counters;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out.push_back(' ');
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<Record> records_;
+};
+
+/// Console reporter that tees every run into a BenchJsonWriter.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(BenchJsonWriter* writer) : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::map<std::string, double> counters;
+      for (const auto& [key, counter] : run.counters) {
+        counters[key] = static_cast<double>(counter.value);
+      }
+      const double iters = static_cast<double>(run.iterations);
+      writer_->AddRecord(run.benchmark_name(),
+                         iters > 0 ? run.real_accumulated_time / iters * 1e9 : 0,
+                         counters, run.report_label, iters);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchJsonWriter* writer_;
+};
+
+/// Drop-in main body for google-benchmark binaries: console output plus the
+/// BENCH_<name>.json sidecar. Register benchmarks first, then call this.
+inline int RunBenchMain(const char* bench_name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchJsonWriter writer(bench_name);
+  JsonTeeReporter reporter(&writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  writer.WriteFile();
+  benchmark::Shutdown();
+  return 0;
+}
 
 class DblpBench {
  public:
@@ -68,6 +191,18 @@ class DblpBench {
     config.author_vocab = 200;
     config.title_vocab = 200;
     config.seed = 2003;
+    // XK_BENCH_SCALE=tiny shrinks the database so smoke runs (the ctest
+    // bench_smoke target, CI sanity checks) finish in seconds. Series values
+    // are not comparable across scales — the JSON sidecar records the scale.
+    if (const char* scale = std::getenv("XK_BENCH_SCALE");
+        scale != nullptr && std::string(scale) == "tiny") {
+      config.num_conferences = 3;
+      config.years_per_conference = 3;
+      config.avg_papers_per_year = 6;
+      config.avg_citations_per_paper = 4.0;
+      config.author_vocab = 60;
+      config.title_vocab = 60;
+    }
     db_ = datagen::DblpDatabase::Generate(config).MoveValueUnsafe();
     xk_ = engine::XKeyword::Load(&db_->graph(), &db_->schema(), &db_->tss())
               .MoveValueUnsafe();

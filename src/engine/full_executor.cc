@@ -134,10 +134,12 @@ void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
 
 void RunIndexNestedLoop(
     const opt::CtssnPlan& plan, const exec::ExecOptions& exec_options,
-    ExecutionStats* stats,
+    bool enable_semijoin_pruning, BloomCache* bloom_cache, ExecutionStats* stats,
     const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
   auto groups = SameSegmentGroups(*plan.ctssn);
   exec::NestedLoopExecutor executor(&plan.query, exec_options);
+  PlanLayout layout(&plan, enable_semijoin_pruning, bloom_cache, stats);
+  executor.set_step_blooms(&layout.step_blooms());
   std::vector<storage::ObjectId> objs(plan.node_source.size());
   Status st = executor.Run([&](const std::vector<storage::TupleView>& rows) {
     for (size_t node = 0; node < plan.node_source.size(); ++node) {
@@ -158,6 +160,9 @@ Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query
                                                       ExecutionStats* stats) {
   std::vector<present::Mtton> results;
   opt::MaterializedViewCache cache;
+  BloomCache bloom_cache;
+  BloomCache* bloom_cache_ptr =
+      options_.enable_semijoin_pruning ? &bloom_cache : nullptr;
 
   for (size_t p = 0; p < query.plans.size(); ++p) {
     const opt::CtssnPlan& plan = query.plans[p];
@@ -171,7 +176,7 @@ Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query
       return true;
     };
     if (plan.query.steps.empty()) {
-      EvaluateSingleObjectPlan(query, p, emit);
+      EvaluateSingleObjectPlan(query, p, emit, stats);
       continue;
     }
     FullMode mode = options_.mode;
@@ -189,7 +194,8 @@ Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query
       mode = indexed ? FullMode::kIndexNestedLoop : FullMode::kHashJoin;
     }
     if (mode == FullMode::kIndexNestedLoop) {
-      RunIndexNestedLoop(plan, query.exec_options, stats, emit);
+      RunIndexNestedLoop(plan, query.exec_options, options_.enable_semijoin_pruning,
+                         bloom_cache_ptr, stats, emit);
     } else {
       RunHashJoin(plan, &cache, options_.enable_reuse, stats, emit);
     }

@@ -31,6 +31,9 @@ struct FullExecutorOptions {
   bool enable_reuse = true;
   /// When > 0, skip networks with more CTSSN edges than this.
   int max_network_size = 0;
+  /// Semi-join keyword pruning of index-nested-loop probes (see
+  /// QueryOptions::enable_semijoin_pruning). Never changes results.
+  bool enable_semijoin_pruning = true;
 };
 
 class FullExecutor {

@@ -42,6 +42,23 @@ struct QueryOptions {
 
   /// Threads of the per-CN thread pool.
   int num_threads = 4;
+
+  /// Morsel-driven intra-plan parallelism: when > 1, the top-k executor runs
+  /// plans one at a time (smallest network first) and splits each plan's
+  /// step-0 driver matches into morsels fanned out over a work-stealing pool
+  /// of this many threads. Results are byte-identical to num_threads = 1
+  /// (morsels merge in driver order; a completed-prefix watermark implements
+  /// the per_network_k / global_k early stop). Use for queries dominated by
+  /// one large candidate network.
+  int intra_plan_threads = 1;
+  /// Step-0 driver rows per morsel.
+  size_t morsel_size = 1024;
+
+  /// Semi-join keyword pruning: intersect each step's keyword filter sets and
+  /// summarize the join columns later steps probe into Bloom filters, so
+  /// probes bound to a value that cannot match skip the table entirely
+  /// (counted in ProbeStats::bloom_skips). Never changes results.
+  bool enable_semijoin_pruning = true;
 };
 
 /// Aggregated execution counters, reported by the benches next to wall time.
@@ -52,6 +69,9 @@ struct ExecutionStats {
   uint64_t results = 0;
   uint64_t reuse_hits = 0;
   uint64_t reuse_misses = 0;
+  /// Rows streamed while building semi-join Bloom filters (one filtered scan
+  /// per distinct step signature; kept apart from probe-time rows_scanned).
+  uint64_t bloom_build_rows = 0;
 
   void Add(const ExecutionStats& o) {
     probes.Add(o.probes);
@@ -60,6 +80,7 @@ struct ExecutionStats {
     results += o.results;
     reuse_hits += o.reuse_hits;
     reuse_misses += o.reuse_misses;
+    bloom_build_rows += o.bloom_build_rows;
   }
 };
 

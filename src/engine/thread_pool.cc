@@ -4,11 +4,16 @@
 
 namespace xk::engine {
 
+namespace {
+thread_local int tls_worker_index = -1;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) {
   XK_CHECK_GT(num_threads, 0);
+  queues_.resize(static_cast<size_t>(num_threads));
   threads_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -21,35 +26,65 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++pending_;
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_cv_.wait(lock, [this] { return pending_ == 0 && active_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+bool ThreadPool::PopTask(int worker, std::function<void()>* task) {
+  std::deque<std::function<void()>>& own = queues_[static_cast<size_t>(worker)];
+  if (!own.empty()) {
+    *task = std::move(own.front());
+    own.pop_front();
+    return true;
+  }
+  // Steal from the back of a sibling's deque (oldest-first keeps the victim's
+  // locality on its recent submissions).
+  const size_t n = queues_.size();
+  for (size_t d = 1; d < n; ++d) {
+    std::deque<std::function<void()>>& victim =
+        queues_[(static_cast<size_t>(worker) + d) % n];
+    if (!victim.empty()) {
+      *task = std::move(victim.back());
+      victim.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  tls_worker_index = worker;
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (shutdown_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock, [this] { return shutdown_ || pending_ > 0; });
+      if (pending_ == 0) {
+        if (shutdown_) return;
+        continue;
+      }
+      XK_CHECK(PopTask(worker, &task));
+      --pending_;
       ++active_;
     }
     task();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (pending_ == 0 && active_ == 0) idle_cv_.notify_all();
     }
   }
 }

@@ -1,8 +1,11 @@
 // Copyright (c) the XKeyword authors.
 //
-// Fixed-size thread pool used by the top-k executor: "we solve this problem
-// by using a thread pool. A thread is assigned to each CN starting from the
-// smaller ones" (Section 6).
+// Work-stealing thread pool. Two uses in the engine: "a thread is assigned to
+// each CN starting from the smaller ones" (Section 6), and the morsel-driven
+// intra-plan parallelism of the top-k executor, where one large CTSSN plan is
+// split into driver morsels that idle workers steal. Tasks are submitted
+// round-robin to per-worker deques; a worker drains its own deque FIFO and,
+// when empty, steals from the back of a sibling's deque.
 
 #ifndef XK_ENGINE_THREAD_POOL_H_
 #define XK_ENGINE_THREAD_POOL_H_
@@ -24,22 +27,36 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; tasks run FIFO across the pool.
+  /// Enqueues a task onto the next worker's deque (round-robin); idle workers
+  /// steal it if its owner is busy.
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void Wait();
+  /// Alias of Wait(), matching the morsel scheduler's phrasing: the pool is
+  /// idle once all deques are empty and no task is running.
+  void WaitIdle() { Wait(); }
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
+  /// Index of the calling pool worker in [0, num_threads()), or -1 when the
+  /// caller is not a pool thread. Lets tasks maintain worker-local state
+  /// (e.g. the per-worker suffix caches of the morsel-driven evaluator).
+  static int CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker);
+  /// Pops the next task: own deque front first, then steal from the back of
+  /// another worker's deque. Returns false if every deque is empty.
+  bool PopTask(int worker, std::function<void()>* task);
 
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::vector<std::deque<std::function<void()>>> queues_;  // one per worker
   std::vector<std::thread> threads_;
+  size_t next_queue_ = 0;  // round-robin submit cursor
+  size_t pending_ = 0;     // tasks queued across all deques
   int active_ = 0;
   bool shutdown_ = false;
 };

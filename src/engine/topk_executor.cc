@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
-#include <map>
-#include <mutex>
 #include <numeric>
 
 #include "common/logging.h"
@@ -12,10 +10,39 @@
 
 namespace xk::engine {
 
-PlanEvaluator::PlanEvaluator(const opt::CtssnPlan* plan,
-                             exec::ExecOptions exec_options, bool enable_cache,
-                             size_t cache_capacity)
-    : plan_(plan), exec_options_(exec_options), enable_cache_(enable_cache) {
+// --- BloomCache ----------------------------------------------------------
+
+const storage::BloomFilter* BloomCache::GetOrBuild(const exec::JoinStep& step,
+                                                   const std::string& signature,
+                                                   int column,
+                                                   ExecutionStats* build_stats) {
+  std::string key = signature;
+  key.push_back('#');
+  key += std::to_string(column);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = filters_.find(key);
+  if (it != filters_.end()) return it->second.get();
+
+  auto filter = std::make_unique<storage::BloomFilter>(step.table->NumRows());
+  exec::ProbeStats scan_stats;
+  exec::ExecOptions no_index{.use_indexes = false};
+  exec::ForEachMatch(*step.table, step.const_filters, step.in_filters, no_index,
+                     [&](storage::RowId r) {
+                       filter->Add(step.table->At(r, column));
+                       return true;
+                     },
+                     &scan_stats);
+  if (build_stats != nullptr) {
+    build_stats->bloom_build_rows += scan_stats.rows_scanned;
+  }
+  return filters_.emplace(std::move(key), std::move(filter)).first->second.get();
+}
+
+// --- PlanLayout ----------------------------------------------------------
+
+PlanLayout::PlanLayout(const opt::CtssnPlan* plan, bool enable_semijoin_pruning,
+                       BloomCache* bloom_cache, ExecutionStats* build_stats)
+    : plan_(plan) {
   XK_CHECK(plan != nullptr);
   const size_t num_steps = plan->query.steps.size();
   const size_t num_nodes = plan->node_source.size();
@@ -23,6 +50,8 @@ PlanEvaluator::PlanEvaluator(const opt::CtssnPlan* plan,
   deps_.resize(num_steps);
   nodes_at_.resize(num_steps);
   suffix_nodes_.resize(num_steps);
+  step_filters_.resize(num_steps);
+  step_blooms_.resize(num_steps);
 
   for (size_t i = 0; i < num_steps; ++i) {
     // Dependencies: earlier-step columns referenced by steps >= i.
@@ -49,6 +78,66 @@ PlanEvaluator::PlanEvaluator(const opt::CtssnPlan* plan,
         suffix_nodes_[i].push_back(static_cast<int>(node));
       }
     }
+
+    // Keyword filters, same-column sets intersected down to one set each: a
+    // row is checked against one compact set instead of k overlapping ones.
+    const exec::JoinStep& step = plan->query.steps[i];
+    for (size_t a = 0; a < step.in_filters.size(); ++a) {
+      const exec::ColumnInSet& f = step.in_filters[a];
+      bool first_for_column = true;
+      for (size_t b = 0; b < a; ++b) {
+        if (step.in_filters[b].column == f.column) {
+          first_for_column = false;
+          break;
+        }
+      }
+      if (!first_for_column) continue;
+      std::vector<const storage::IdSet*> sets;
+      for (const exec::ColumnInSet& g : step.in_filters) {
+        if (g.column == f.column) sets.push_back(g.set);
+      }
+      if (sets.size() == 1) {
+        step_filters_[i].push_back(f);
+        continue;
+      }
+      // Intersect: iterate the smallest set, require membership in the rest.
+      const storage::IdSet* smallest = sets[0];
+      for (const storage::IdSet* s : sets) {
+        if (s->size() < smallest->size()) smallest = s;
+      }
+      storage::IdSet merged;
+      for (storage::ObjectId id : *smallest) {
+        bool ok = true;
+        for (const storage::IdSet* s : sets) {
+          if (s != smallest && !s->contains(id)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) merged.insert(id);
+      }
+      owned_sets_.push_back(std::move(merged));
+      step_filters_[i].push_back(exec::ColumnInSet{f.column, &owned_sets_.back()});
+    }
+
+    // Semi-join prune filters: one Bloom per join column this step is probed
+    // on, summarizing values among rows passing the step's local filters.
+    if (enable_semijoin_pruning && bloom_cache != nullptr && i > 0) {
+      for (const auto& [col, ref] : step.eq) {
+        (void)ref;
+        bool duplicate = false;
+        for (const exec::ColumnBloom& existing : step_blooms_[i]) {
+          if (existing.column == col) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        step_blooms_[i].push_back(exec::ColumnBloom{
+            col, bloom_cache->GetOrBuild(step, plan->step_signatures[i], col,
+                                         build_stats)});
+      }
+    }
   }
 
   // Occurrences sharing a segment must bind distinct objects.
@@ -62,7 +151,18 @@ PlanEvaluator::PlanEvaluator(const opt::CtssnPlan* plan,
       if (occs.size() >= 2) same_segment_groups_.push_back(std::move(occs));
     }
   }
+}
 
+// --- PlanEvaluator -------------------------------------------------------
+
+PlanEvaluator::PlanEvaluator(const PlanLayout* layout,
+                             exec::ExecOptions exec_options, bool enable_cache,
+                             size_t cache_capacity)
+    : layout_(layout),
+      plan_(&layout->plan()),
+      exec_options_(exec_options),
+      enable_cache_(enable_cache) {
+  const size_t num_steps = plan_->query.steps.size();
   caches_.resize(num_steps);
   if (enable_cache_ && num_steps > 1) {
     size_t per_level = std::max<size_t>(cache_capacity / (num_steps - 1), 16);
@@ -76,10 +176,11 @@ PlanEvaluator::PlanEvaluator(const opt::CtssnPlan* plan,
 
 std::string PlanEvaluator::CacheKey(
     size_t i, const std::vector<storage::TupleView>& rows) const {
+  const std::vector<exec::ColumnRef>& deps = layout_->deps_[i];
   std::string key;
-  key.resize(deps_[i].size() * sizeof(storage::ObjectId));
+  key.resize(deps.size() * sizeof(storage::ObjectId));
   char* out = key.data();
-  for (const exec::ColumnRef& ref : deps_[i]) {
+  for (const exec::ColumnRef& ref : deps) {
     storage::ObjectId v =
         rows[static_cast<size_t>(ref.step)][static_cast<size_t>(ref.column)];
     std::memcpy(out, &v, sizeof(v));
@@ -91,8 +192,8 @@ std::string PlanEvaluator::CacheKey(
 void PlanEvaluator::ProjectToCollectors(const std::vector<storage::ObjectId>& objs) {
   for (Collector* c : active_collectors_) {
     std::vector<storage::ObjectId> projection;
-    projection.reserve(suffix_nodes_[c->level].size());
-    for (int node : suffix_nodes_[c->level]) {
+    projection.reserve(layout_->suffix_nodes_[c->level].size());
+    for (int node : layout_->suffix_nodes_[c->level]) {
       projection.push_back(objs[static_cast<size_t>(node)]);
     }
     c->completions.push_back(std::move(projection));
@@ -122,7 +223,8 @@ bool PlanEvaluator::Eval(
       // the remaining occurrences.
       for (const std::vector<storage::ObjectId>& completion : *hit) {
         for (size_t x = 0; x < completion.size(); ++x) {
-          (*objs)[static_cast<size_t>(suffix_nodes_[i][x])] = completion[x];
+          (*objs)[static_cast<size_t>(layout_->suffix_nodes_[i][x])] =
+              completion[x];
         }
         ProjectToCollectors(*objs);
         if (!DistinctAcrossSegments(*objs)) continue;
@@ -145,10 +247,11 @@ bool PlanEvaluator::Eval(
   }
 
   bool keep_going = true;
-  exec::ForEachMatch(*step.table, bindings, step.in_filters, exec_options_,
+  exec::ForEachMatch(*step.table, bindings, layout_->step_filters_[i],
+                     layout_->step_blooms_[i], exec_options_,
                      [&](storage::RowId r) {
                        (*rows)[i] = step.table->Row(r);
-                       for (const auto& [node, col] : nodes_at_[i]) {
+                       for (const auto& [node, col] : layout_->nodes_at_[i]) {
                          (*objs)[static_cast<size_t>(node)] =
                              (*rows)[i][static_cast<size_t>(col)];
                        }
@@ -168,7 +271,7 @@ bool PlanEvaluator::Eval(
 
 bool PlanEvaluator::DistinctAcrossSegments(
     const std::vector<storage::ObjectId>& objs) const {
-  for (const std::vector<int>& group : same_segment_groups_) {
+  for (const std::vector<int>& group : layout_->same_segment_groups_) {
     for (size_t a = 0; a < group.size(); ++a) {
       for (size_t b = a + 1; b < group.size(); ++b) {
         if (objs[static_cast<size_t>(group[a])] ==
@@ -181,6 +284,18 @@ bool PlanEvaluator::DistinctAcrossSegments(
   return true;
 }
 
+bool PlanEvaluator::EvalDriverRow(
+    storage::RowId r, std::vector<storage::TupleView>* rows,
+    std::vector<storage::ObjectId>* objs,
+    const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
+  const exec::JoinStep& step = plan_->query.steps[0];
+  (*rows)[0] = step.table->Row(r);
+  for (const auto& [node, col] : layout_->nodes_at_[0]) {
+    (*objs)[static_cast<size_t>(node)] = (*rows)[0][static_cast<size_t>(col)];
+  }
+  return Eval(1, rows, objs, emit);
+}
+
 void PlanEvaluator::Run(
     const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
   if (plan_->query.steps.empty()) return;  // single-object plans handled elsewhere
@@ -188,17 +303,41 @@ void PlanEvaluator::Run(
   std::vector<storage::ObjectId> objs(plan_->node_source.size(),
                                       storage::kInvalidId);
   Eval(0, &rows, &objs, emit);
-  for (size_t i = 0; i < caches_.size(); ++i) {
-    if (caches_[i] != nullptr) {
-      // Fold LRU-level counters into the stats (hits/misses already counted).
-      (void)i;
-    }
+}
+
+void PlanEvaluator::RunMorsel(
+    std::span<const storage::RowId> driver_rows,
+    const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
+  if (plan_->query.steps.empty()) return;
+  std::vector<storage::TupleView> rows(plan_->query.steps.size());
+  std::vector<storage::ObjectId> objs(plan_->node_source.size(),
+                                      storage::kInvalidId);
+  for (storage::RowId r : driver_rows) {
+    if (!EvalDriverRow(r, &rows, &objs, emit)) return;
   }
 }
 
+std::vector<storage::RowId> EnumerateDriverMatches(const PlanLayout& layout,
+                                                   const exec::ExecOptions& options,
+                                                   ExecutionStats* stats) {
+  const exec::JoinStep& step = layout.plan().query.steps[0];
+  std::vector<storage::RowId> rows;
+  exec::ForEachMatch(*step.table, step.const_filters, layout.step_filters(0),
+                     layout.step_blooms()[0], options,
+                     [&](storage::RowId r) {
+                       rows.push_back(r);
+                       return true;
+                     },
+                     stats != nullptr ? &stats->probes : nullptr);
+  return rows;
+}
+
+// --- Single-object plans -------------------------------------------------
+
 void EvaluateSingleObjectPlan(
     const PreparedQuery& query, size_t plan_index,
-    const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
+    const std::function<bool(const std::vector<storage::ObjectId>&)>& emit,
+    ExecutionStats* stats) {
   const opt::NodeFilters& filters = query.node_filters[plan_index];
   XK_CHECK_EQ(filters.size(), 1u);
   const std::vector<const storage::IdSet*>& sets = filters[0];
@@ -210,6 +349,10 @@ void EvaluateSingleObjectPlan(
   }
   std::vector<storage::ObjectId> ids(smallest->begin(), smallest->end());
   std::sort(ids.begin(), ids.end());  // deterministic order
+  if (stats != nullptr) {
+    ++stats->probes.probes;
+    stats->probes.rows_scanned += ids.size();
+  }
   std::vector<storage::ObjectId> objs(1);
   for (storage::ObjectId id : ids) {
     bool ok = true;
@@ -221,9 +364,132 @@ void EvaluateSingleObjectPlan(
     }
     if (!ok) continue;
     objs[0] = id;
+    if (stats != nullptr) {
+      ++stats->probes.rows_matched;
+      ++stats->results;
+    }
     if (!emit(objs)) return;
   }
 }
+
+// --- TopKExecutor --------------------------------------------------------
+
+namespace {
+
+/// Serial-order cap on one plan's output: the first `limit` results in
+/// driver/nested-loop order, matching the single-threaded emit semantics
+/// (per_network_k = 0 behaves like 1: the emit that trips the cap is kept).
+size_t PlanResultCap(const QueryOptions& options, size_t results_so_far) {
+  size_t cap = std::max<size_t>(options.per_network_k, 1);
+  if (options.global_k != 0) {
+    cap = std::min(cap, options.global_k - results_so_far);
+  }
+  return cap;
+}
+
+/// Morsel-parallel evaluation of one multi-step plan: partitions the driver
+/// matches, fans the continuations out over `pool`, and appends the first
+/// `limit` results (in serial order) to `out`. Worker-local evaluator shards
+/// carry their own suffix caches and stats; a completed-prefix watermark
+/// cancels morsels that can no longer contribute.
+void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
+                    const QueryOptions& options, size_t plan_index, size_t limit,
+                    ThreadPool* pool, std::vector<present::Mtton>* out,
+                    ExecutionStats* plan_stats) {
+  std::vector<storage::RowId> driver =
+      EnumerateDriverMatches(layout, query.exec_options, plan_stats);
+  const int score = query.ctssns[plan_index].cn_size;
+
+  const size_t morsel = std::max<size_t>(options.morsel_size, 1);
+  const size_t num_morsels = (driver.size() + morsel - 1) / morsel;
+
+  auto append = [&](const std::vector<storage::ObjectId>& objs) {
+    out->push_back(present::Mtton{static_cast<int>(plan_index), objs, score});
+  };
+
+  if (num_morsels <= 1 || pool == nullptr || pool->num_threads() <= 1) {
+    PlanEvaluator evaluator(&layout, query.exec_options, options.enable_cache,
+                            options.cache_capacity);
+    size_t taken = 0;
+    evaluator.RunMorsel(std::span<const storage::RowId>(driver),
+                        [&](const std::vector<storage::ObjectId>& objs) {
+                          append(objs);
+                          return ++taken < limit;
+                        });
+    plan_stats->Add(evaluator.stats());
+    return;
+  }
+
+  std::vector<std::unique_ptr<PlanEvaluator>> shards(
+      static_cast<size_t>(pool->num_threads()));
+  for (auto& shard : shards) {
+    shard = std::make_unique<PlanEvaluator>(&layout, query.exec_options,
+                                            options.enable_cache,
+                                            options.cache_capacity);
+  }
+
+  // Per-morsel output slots, merged in morsel order afterwards. `cancelled`
+  // trips once the contiguous prefix of completed morsels already holds
+  // `limit` results — later morsels can never contribute to the first
+  // `limit` results in serial order.
+  std::vector<std::vector<std::vector<storage::ObjectId>>> morsel_out(num_morsels);
+  std::vector<uint8_t> morsel_done(num_morsels, 0);
+  std::atomic<bool> cancelled{false};
+  std::mutex watermark_mutex;
+  size_t prefix_done = 0;
+  size_t prefix_results = 0;
+
+  for (size_t m = 0; m < num_morsels; ++m) {
+    pool->Submit([&, m] {
+      if (!cancelled.load(std::memory_order_acquire)) {
+        const int worker = ThreadPool::CurrentWorkerIndex();
+        XK_CHECK_GE(worker, 0);
+        std::vector<std::vector<storage::ObjectId>>& slot = morsel_out[m];
+        const size_t begin = m * morsel;
+        const size_t count = std::min(morsel, driver.size() - begin);
+        shards[static_cast<size_t>(worker)]->RunMorsel(
+            std::span<const storage::RowId>(driver.data() + begin, count),
+            [&](const std::vector<storage::ObjectId>& objs) {
+              slot.push_back(objs);
+              return slot.size() < limit &&
+                     !cancelled.load(std::memory_order_relaxed);
+            });
+      }
+      std::lock_guard<std::mutex> lock(watermark_mutex);
+      morsel_done[m] = 1;
+      while (prefix_done < num_morsels && morsel_done[prefix_done] != 0) {
+        prefix_results += morsel_out[prefix_done].size();
+        ++prefix_done;
+      }
+      if (prefix_results >= limit) {
+        cancelled.store(true, std::memory_order_release);
+      }
+    });
+  }
+  pool->WaitIdle();
+
+  size_t taken = 0;
+  for (size_t m = 0; m < num_morsels && taken < limit; ++m) {
+    for (const std::vector<storage::ObjectId>& objs : morsel_out[m]) {
+      append(objs);
+      if (++taken == limit) break;
+    }
+  }
+  for (const auto& shard : shards) plan_stats->Add(shard->stats());
+}
+
+void SortMttons(std::vector<present::Mtton>* results) {
+  std::stable_sort(results->begin(), results->end(),
+                   [](const present::Mtton& a, const present::Mtton& b) {
+                     if (a.score != b.score) return a.score < b.score;
+                     if (a.ctssn_index != b.ctssn_index) {
+                       return a.ctssn_index < b.ctssn_index;
+                     }
+                     return a.objects < b.objects;
+                   });
+}
+
+}  // namespace
 
 Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query,
                                                       const QueryOptions& options,
@@ -236,59 +502,93 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
     return query.ctssns[a].cn_size < query.ctssns[b].cn_size;
   });
 
-  std::mutex mutex;
   std::vector<present::Mtton> results;
-  std::atomic<bool> global_stop{false};
   std::vector<ExecutionStats> per_plan_stats(query.plans.size());
+  BloomCache bloom_cache;
+  BloomCache* bloom_cache_ptr =
+      options.enable_semijoin_pruning ? &bloom_cache : nullptr;
 
-  auto run_plan = [&](size_t p) {
-    if (global_stop.load(std::memory_order_relaxed)) return;
-    if (options.max_network_size > 0 &&
-        query.ctssns[p].tree.size() > options.max_network_size) {
-      return;
-    }
-    size_t local_count = 0;
-    auto emit = [&](const std::vector<storage::ObjectId>& objs) {
-      std::lock_guard<std::mutex> lock(mutex);
-      results.push_back(present::Mtton{static_cast<int>(p), objs,
-                                       query.ctssns[p].cn_size});
-      ++local_count;
-      if (options.global_k != 0 && results.size() >= options.global_k) {
-        global_stop.store(true, std::memory_order_relaxed);
-        return false;
-      }
-      return local_count < options.per_network_k &&
-             !global_stop.load(std::memory_order_relaxed);
-    };
-
-    if (query.plans[p].query.steps.empty()) {
-      EvaluateSingleObjectPlan(query, p, emit);
-      return;
-    }
-    PlanEvaluator evaluator(&query.plans[p], query.exec_options,
-                            options.enable_cache, options.cache_capacity);
-    evaluator.Run(emit);
-    per_plan_stats[p] = evaluator.stats();
+  auto skip_plan = [&](size_t p) {
+    return options.max_network_size > 0 &&
+           query.ctssns[p].tree.size() > options.max_network_size;
   };
 
-  if (options.num_threads <= 1 || query.plans.size() <= 1) {
-    for (size_t p : order) run_plan(p);
-  } else {
-    ThreadPool pool(options.num_threads);
+  if (options.intra_plan_threads > 1) {
+    // Morsel-driven: plans run serially smallest-first; each multi-step plan
+    // fans its driver morsels out over the pool. Output and early-stop
+    // semantics are byte-identical to the single-threaded path.
+    std::unique_ptr<ThreadPool> pool;
     for (size_t p : order) {
-      pool.Submit([&run_plan, p] { run_plan(p); });
+      if (skip_plan(p)) continue;
+      if (options.global_k != 0 && results.size() >= options.global_k) break;
+      const size_t limit = PlanResultCap(options, results.size());
+
+      if (query.plans[p].query.steps.empty()) {
+        size_t taken = 0;
+        EvaluateSingleObjectPlan(
+            query, p,
+            [&](const std::vector<storage::ObjectId>& objs) {
+              results.push_back(present::Mtton{static_cast<int>(p), objs,
+                                               query.ctssns[p].cn_size});
+              return ++taken < limit;
+            },
+            &per_plan_stats[p]);
+        continue;
+      }
+
+      PlanLayout layout(&query.plans[p], options.enable_semijoin_pruning,
+                        bloom_cache_ptr, &per_plan_stats[p]);
+      if (pool == nullptr) {
+        pool = std::make_unique<ThreadPool>(options.intra_plan_threads);
+      }
+      RunPlanMorsels(layout, query, options, p, limit, pool.get(), &results,
+                     &per_plan_stats[p]);
     }
-    pool.Wait();
+  } else {
+    std::mutex mutex;
+    std::atomic<bool> global_stop{false};
+
+    auto run_plan = [&](size_t p) {
+      if (global_stop.load(std::memory_order_relaxed)) return;
+      if (skip_plan(p)) return;
+      size_t local_count = 0;
+      auto emit = [&](const std::vector<storage::ObjectId>& objs) {
+        std::lock_guard<std::mutex> lock(mutex);
+        results.push_back(present::Mtton{static_cast<int>(p), objs,
+                                         query.ctssns[p].cn_size});
+        ++local_count;
+        if (options.global_k != 0 && results.size() >= options.global_k) {
+          global_stop.store(true, std::memory_order_relaxed);
+          return false;
+        }
+        return local_count < options.per_network_k &&
+               !global_stop.load(std::memory_order_relaxed);
+      };
+
+      if (query.plans[p].query.steps.empty()) {
+        EvaluateSingleObjectPlan(query, p, emit, &per_plan_stats[p]);
+        return;
+      }
+      PlanLayout layout(&query.plans[p], options.enable_semijoin_pruning,
+                        bloom_cache_ptr, &per_plan_stats[p]);
+      PlanEvaluator evaluator(&layout, query.exec_options, options.enable_cache,
+                              options.cache_capacity);
+      evaluator.Run(emit);
+      per_plan_stats[p].Add(evaluator.stats());
+    };
+
+    if (options.num_threads <= 1 || query.plans.size() <= 1) {
+      for (size_t p : order) run_plan(p);
+    } else {
+      ThreadPool pool(options.num_threads);
+      for (size_t p : order) {
+        pool.Submit([&run_plan, p] { run_plan(p); });
+      }
+      pool.Wait();
+    }
   }
 
-  std::stable_sort(results.begin(), results.end(),
-                   [](const present::Mtton& a, const present::Mtton& b) {
-                     if (a.score != b.score) return a.score < b.score;
-                     if (a.ctssn_index != b.ctssn_index) {
-                       return a.ctssn_index < b.ctssn_index;
-                     }
-                     return a.objects < b.objects;
-                   });
+  SortMttons(&results);
   if (options.global_k != 0 && results.size() > options.global_k) {
     results.resize(options.global_k);
   }

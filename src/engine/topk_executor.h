@@ -1,17 +1,36 @@
 // Copyright (c) the XKeyword authors.
 //
-// The optimized top-k execution algorithm of Section 6: one thread per
-// candidate network (smallest first), nested-loops joins whose inner
-// subtrees are memoized in a fixed-size cache keyed by their join bindings —
-// "when evaluating CTSSN2 for t2, the innermost loop should not be executed
-// since it will produce the same results as before". Disabling the cache
-// yields the naive algorithm of DISCOVER/DBXplorer (see naive_executor.h).
+// The optimized top-k execution algorithm of Section 6: nested-loops joins
+// whose inner subtrees are memoized in a fixed-size cache keyed by their join
+// bindings — "when evaluating CTSSN2 for t2, the innermost loop should not be
+// executed since it will produce the same results as before". Disabling the
+// cache yields the naive algorithm of DISCOVER/DBXplorer (naive_executor.h).
+//
+// Two parallelism axes:
+//  * across plans — one thread per candidate network, smallest first
+//    (the paper's thread pool);
+//  * within a plan — morsel-driven: the step-0 driver matches are split into
+//    fixed-size morsels fanned out over a work-stealing pool; each worker
+//    evaluates the Eval(1, ...) continuation with worker-local suffix caches
+//    and stats, and morsel outputs merge in driver order so results are
+//    byte-identical to the serial path.
+//
+// Semi-join keyword pruning: per plan step, the keyword filter sets are
+// intersected and the join columns later steps probe are summarized into
+// Bloom filters, letting ForEachMatch reject dead-end partial assignments
+// without touching the table.
 
 #ifndef XK_ENGINE_TOPK_EXECUTOR_H_
 #define XK_ENGINE_TOPK_EXECUTOR_H_
 
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "common/lru_cache.h"
 #include "engine/query_context.h"
@@ -24,16 +43,81 @@ namespace xk::engine {
 using MttonSink = std::function<bool(int plan_index,
                                      const std::vector<storage::ObjectId>& objects)>;
 
-/// Evaluates one CTSSN plan by depth-first nested loops with optional
-/// suffix memoization.
+/// Cache of semi-join Bloom filters shared across the plans of one query.
+/// Keyed by (step signature, column): plans frequently share steps (same
+/// relation + local keyword filters), so each filter is built — one filtered
+/// scan — at most once per query. Thread-safe.
+class BloomCache {
+ public:
+  /// The filter over `column` values of rows of `step.table` passing the
+  /// step's local filters; built on first use. `build_stats` (nullable)
+  /// receives the build scan's row count.
+  const storage::BloomFilter* GetOrBuild(const exec::JoinStep& step,
+                                         const std::string& signature, int column,
+                                         ExecutionStats* build_stats);
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<storage::BloomFilter>> filters_;
+};
+
+/// Immutable per-plan precomputation shared by every evaluator shard of one
+/// plan: step dependencies, occurrence bindings, same-segment groups, plus the
+/// semi-join structures — per-step keyword filters intersected down to one set
+/// per column, and per-step Bloom filters over the probed join columns.
+class PlanLayout {
+ public:
+  /// `bloom_cache` may be null (disables pruning, as does
+  /// `enable_semijoin_pruning = false`).
+  PlanLayout(const opt::CtssnPlan* plan, bool enable_semijoin_pruning,
+             BloomCache* bloom_cache, ExecutionStats* build_stats);
+
+  const opt::CtssnPlan& plan() const { return *plan_; }
+  /// Per-step prune filters, usable with exec::ForEachMatch or
+  /// exec::NestedLoopExecutor::set_step_blooms.
+  const std::vector<std::vector<exec::ColumnBloom>>& step_blooms() const {
+    return step_blooms_;
+  }
+  /// Per-step keyword filters with same-column sets intersected.
+  const std::vector<exec::ColumnInSet>& step_filters(size_t step) const {
+    return step_filters_[step];
+  }
+
+ private:
+  friend class PlanEvaluator;
+
+  const opt::CtssnPlan* plan_;
+  // Per step i: deps (earlier columns read by steps >= i), CTSSN nodes first
+  // bound at step i, and nodes bound at steps >= i.
+  std::vector<std::vector<exec::ColumnRef>> deps_;
+  std::vector<std::vector<std::pair<int, int>>> nodes_at_;  // (ctssn node, col)
+  std::vector<std::vector<int>> suffix_nodes_;
+  /// Occurrence groups sharing a segment (only groups of size >= 2).
+  std::vector<std::vector<int>> same_segment_groups_;
+  std::vector<std::vector<exec::ColumnInSet>> step_filters_;
+  std::deque<storage::IdSet> owned_sets_;  // stable storage for intersections
+  std::vector<std::vector<exec::ColumnBloom>> step_blooms_;
+};
+
+/// Evaluates one CTSSN plan by depth-first nested loops with optional suffix
+/// memoization. Not thread-safe: the morsel-driven path creates one evaluator
+/// shard per pool worker (worker-local caches and stats) over a shared
+/// PlanLayout.
 class PlanEvaluator {
  public:
-  PlanEvaluator(const opt::CtssnPlan* plan, exec::ExecOptions exec_options,
+  PlanEvaluator(const PlanLayout* layout, exec::ExecOptions exec_options,
                 bool enable_cache, size_t cache_capacity);
 
   /// Runs to completion or until `emit` declines.
   /// `emit` receives the objects per CTSSN occurrence.
   void Run(const std::function<bool(const std::vector<storage::ObjectId>&)>& emit);
+
+  /// Evaluates the continuation of a morsel of step-0 driver row ids (as
+  /// enumerated by EnumerateDriverMatches): binds each driver row, then runs
+  /// the nested loops from step 1. Emission order within the morsel equals
+  /// the serial order.
+  void RunMorsel(std::span<const storage::RowId> driver_rows,
+                 const std::function<bool(const std::vector<storage::ObjectId>&)>& emit);
 
   const ExecutionStats& stats() const { return stats_; }
 
@@ -46,6 +130,10 @@ class PlanEvaluator {
   bool Eval(size_t i, std::vector<storage::TupleView>* rows,
             std::vector<storage::ObjectId>* objs,
             const std::function<bool(const std::vector<storage::ObjectId>&)>& emit);
+  /// Binds step 0 to driver row `r`, then evaluates steps 1..n.
+  bool EvalDriverRow(storage::RowId r, std::vector<storage::TupleView>* rows,
+                     std::vector<storage::ObjectId>* objs,
+                     const std::function<bool(const std::vector<storage::ObjectId>&)>& emit);
 
   void ProjectToCollectors(const std::vector<storage::ObjectId>& objs);
   std::string CacheKey(size_t i, const std::vector<storage::TupleView>& rows) const;
@@ -54,28 +142,30 @@ class PlanEvaluator {
   /// pre-check against future prefixes).
   bool DistinctAcrossSegments(const std::vector<storage::ObjectId>& objs) const;
 
+  const PlanLayout* layout_;
   const opt::CtssnPlan* plan_;
   exec::ExecOptions exec_options_;
   bool enable_cache_;
-
-  // Precomputed per step i: deps (earlier columns read by steps >= i),
-  // CTSSN nodes first bound at step i, and nodes bound at steps >= i.
-  std::vector<std::vector<exec::ColumnRef>> deps_;
-  std::vector<std::vector<std::pair<int, int>>> nodes_at_;   // (ctssn node, col)
-  std::vector<std::vector<int>> suffix_nodes_;
 
   // One cache per step level (level 0 has no dependencies, never cached).
   std::vector<std::unique_ptr<
       LruCache<std::string, std::vector<std::vector<storage::ObjectId>>>>>
       caches_;
   std::vector<Collector*> active_collectors_;
-  /// Occurrence groups sharing a segment (only groups of size >= 2).
-  std::vector<std::vector<int>> same_segment_groups_;
   ExecutionStats stats_;
 };
 
+/// Step-0 matches of `plan` in probe order — the driver rows the morsel
+/// scheduler partitions. Scan counters go to `stats` (nullable).
+std::vector<storage::RowId> EnumerateDriverMatches(const PlanLayout& layout,
+                                                   const exec::ExecOptions& options,
+                                                   ExecutionStats* stats);
+
 /// Runs all plans of a prepared query with the thread pool, collecting up to
 /// per_network_k results per network (and optionally global_k in total).
+/// With options.intra_plan_threads > 1, plans run smallest-first one at a
+/// time, each parallelized across morsels of its driver matches; the result
+/// list is byte-identical to a single-threaded run.
 class TopKExecutor {
  public:
   TopKExecutor() = default;
@@ -87,9 +177,11 @@ class TopKExecutor {
 
 /// Evaluates a single-object network (no joins): intersects the occurrence's
 /// keyword filter sets and emits each object. Shared by all executors.
+/// `stats` (nullable) counts the intersection scan and emitted results.
 void EvaluateSingleObjectPlan(
     const PreparedQuery& query, size_t plan_index,
-    const std::function<bool(const std::vector<storage::ObjectId>&)>& emit);
+    const std::function<bool(const std::vector<storage::ObjectId>&)>& emit,
+    ExecutionStats* stats = nullptr);
 
 }  // namespace xk::engine
 

@@ -49,6 +49,23 @@ const char* AccessPathKindToString(AccessPathKind kind) {
   return "?";
 }
 
+const storage::CompositeIndex* BestCompositeIndex(
+    const storage::Table& table, const std::vector<ColumnBinding>& bindings,
+    std::vector<storage::ObjectId>* prefix) {
+  const storage::CompositeIndex* best = nullptr;
+  std::vector<storage::ObjectId> best_prefix;
+  for (const auto& idx : table.composite_indexes()) {
+    std::vector<storage::ObjectId> candidate =
+        KeyPrefixFromBindings(idx->key_columns(), bindings);
+    if (candidate.size() > best_prefix.size()) {
+      best = idx.get();
+      best_prefix = std::move(candidate);
+    }
+  }
+  if (best != nullptr && prefix != nullptr) *prefix = std::move(best_prefix);
+  return best;
+}
+
 AccessPathKind ChooseAccessPath(const storage::Table& table,
                                 const std::vector<ColumnBinding>& bindings,
                                 const ExecOptions& opts) {
@@ -57,11 +74,8 @@ AccessPathKind ChooseAccessPath(const storage::Table& table,
       !KeyPrefixFromBindings(table.clustering_key(), bindings).empty()) {
     return AccessPathKind::kClusteredRange;
   }
-  // Longest-prefix composite index over the bound columns.
-  for (const ColumnBinding& b : bindings) {
-    if (table.GetCompositeIndex({b.column}) != nullptr) {
-      return AccessPathKind::kCompositeIndex;
-    }
+  if (BestCompositeIndex(table, bindings, nullptr) != nullptr) {
+    return AccessPathKind::kCompositeIndex;
   }
   for (const ColumnBinding& b : bindings) {
     if (table.GetHashIndex(b.column) != nullptr) return AccessPathKind::kHashIndex;
@@ -72,11 +86,23 @@ AccessPathKind ChooseAccessPath(const storage::Table& table,
 AccessPathKind ForEachMatch(const storage::Table& table,
                             const std::vector<ColumnBinding>& bindings,
                             const std::vector<ColumnInSet>& in_filters,
+                            const std::vector<ColumnBloom>& prune_blooms,
                             const ExecOptions& opts,
                             const std::function<bool(storage::RowId)>& fn,
                             ProbeStats* stats) {
   if (stats != nullptr) ++stats->probes;
   const AccessPathKind kind = ChooseAccessPath(table, bindings, opts);
+
+  // Semi-join pruning: a bound value absent from a column's Bloom summary
+  // cannot match any row that survives the step's local filters.
+  for (const ColumnBloom& pb : prune_blooms) {
+    for (const ColumnBinding& b : bindings) {
+      if (b.column == pb.column && !pb.bloom->MayContain(b.value)) {
+        if (stats != nullptr) ++stats->bloom_skips;
+        return kind;
+      }
+    }
+  }
 
   auto emit = [&](storage::RowId r) -> bool {
     if (stats != nullptr) ++stats->rows_scanned;
@@ -96,21 +122,11 @@ AccessPathKind ForEachMatch(const storage::Table& table,
       return kind;
     }
     case AccessPathKind::kCompositeIndex: {
-      // Pick the composite index with the longest usable prefix.
-      const storage::CompositeIndex* best = nullptr;
-      std::vector<storage::ObjectId> best_prefix;
-      for (const ColumnBinding& b : bindings) {
-        const storage::CompositeIndex* idx = table.GetCompositeIndex({b.column});
-        if (idx == nullptr) continue;
-        std::vector<storage::ObjectId> prefix =
-            KeyPrefixFromBindings(idx->key_columns(), bindings);
-        if (prefix.size() > best_prefix.size()) {
-          best = idx;
-          best_prefix = std::move(prefix);
-        }
-      }
+      std::vector<storage::ObjectId> prefix;
+      const storage::CompositeIndex* best =
+          BestCompositeIndex(table, bindings, &prefix);
       XK_CHECK(best != nullptr);
-      for (storage::RowId r : best->LookupPrefix(best_prefix)) {
+      for (storage::RowId r : best->LookupPrefix(prefix)) {
         if (!emit(r)) return kind;
       }
       return kind;
@@ -140,6 +156,15 @@ AccessPathKind ForEachMatch(const storage::Table& table,
     }
   }
   return kind;
+}
+
+AccessPathKind ForEachMatch(const storage::Table& table,
+                            const std::vector<ColumnBinding>& bindings,
+                            const std::vector<ColumnInSet>& in_filters,
+                            const ExecOptions& opts,
+                            const std::function<bool(storage::RowId)>& fn,
+                            ProbeStats* stats) {
+  return ForEachMatch(table, bindings, in_filters, {}, opts, fn, stats);
 }
 
 TableScanIterator::TableScanIterator(const storage::Table& table,

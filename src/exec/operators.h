@@ -34,6 +34,15 @@ struct ColumnInSet {
   const storage::IdSet* set;  // not owned; must outlive the probe
 };
 
+/// Semi-join prune: a Bloom filter summarizing the values `column` can take
+/// among rows that could ever match this probe's relation (e.g. rows passing
+/// the step's local keyword filters). A probe whose binding for `column` is
+/// definitely absent is rejected without touching the table.
+struct ColumnBloom {
+  int column;
+  const storage::BloomFilter* bloom;  // not owned; must outlive the probe
+};
+
 /// Which physical path served a probe (exposed for tests and benches).
 enum class AccessPathKind {
   kClusteredRange,
@@ -51,9 +60,19 @@ struct ExecOptions {
 };
 
 /// The path a probe with the given bound columns would take on `table`.
+/// Among several usable composite indexes, the one covering the longest
+/// prefix of bound columns wins (ties broken by build order); `ForEachMatch`
+/// probes the same index this function selects.
 AccessPathKind ChooseAccessPath(const storage::Table& table,
                                 const std::vector<ColumnBinding>& bindings,
                                 const ExecOptions& opts);
+
+/// The composite index of `table` covering the longest key prefix of bound
+/// columns (ties broken by build order), or nullptr if none has even its
+/// first key column bound. On a hit, `*prefix` receives the bound key values.
+const storage::CompositeIndex* BestCompositeIndex(
+    const storage::Table& table, const std::vector<ColumnBinding>& bindings,
+    std::vector<storage::ObjectId>* prefix);
 
 /// Counters accumulated across probes; the benches report these alongside
 /// wall time so the cost differences are explainable.
@@ -61,17 +80,29 @@ struct ProbeStats {
   uint64_t probes = 0;        // number of ForEachMatch calls
   uint64_t rows_scanned = 0;  // rows touched (incl. filtered-out)
   uint64_t rows_matched = 0;  // rows passed to the callback
+  uint64_t bloom_skips = 0;   // probes rejected by a semi-join Bloom filter
 
   void Add(const ProbeStats& other) {
     probes += other.probes;
     rows_scanned += other.rows_scanned;
     rows_matched += other.rows_matched;
+    bloom_skips += other.bloom_skips;
   }
 };
 
 /// Enumerates rows of `table` satisfying all bindings and in-set filters,
 /// invoking `fn(row_id)`; `fn` returns false to stop early. Returns the path
-/// taken. `stats` may be null.
+/// taken. `stats` may be null. A probe whose binding fails one of
+/// `prune_blooms` is skipped entirely (counted in `stats->bloom_skips`).
+AccessPathKind ForEachMatch(const storage::Table& table,
+                            const std::vector<ColumnBinding>& bindings,
+                            const std::vector<ColumnInSet>& in_filters,
+                            const std::vector<ColumnBloom>& prune_blooms,
+                            const ExecOptions& opts,
+                            const std::function<bool(storage::RowId)>& fn,
+                            ProbeStats* stats);
+
+/// Convenience overload without semi-join pruning.
 AccessPathKind ForEachMatch(const storage::Table& table,
                             const std::vector<ColumnBinding>& bindings,
                             const std::vector<ColumnInSet>& in_filters,

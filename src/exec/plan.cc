@@ -70,8 +70,13 @@ bool NestedLoopExecutor::Recurse(size_t depth, std::vector<storage::TupleView>* 
         ColumnBinding{col, (*rows)[static_cast<size_t>(ref.step)][
                                static_cast<size_t>(ref.column)]});
   }
+  static const std::vector<ColumnBloom> kNoBlooms;
+  const std::vector<ColumnBloom>& blooms =
+      (step_blooms_ != nullptr && depth < step_blooms_->size())
+          ? (*step_blooms_)[depth]
+          : kNoBlooms;
   bool keep_going = true;
-  ForEachMatch(*step.table, bindings, step.in_filters, opts_,
+  ForEachMatch(*step.table, bindings, step.in_filters, blooms, opts_,
                [&](storage::RowId r) {
                  (*rows)[depth] = step.table->Row(r);
                  if (depth + 1 == query_->steps.size()) {

@@ -68,6 +68,13 @@ class NestedLoopExecutor {
   Status Run(const RowSink& sink,
              size_t limit = std::numeric_limits<size_t>::max());
 
+  /// Installs semi-join prune filters, one entry per step (may be shorter;
+  /// missing/empty entries mean "no pruning for that step"). Filters must
+  /// outlive Run.
+  void set_step_blooms(const std::vector<std::vector<ColumnBloom>>* step_blooms) {
+    step_blooms_ = step_blooms;
+  }
+
   const ProbeStats& stats() const { return stats_; }
 
  private:
@@ -76,6 +83,7 @@ class NestedLoopExecutor {
 
   const JoinQuery* query_;
   ExecOptions opts_;
+  const std::vector<std::vector<ColumnBloom>>* step_blooms_ = nullptr;
   ProbeStats stats_;
 };
 

@@ -15,10 +15,14 @@ const std::vector<storage::Tuple>* MaterializedViewCache::Get(
 
 const std::vector<storage::Tuple>* MaterializedViewCache::Put(
     const std::string& signature, std::vector<storage::Tuple> rows) {
-  auto owned = std::make_unique<std::vector<storage::Tuple>>(std::move(rows));
-  const std::vector<storage::Tuple>* ptr = owned.get();
-  views_[signature] = std::move(owned);
-  return ptr;
+  // Keep an existing materialization: a signature determines its scan, and
+  // earlier steps of the current plan may still hold pointers into it (a
+  // reuse-disabled executor Puts the same signature once per occurrence).
+  auto [it, inserted] = views_.try_emplace(signature);
+  if (inserted) {
+    it->second = std::make_unique<std::vector<storage::Tuple>>(std::move(rows));
+  }
+  return it->second.get();
 }
 
 }  // namespace xk::opt

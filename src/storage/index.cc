@@ -28,6 +28,51 @@ size_t HashIndex::MemoryBytes() const {
   return bytes;
 }
 
+namespace {
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mix.
+uint64_t MixId(ObjectId key) {
+  uint64_t h = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(size_t expected_keys, double bits_per_key) {
+  XK_CHECK_GT(bits_per_key, 0.0);
+  size_t want_bits =
+      static_cast<size_t>(static_cast<double>(std::max<size_t>(expected_keys, 1)) *
+                          bits_per_key);
+  size_t bits = 64;
+  while (bits < want_bits) bits <<= 1;
+  words_.assign(bits / 64, 0);
+  bit_mask_ = bits - 1;
+  // Optimal k = ln 2 * bits/key; clamp to a practical range.
+  num_hashes_ = std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 8);
+}
+
+void BloomFilter::Add(ObjectId key) {
+  uint64_t h1 = MixId(key);
+  uint64_t h2 = (h1 >> 17) | (h1 << 47);  // independent-enough second hash
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) & bit_mask_;
+    words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+  ++num_keys_added_;
+}
+
+bool BloomFilter::MayContain(ObjectId key) const {
+  uint64_t h1 = MixId(key);
+  uint64_t h2 = (h1 >> 17) | (h1 << 47);
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) & bit_mask_;
+    if ((words_[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
 CompositeIndex::CompositeIndex(const Table& table, std::vector<int> key_columns)
     : table_(table), key_columns_(std::move(key_columns)) {
   XK_CHECK(!key_columns_.empty());

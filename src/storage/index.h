@@ -47,6 +47,31 @@ class HashIndex {
   std::vector<RowId> empty_;
 };
 
+/// Split-block-free Bloom filter over ObjectIds. Used by the executor's
+/// semi-join pruning: one filter per (join step, probed column) summarizes the
+/// column values that survive the step's local keyword/constant filters, so
+/// probes carrying a value that cannot match are rejected without touching the
+/// table. False positives cost a wasted probe, never a wrong result.
+class BloomFilter {
+ public:
+  /// Sizes the bit array for `expected_keys` at ~`bits_per_key` (rounded up to
+  /// a power of two), giving ~1% false positives at the default 10 bits/key.
+  explicit BloomFilter(size_t expected_keys, double bits_per_key = 10.0);
+
+  void Add(ObjectId key);
+  /// False means "definitely absent"; true means "probably present".
+  bool MayContain(ObjectId key) const;
+
+  size_t num_keys_added() const { return num_keys_added_; }
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> words_;
+  uint64_t bit_mask_;  // total bits - 1 (bit count is a power of two)
+  int num_hashes_;
+  size_t num_keys_added_ = 0;
+};
+
 /// Multi-attribute sorted index: rows ordered by the key columns; supports
 /// range lookup by any key prefix. Lookups return a contiguous run of entries,
 /// which is what makes clustered access cheaper than hash probing.

@@ -73,6 +73,12 @@ class Table {
   /// the requested columns), or nullptr.
   const CompositeIndex* GetCompositeIndex(const std::vector<int>& columns) const;
 
+  /// All composite indexes, in build order (access-path selection scans these
+  /// for the longest usable key prefix).
+  const std::vector<std::unique_ptr<CompositeIndex>>& composite_indexes() const {
+    return composite_indexes_;
+  }
+
   bool HasAnyIndex() const { return !hash_indexes_.empty() || !composite_indexes_.empty(); }
 
   /// Disallows further appends (indexes stay consistent); idempotent.

@@ -81,6 +81,102 @@ TEST(AccessPathTest, ChoiceFollowsPhysicalDesign) {
             AccessPathKind::kFullScan);
 }
 
+TEST(AccessPathTest, ChoiceCoversEveryBindingShape) {
+  ExecOptions opts;
+  // Clustered on (0,1) with a secondary composite on (1,0): col-0 shapes take
+  // the clustering, col-1 shapes the secondary, nothing bound scans.
+  auto clustered = MakeEdgeTable(Physical::kClustered, 2);
+  EXPECT_EQ(ChooseAccessPath(*clustered, {{0, 3}}, opts),
+            AccessPathKind::kClusteredRange);
+  EXPECT_EQ(ChooseAccessPath(*clustered, {{0, 3}, {1, 4}}, opts),
+            AccessPathKind::kClusteredRange);
+  EXPECT_EQ(ChooseAccessPath(*clustered, {{1, 4}}, opts),
+            AccessPathKind::kCompositeIndex);
+  EXPECT_EQ(ChooseAccessPath(*clustered, {}, opts), AccessPathKind::kFullScan);
+
+  // Hash-only table: any bound column probes the hash index.
+  auto hash = MakeEdgeTable(Physical::kHash, 2);
+  EXPECT_EQ(ChooseAccessPath(*hash, {{1, 4}}, opts), AccessPathKind::kHashIndex);
+  EXPECT_EQ(ChooseAccessPath(*hash, {{0, 3}, {1, 4}}, opts),
+            AccessPathKind::kHashIndex);
+}
+
+TEST(AccessPathTest, CompositeLongestUsablePrefixWins) {
+  // Two composite indexes: (1) built first, (1,0) second. A probe binding
+  // both columns must pick (1,0) — the longest usable prefix — regardless of
+  // binding or build order, touching only exact-match rows.
+  auto t = std::make_unique<Table>("edges", std::vector<std::string>{"src", "dst"});
+  Random rng(9);
+  for (int i = 0; i < 400; ++i) {
+    XK_EXPECT_OK(t->Append(Tuple{rng.Uniform(0, 9), rng.Uniform(0, 9)}));
+  }
+  XK_EXPECT_OK(t->BuildCompositeIndex({1}));
+  XK_EXPECT_OK(t->BuildCompositeIndex({1, 0}));
+
+  const ObjectId src = t->At(0, 0);
+  const ObjectId dst = t->At(0, 1);
+  size_t exact = 0, dst_only = 0;
+  for (RowId r = 0; r < 400; ++r) {
+    if (t->At(r, 1) == dst) {
+      ++dst_only;
+      if (t->At(r, 0) == src) ++exact;
+    }
+  }
+  ASSERT_GT(exact, 0u);
+  ASSERT_LT(exact, dst_only);  // the short index would touch more rows
+
+  for (const std::vector<ColumnBinding>& bindings :
+       {std::vector<ColumnBinding>{{1, dst}, {0, src}},
+        std::vector<ColumnBinding>{{0, src}, {1, dst}}}) {
+    std::vector<storage::ObjectId> prefix;
+    const storage::CompositeIndex* best = BestCompositeIndex(*t, bindings, &prefix);
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(best->key_columns(), (std::vector<int>{1, 0}));
+    EXPECT_EQ(prefix, (std::vector<ObjectId>{dst, src}));
+
+    EXPECT_EQ(ChooseAccessPath(*t, bindings, ExecOptions{}),
+              AccessPathKind::kCompositeIndex);
+    ProbeStats stats;
+    ForEachMatch(*t, bindings, {}, ExecOptions{}, [](RowId) { return true; },
+                 &stats);
+    EXPECT_EQ(stats.rows_scanned, exact);
+  }
+}
+
+TEST(ForEachMatchTest, BloomPruneSkipsDeadProbes) {
+  auto t = MakeEdgeTable(Physical::kHash, 6, /*rows=*/200, /*domain=*/30);
+  storage::BloomFilter bloom(/*expected_keys=*/200);
+  for (RowId r = 0; r < 200; ++r) bloom.Add(t->At(r, 0));
+  std::vector<ColumnBloom> prune = {{0, &bloom}};
+
+  // A value outside the domain is definitely absent: probe skipped whole.
+  ProbeStats dead;
+  ForEachMatch(*t, {{0, 1234}}, {}, prune, ExecOptions{},
+               [](RowId) { return true; }, &dead);
+  EXPECT_EQ(dead.bloom_skips, 1u);
+  EXPECT_EQ(dead.rows_scanned, 0u);
+  EXPECT_EQ(dead.probes, 1u);
+
+  // A present value must enumerate exactly what the unpruned probe does.
+  const ObjectId present = t->At(0, 0);
+  std::multiset<ObjectId> with, without;
+  ProbeStats live;
+  ForEachMatch(*t, {{0, present}}, {}, prune, ExecOptions{},
+               [&](RowId r) {
+                 with.insert(t->At(r, 1));
+                 return true;
+               },
+               &live);
+  EXPECT_EQ(live.bloom_skips, 0u);
+  ForEachMatch(*t, {{0, present}}, {}, ExecOptions{},
+               [&](RowId r) {
+                 without.insert(t->At(r, 1));
+                 return true;
+               },
+               nullptr);
+  EXPECT_EQ(with, without);
+}
+
 TEST(AccessPathTest, NamesAreStable) {
   EXPECT_STREQ(AccessPathKindToString(AccessPathKind::kClusteredRange),
                "clustered-range");

@@ -1,0 +1,177 @@
+// Tests for the morsel-driven intra-plan path and semi-join pruning of the
+// top-k executor: byte-identical results vs the serial path across early-stop
+// settings, pruning that never changes results while skipping probe work, and
+// stats coverage of single-object plans.
+
+#include <gtest/gtest.h>
+
+#include "datagen/dblp_gen.h"
+#include "engine/xkeyword.h"
+#include "test_util.h"
+
+namespace xk::engine {
+namespace {
+
+using present::Mtton;
+
+class TopKExecutorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::DblpConfig config;  // the defaults: small DBLP sample
+    config.seed = 2003;
+    db_ = datagen::DblpDatabase::Generate(config).MoveValueUnsafe().release();
+    xk_ = XKeyword::Load(&db_->graph(), &db_->schema(), &db_->tss())
+              .MoveValueUnsafe()
+              .release();
+    ASSERT_TRUE(xk_->AddDecomposition(
+                       decomp::MakeMinimal(
+                           db_->tss(), decomp::PhysicalDesign::kClusterPerDirection))
+                    .ok());
+    ASSERT_TRUE(
+        xk_->AddDecomposition(decomp::MakeXKeyword(db_->tss(), 2, 6).MoveValueUnsafe())
+            .ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete xk_;
+    xk_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static datagen::DblpDatabase* db_;
+  static XKeyword* xk_;
+};
+
+datagen::DblpDatabase* TopKExecutorTest::db_ = nullptr;
+XKeyword* TopKExecutorTest::xk_ = nullptr;
+
+// The morsel-driven path must reproduce the serial result list byte for byte
+// — same Mttons, same order — including under per-network and global early
+// stops, where the completed-prefix watermark decides when workers may quit.
+TEST_F(TopKExecutorTest, ParallelMorselPathIsByteIdentical) {
+  const std::vector<std::vector<std::string>> queries = {
+      {"ullman", "widom"}, {"gray", "codd"}, {"stonebraker", "author47"}};
+  for (const std::string& decomposition : {std::string("MinClust"),
+                                           std::string("XKeyword")}) {
+    for (size_t global_k : {size_t{0}, size_t{1}, size_t{10}}) {
+      QueryOptions serial;
+      serial.max_size_z = 6;
+      serial.per_network_k = 50;
+      serial.global_k = global_k;
+      serial.num_threads = 1;
+      serial.intra_plan_threads = 1;
+      QueryOptions parallel = serial;
+      parallel.intra_plan_threads = 4;
+      parallel.morsel_size = 8;  // small: forces many morsels per plan
+      for (const auto& q : queries) {
+        XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> expected,
+                                xk_->TopK(q, decomposition, serial));
+        XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> actual,
+                                xk_->TopK(q, decomposition, parallel));
+        EXPECT_EQ(actual, expected)
+            << decomposition << " global_k=" << global_k << " " << q[0] << ","
+            << q[1];
+      }
+    }
+  }
+}
+
+// Morsel scheduling with caching disabled (the naive inner loops) must agree
+// with the serial naive run too — the merge logic is independent of caching.
+TEST_F(TopKExecutorTest, ParallelMatchesSerialWithoutCache) {
+  QueryOptions serial;
+  serial.max_size_z = 6;
+  serial.per_network_k = 50;
+  serial.enable_cache = false;
+  serial.num_threads = 1;
+  QueryOptions parallel = serial;
+  parallel.intra_plan_threads = 4;
+  parallel.morsel_size = 8;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> expected,
+                          xk_->TopK({"ullman", "widom"}, "MinClust", serial));
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> actual,
+                          xk_->TopK({"ullman", "widom"}, "MinClust", parallel));
+  EXPECT_EQ(actual, expected);
+}
+
+// Semi-join pruning may only skip probes that cannot match: identical result
+// lists, strictly fewer rows touched at probe time, and at least one probe
+// rejected by a Bloom filter on this workload.
+TEST_F(TopKExecutorTest, PruningPreservesResultsAndSkipsWork) {
+  QueryOptions pruned;
+  pruned.max_size_z = 6;
+  pruned.per_network_k = 1000;
+  pruned.num_threads = 1;
+  pruned.enable_semijoin_pruning = true;
+  QueryOptions unpruned = pruned;
+  unpruned.enable_semijoin_pruning = false;
+
+  bool any_skips = false;
+  for (const auto& q : std::vector<std::vector<std::string>>{
+           {"ullman", "widom"}, {"stonebraker", "author47"}}) {
+    ExecutionStats pruned_stats, unpruned_stats;
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> with,
+                            xk_->TopK(q, "MinClust", pruned, &pruned_stats));
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> without,
+                            xk_->TopK(q, "MinClust", unpruned, &unpruned_stats));
+    EXPECT_EQ(with, without) << q[0] << "," << q[1];
+    EXPECT_EQ(unpruned_stats.probes.bloom_skips, 0u);
+    if (pruned_stats.probes.bloom_skips > 0) {
+      any_skips = true;
+      // Every skipped probe saves its scan; build scans are counted apart.
+      EXPECT_LT(pruned_stats.probes.rows_scanned,
+                unpruned_stats.probes.rows_scanned);
+      EXPECT_GT(pruned_stats.bloom_build_rows, 0u);
+    }
+  }
+  EXPECT_TRUE(any_skips);
+}
+
+// Pruning and morsel parallelism compose without changing results.
+TEST_F(TopKExecutorTest, PruningComposesWithMorselParallelism) {
+  QueryOptions base;
+  base.max_size_z = 6;
+  base.per_network_k = 50;
+  base.num_threads = 1;
+  base.enable_semijoin_pruning = false;
+  QueryOptions both = base;
+  both.enable_semijoin_pruning = true;
+  both.intra_plan_threads = 4;
+  both.morsel_size = 8;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> expected,
+                          xk_->TopK({"gray", "codd"}, "MinClust", base));
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> actual,
+                          xk_->TopK({"gray", "codd"}, "MinClust", both));
+  EXPECT_EQ(actual, expected);
+}
+
+// Single-object plans (one-keyword queries join nothing) must show up in the
+// stats like every other plan: their scan and emitted results are counted.
+TEST_F(TopKExecutorTest, SingleObjectPlansRecordStats) {
+  QueryOptions options;
+  options.max_size_z = 1;  // only the single-occurrence network survives
+  options.per_network_k = 1000;
+  options.num_threads = 1;
+  ExecutionStats stats;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
+                          xk_->TopK({"ullman"}, "MinClust", options, &stats));
+  ASSERT_FALSE(results.empty());
+  for (const Mtton& m : results) EXPECT_EQ(m.objects.size(), 1u);
+  EXPECT_EQ(stats.results, results.size());
+  EXPECT_GT(stats.probes.probes, 0u);
+  EXPECT_GT(stats.probes.rows_scanned, 0u);
+
+  // The intra-plan scheduler takes the same single-object shortcut.
+  QueryOptions parallel = options;
+  parallel.intra_plan_threads = 4;
+  ExecutionStats parallel_stats;
+  XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> parallel_results,
+                          xk_->TopK({"ullman"}, "MinClust", parallel, &parallel_stats));
+  EXPECT_EQ(parallel_results, results);
+  EXPECT_EQ(parallel_stats.results, results.size());
+  EXPECT_GT(parallel_stats.probes.rows_scanned, 0u);
+}
+
+}  // namespace
+}  // namespace xk::engine
