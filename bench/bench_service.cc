@@ -1,0 +1,125 @@
+// Closed-loop throughput bench for the QueryService serving front-end: C
+// client threads each submit a query, wait for its response, and immediately
+// submit the next one, cycling through the DBLP author workload against one
+// shared engine. Reported per series point (and in BENCH_service.json):
+//
+//   qps       — completed queries per wall-clock second
+//   p50_us    — median end-to-end latency (submit → response), microseconds
+//   p99_us    — tail latency, microseconds
+//   rejected  — admission-queue rejections (kResourceExhausted)
+//
+// Series: Service/C:<clients>/W:<workers> scales the client count against a
+// fixed worker pool (closed-loop saturation), and ServiceOverload drives a
+// one-worker, two-slot queue past capacity so the admission path and its
+// rejection counters are exercised rather than idle.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/query_service.h"
+
+namespace {
+
+using xk::bench::DblpBench;
+using xk::engine::QueryRequest;
+using xk::service::MetricsSnapshot;
+using xk::service::QueryService;
+using xk::service::QueryServiceOptions;
+
+struct LoopSetup {
+  int clients = 4;
+  int workers = 4;
+  size_t queue_capacity = 256;
+  int queries_per_client = 40;
+};
+
+QueryRequest MakeRequest(const std::vector<std::string>& keywords) {
+  QueryRequest request;
+  request.keywords = keywords;
+  request.decomposition = "XKeyword";
+  request.options.max_size_z = 6;
+  request.options.per_network_k = 10;
+  return request;
+}
+
+void BM_ServiceClosedLoop(benchmark::State& state, const LoopSetup& setup) {
+  auto& fixture = DblpBench::Get();
+  const auto& queries = fixture.queries();
+
+  QueryServiceOptions options;
+  options.num_workers = setup.workers;
+  options.queue_capacity = setup.queue_capacity;
+
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  double p50 = 0, p99 = 0;
+  for (auto _ : state) {
+    auto service = QueryService::Create(&fixture.xk(), options).MoveValueUnsafe();
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(setup.clients));
+    for (int c = 0; c < setup.clients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < setup.queries_per_client; ++i) {
+          auto handle =
+              service->Submit(MakeRequest(queries[(c + i) % queries.size()]));
+          if (!handle.ok()) continue;  // rejected: counted by the service
+          auto response = handle->Wait();
+          benchmark::DoNotOptimize(response);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const MetricsSnapshot snap = service->metrics().Snapshot();
+    completed += snap.completed_ok;
+    rejected += snap.rejected;
+    p50 = snap.latency_p50_us;  // last iteration's distribution
+    p99 = snap.latency_p99_us;
+  }
+
+  // kIsRate divides by the (real) elapsed benchmark time → queries/second.
+  state.counters["qps"] =
+      benchmark::Counter(static_cast<double>(completed), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = benchmark::Counter(p50);
+  state.counters["p99_us"] = benchmark::Counter(p99);
+  state.counters["rejected"] = benchmark::Counter(static_cast<double>(rejected));
+  state.SetLabel(std::to_string(setup.clients) + " clients / " +
+                 std::to_string(setup.workers) + " workers");
+}
+
+void RegisterAll() {
+  for (int clients : {1, 4, 8}) {
+    LoopSetup setup;
+    setup.clients = clients;
+    auto* b = benchmark::RegisterBenchmark(
+        ("Service/C:" + std::to_string(clients) + "/W:4").c_str(),
+        [setup](benchmark::State& state) { BM_ServiceClosedLoop(state, setup); });
+    b->Unit(benchmark::kMillisecond);
+    b->Iterations(2);
+    b->UseRealTime();
+  }
+
+  // Overload: more clients than the one worker and two queue slots can hold;
+  // the admission queue must shed load (rejected > 0) without stalling.
+  LoopSetup overload;
+  overload.clients = 8;
+  overload.workers = 1;
+  overload.queue_capacity = 2;
+  overload.queries_per_client = 20;
+  auto* b = benchmark::RegisterBenchmark(
+      "ServiceOverload/C:8/W:1",
+      [overload](benchmark::State& state) { BM_ServiceClosedLoop(state, overload); });
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(2);
+  b->UseRealTime();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  return xk::bench::RunBenchMain("service", argc, argv);
+}

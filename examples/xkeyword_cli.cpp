@@ -8,6 +8,7 @@
 // the command line one query is executed; otherwise queries are read from
 // stdin, one per line.
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -34,27 +35,38 @@ xk::Result<std::string> ReadFile(const char* path) {
 
 void RunQuery(xk::engine::XKeyword& xk, const xk::schema::TssGraph& tss,
               const std::vector<std::string>& keywords) {
-  xk::engine::QueryOptions options;
-  options.max_size_z = 6;
-  options.per_network_k = 3;
+  xk::engine::QueryRequest request;
+  request.keywords = keywords;
+  request.decomposition = "XKeyword";
+  request.mode = xk::engine::QueryMode::kTopK;
+  request.options.max_size_z = 6;
+  request.options.per_network_k = 3;
+  // Interactive budget: a runaway query returns what it found so far
+  // (response.status = kDeadlineExceeded, truncated = true) instead of
+  // hanging the prompt.
+  request.deadline = std::chrono::seconds(10);
+
   xk::Stopwatch sw;
-  auto prepared = xk.Prepare(keywords, "XKeyword", options);
+  auto response = xk.Run(request);
+  if (!response.ok()) {
+    std::printf("error: %s\n", response.status().ToString().c_str());
+    return;
+  }
+  // CTSSNs for rendering: preparation is deterministic, so ctssn_index in
+  // the response refers to exactly this list.
+  auto prepared = xk.Prepare(keywords, "XKeyword", request.options);
   if (!prepared.ok()) {
     std::printf("error: %s\n", prepared.status().ToString().c_str());
     return;
   }
-  xk::engine::TopKExecutor executor;
-  auto results = executor.Run(*prepared, options);
-  if (!results.ok()) {
-    std::printf("error: %s\n", results.status().ToString().c_str());
-    return;
-  }
-  std::printf("%zu results across %zu candidate networks (%.2f ms)\n",
-              results->size(), prepared->ctssns.size(), sw.ElapsedMillis());
+  std::printf("%zu results across %zu candidate networks (%.2f ms)%s\n",
+              response->mttons.size(), prepared->ctssns.size(),
+              sw.ElapsedMillis(),
+              response->truncated ? " [truncated: deadline]" : "");
   int shown = 0;
-  for (const xk::present::Mtton& m : *results) {
+  for (const xk::present::Mtton& m : response->mttons) {
     if (++shown > 5) {
-      std::printf("... (%zu more)\n", results->size() - 5);
+      std::printf("... (%zu more)\n", response->mttons.size() - 5);
       break;
     }
     std::printf("%s\n",

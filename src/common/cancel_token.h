@@ -1,0 +1,85 @@
+// Copyright (c) the XKeyword authors.
+//
+// CancelToken: cooperative cancellation and wall-clock deadlines, shared
+// between a query's owner (the serving layer, a CLI, a test) and the
+// executors running it. Executors poll StopRequested() at morsel / probe
+// granularity and unwind without producing further results; the owner then
+// reads ToStatus() to classify the stop as kCancelled or kDeadlineExceeded.
+//
+// The token itself is passive — nothing fires when the deadline passes; the
+// next poll observes it. Polls are cheap: one relaxed atomic load, plus a
+// clock read only when a deadline is armed.
+
+#ifndef XK_COMMON_CANCEL_TOKEN_H_
+#define XK_COMMON_CANCEL_TOKEN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace xk {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Asks the query to stop; safe from any thread, idempotent.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arms an absolute deadline. Passing a time point in the past makes every
+  /// subsequent poll observe the deadline as exceeded.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(NanosSinceEpoch(deadline), std::memory_order_release);
+  }
+
+  /// Arms a deadline `budget` from now. Non-positive budgets are ignored.
+  void SetDeadlineAfter(std::chrono::nanoseconds budget) {
+    if (budget.count() <= 0) return;
+    SetDeadline(std::chrono::steady_clock::now() + budget);
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_acquire) != 0;
+  }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  bool deadline_exceeded() const {
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != 0 &&
+           NanosSinceEpoch(std::chrono::steady_clock::now()) >= d;
+  }
+
+  /// The poll executors run in hot loops.
+  bool StopRequested() const {
+    return cancel_requested() || deadline_exceeded();
+  }
+
+  /// Why the query should stop: kCancelled beats kDeadlineExceeded (an
+  /// explicit cancel is the more specific signal); OK if neither tripped.
+  Status ToStatus() const {
+    if (cancel_requested()) return Status::Cancelled("query cancelled");
+    if (deadline_exceeded()) return Status::DeadlineExceeded("query deadline exceeded");
+    return Status::OK();
+  }
+
+ private:
+  static int64_t NanosSinceEpoch(std::chrono::steady_clock::time_point t) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               t.time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};  // 0 == no deadline armed
+};
+
+}  // namespace xk
+
+#endif  // XK_COMMON_CANCEL_TOKEN_H_

@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kInternal: return "internal";
     case StatusCode::kResourceExhausted: return "resource exhausted";
     case StatusCode::kAborted: return "aborted";
+    case StatusCode::kDeadlineExceeded: return "deadline exceeded";
+    case StatusCode::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -79,6 +81,12 @@ Status Status::ResourceExhausted(std::string msg) {
 }
 Status Status::Aborted(std::string msg) {
   return Status(StatusCode::kAborted, std::move(msg));
+}
+Status Status::DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+Status Status::Cancelled(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
 }
 
 }  // namespace xk

@@ -25,6 +25,8 @@ enum class StatusCode : int {
   kInternal = 7,
   kResourceExhausted = 8,
   kAborted = 9,
+  kDeadlineExceeded = 10,  // a per-query wall-clock budget ran out
+  kCancelled = 11,         // the caller asked a running query to stop
 };
 
 /// Returns the canonical lower-case name of a status code ("ok", "not found", ...).
@@ -57,6 +59,8 @@ class Status {
   static Status Internal(std::string msg);
   static Status ResourceExhausted(std::string msg);
   static Status Aborted(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
+  static Status Cancelled(std::string msg);
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
@@ -72,6 +76,8 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
   bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

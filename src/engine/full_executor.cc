@@ -66,17 +66,24 @@ const std::vector<storage::Tuple>* FilteredScan(
 /// Intermediates are kept as per-step indexes into the filtered scans (one
 /// uint32 per step per row), so joins shuffle indexes, not tuples.
 void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
-                 bool enable_reuse, ExecutionStats* stats,
+                 bool enable_reuse, const CancelToken* cancel,
+                 ExecutionStats* stats,
                  const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
   const std::vector<exec::JoinStep>& steps = plan.query.steps;
   const size_t num_steps = steps.size();
   auto groups = SameSegmentGroups(*plan.ctssn);
 
+  // Filtered scans stay cancel-free: they are bounded by table size and feed
+  // the per-query reuse cache, which must never hold truncated views.
   std::vector<const std::vector<storage::Tuple>*> scans(num_steps);
   for (size_t i = 0; i < num_steps; ++i) {
     scans[i] = FilteredScan(steps[i], plan.step_signatures[i], cache,
                             enable_reuse, stats);
   }
+
+  auto stop_requested = [&] {
+    return cancel != nullptr && cancel->StopRequested();
+  };
 
   // Intermediate rows, flat: row r occupies [r*width, r*width + width).
   size_t width = 1;
@@ -84,6 +91,7 @@ void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
   for (uint32_t r = 0; r < current.size(); ++r) current[r] = r;
 
   for (size_t i = 1; i < num_steps && !current.empty(); ++i) {
+    if (stop_requested()) return;
     const exec::JoinStep& s = steps[i];
     const std::vector<storage::Tuple>& build_rows = *scans[i];
     // Hash build side on its eq columns.
@@ -100,6 +108,7 @@ void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
     std::vector<uint32_t> next;
     const size_t rows = current.size() / width;
     for (size_t r = 0; r < rows; ++r) {
+      if ((r & 0x3FF) == 0 && stop_requested()) return;
       const uint32_t* left = &current[r * width];
       for (size_t k = 0; k < s.eq.size(); ++k) {
         const exec::ColumnRef& ref = s.eq[k].second;
@@ -120,6 +129,7 @@ void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
   std::vector<storage::ObjectId> objs(plan.node_source.size());
   const size_t rows = current.size() / width;
   for (size_t r = 0; r < rows; ++r) {
+    if ((r & 0x3FF) == 0 && stop_requested()) return;
     const uint32_t* row = &current[r * width];
     for (size_t node = 0; node < plan.node_source.size(); ++node) {
       const exec::ColumnRef& src = plan.node_source[node];
@@ -164,7 +174,11 @@ Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query
   BloomCache* bloom_cache_ptr =
       options_.enable_semijoin_pruning ? &bloom_cache : nullptr;
 
+  exec::ExecOptions exec_options = query.exec_options;
+  exec_options.cancel = options_.cancel;
+
   for (size_t p = 0; p < query.plans.size(); ++p) {
+    if (options_.cancel != nullptr && options_.cancel->StopRequested()) break;
     const opt::CtssnPlan& plan = query.plans[p];
     if (options_.max_network_size > 0 &&
         query.ctssns[p].tree.size() > options_.max_network_size) {
@@ -194,10 +208,11 @@ Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query
       mode = indexed ? FullMode::kIndexNestedLoop : FullMode::kHashJoin;
     }
     if (mode == FullMode::kIndexNestedLoop) {
-      RunIndexNestedLoop(plan, query.exec_options, options_.enable_semijoin_pruning,
+      RunIndexNestedLoop(plan, exec_options, options_.enable_semijoin_pruning,
                          bloom_cache_ptr, stats, emit);
     } else {
-      RunHashJoin(plan, &cache, options_.enable_reuse, stats, emit);
+      RunHashJoin(plan, &cache, options_.enable_reuse, options_.cancel, stats,
+                  emit);
     }
   }
 

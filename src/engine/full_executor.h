@@ -34,6 +34,9 @@ struct FullExecutorOptions {
   /// Semi-join keyword pruning of index-nested-loop probes (see
   /// QueryOptions::enable_semijoin_pruning). Never changes results.
   bool enable_semijoin_pruning = true;
+  /// Cooperative cancellation/deadline token (not owned, may be null),
+  /// polled between plans, between join steps, and inside probe scans.
+  const CancelToken* cancel = nullptr;
 };
 
 class FullExecutor {

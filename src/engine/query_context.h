@@ -13,6 +13,7 @@
 
 #include "cn/candidate_network.h"
 #include "cn/ctssn.h"
+#include "common/cancel_token.h"
 #include "exec/operators.h"
 #include "opt/optimizer.h"
 
@@ -59,6 +60,31 @@ struct QueryOptions {
   /// probes bound to a value that cannot match skip the table entirely
   /// (counted in ProbeStats::bloom_skips). Never changes results.
   bool enable_semijoin_pruning = true;
+
+  /// Cooperative cancellation/deadline token (not owned, may be null). The
+  /// executors poll it at plan, morsel, and probe granularity and return
+  /// whatever results were complete when it tripped. Installed by
+  /// XKeyword::Run / the serving layer; leave null for unbounded queries.
+  const CancelToken* cancel = nullptr;
+
+  /// Rejects option combinations that would silently misbehave (zero-size
+  /// morsels, negative thread counts, a zero per-network bound). Called by
+  /// XKeyword::Prepare before any work happens.
+  Status Validate() const {
+    if (per_network_k == 0) {
+      return Status::InvalidArgument("per_network_k must be >= 1");
+    }
+    if (morsel_size == 0) {
+      return Status::InvalidArgument("morsel_size must be >= 1");
+    }
+    if (num_threads < 0) {
+      return Status::InvalidArgument("num_threads must be >= 0");
+    }
+    if (intra_plan_threads < 0) {
+      return Status::InvalidArgument("intra_plan_threads must be >= 0");
+    }
+    return Status::OK();
+  }
 };
 
 /// Aggregated execution counters, reported by the benches next to wall time.

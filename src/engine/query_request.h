@@ -1,0 +1,80 @@
+// Copyright (c) the XKeyword authors.
+//
+// The unified query API: one QueryRequest describes everything about a
+// keyword query — keywords, target decomposition, execution mode, per-query
+// wall-clock deadline, and knobs — and one QueryResponse carries everything
+// back: the MTTON list, execution statistics, and whether the result list
+// was truncated by a deadline or cancellation.
+//
+// XKeyword::Run serves a request synchronously; service::QueryService
+// serves them concurrently with admission control (Submit returning a
+// joinable QueryHandle). The legacy per-mode entry points
+// (TopK/TopKNaive/AllResults) are thin wrappers over this API and are kept
+// for source compatibility only.
+
+#ifndef XK_ENGINE_QUERY_REQUEST_H_
+#define XK_ENGINE_QUERY_REQUEST_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "engine/full_executor.h"
+#include "engine/query_context.h"
+#include "present/mtton.h"
+
+namespace xk::engine {
+
+/// Which executor serves the request (the paper's three execution modes).
+enum class QueryMode {
+  kTopK = 0,   // optimized caching executor (Section 6)
+  kNaive = 1,  // DISCOVER/DBXplorer-style baseline, cacheless + serial
+  kAll = 2,    // complete result list (Figure 4(b) presentation)
+};
+
+inline const char* QueryModeToString(QueryMode mode) {
+  switch (mode) {
+    case QueryMode::kTopK: return "topk";
+    case QueryMode::kNaive: return "naive";
+    case QueryMode::kAll: return "all";
+  }
+  return "?";
+}
+
+/// One keyword query, self-contained.
+struct QueryRequest {
+  std::vector<std::string> keywords;
+  /// Name of a materialized decomposition (XKeyword::AddDecomposition).
+  std::string decomposition;
+  QueryMode mode = QueryMode::kTopK;
+
+  /// Wall-clock budget for the whole query (preparation + execution). Zero
+  /// or negative = unbounded. When it runs out the query stops cooperatively
+  /// and the response carries kDeadlineExceeded plus whatever results and
+  /// statistics were complete. Under QueryService the budget starts at
+  /// admission, so queue wait counts against it.
+  std::chrono::nanoseconds deadline{0};
+
+  QueryOptions options;
+  /// Extra knobs of the kAll mode (ignored otherwise).
+  FullExecutorOptions full_options;
+};
+
+/// The outcome of a served request.
+struct QueryResponse {
+  /// OK for a complete answer; kDeadlineExceeded / kCancelled when execution
+  /// stopped early (results and stats are then partial). Hard failures —
+  /// unknown decomposition, invalid options — surface as the error of the
+  /// surrounding Result instead, with no response at all.
+  Status status;
+  std::vector<present::Mtton> mttons;
+  /// Probe/cache/bloom counters of this query; partial counts survive a
+  /// deadline or cancellation.
+  ExecutionStats stats;
+  /// True iff execution stopped before the full answer was enumerated.
+  bool truncated = false;
+};
+
+}  // namespace xk::engine
+
+#endif  // XK_ENGINE_QUERY_REQUEST_H_

@@ -204,6 +204,11 @@ bool PlanEvaluator::Eval(
     size_t i, std::vector<storage::TupleView>* rows,
     std::vector<storage::ObjectId>* objs,
     const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
+  // Cooperative stop: unwind as if the sink declined, so no truncated suffix
+  // enumeration is ever cached (the keep_going guard below skips the Put).
+  if (exec_options_.cancel != nullptr && exec_options_.cancel->StopRequested()) {
+    return false;
+  }
   const std::vector<exec::JoinStep>& steps = plan_->query.steps;
   if (i == steps.size()) {
     ProjectToCollectors(*objs);
@@ -393,11 +398,14 @@ size_t PlanResultCap(const QueryOptions& options, size_t results_so_far) {
 /// carry their own suffix caches and stats; a completed-prefix watermark
 /// cancels morsels that can no longer contribute.
 void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
-                    const QueryOptions& options, size_t plan_index, size_t limit,
-                    ThreadPool* pool, std::vector<present::Mtton>* out,
+                    const QueryOptions& options,
+                    const exec::ExecOptions& exec_options, size_t plan_index,
+                    size_t limit, ThreadPool* pool,
+                    std::vector<present::Mtton>* out,
                     ExecutionStats* plan_stats) {
+  const CancelToken* cancel = options.cancel;
   std::vector<storage::RowId> driver =
-      EnumerateDriverMatches(layout, query.exec_options, plan_stats);
+      EnumerateDriverMatches(layout, exec_options, plan_stats);
   const int score = query.ctssns[plan_index].cn_size;
 
   const size_t morsel = std::max<size_t>(options.morsel_size, 1);
@@ -408,7 +416,7 @@ void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
   };
 
   if (num_morsels <= 1 || pool == nullptr || pool->num_threads() <= 1) {
-    PlanEvaluator evaluator(&layout, query.exec_options, options.enable_cache,
+    PlanEvaluator evaluator(&layout, exec_options, options.enable_cache,
                             options.cache_capacity);
     size_t taken = 0;
     evaluator.RunMorsel(std::span<const storage::RowId>(driver),
@@ -423,7 +431,7 @@ void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
   std::vector<std::unique_ptr<PlanEvaluator>> shards(
       static_cast<size_t>(pool->num_threads()));
   for (auto& shard : shards) {
-    shard = std::make_unique<PlanEvaluator>(&layout, query.exec_options,
+    shard = std::make_unique<PlanEvaluator>(&layout, exec_options,
                                             options.enable_cache,
                                             options.cache_capacity);
   }
@@ -441,7 +449,8 @@ void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
 
   for (size_t m = 0; m < num_morsels; ++m) {
     pool->Submit([&, m] {
-      if (!cancelled.load(std::memory_order_acquire)) {
+      if (!cancelled.load(std::memory_order_acquire) &&
+          !(cancel != nullptr && cancel->StopRequested())) {
         const int worker = ThreadPool::CurrentWorkerIndex();
         XK_CHECK_GE(worker, 0);
         std::vector<std::vector<storage::ObjectId>>& slot = morsel_out[m];
@@ -508,9 +517,17 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
   BloomCache* bloom_cache_ptr =
       options.enable_semijoin_pruning ? &bloom_cache : nullptr;
 
+  // Deadline/cancel token, threaded into every probe via the exec options.
+  const CancelToken* cancel = options.cancel;
+  exec::ExecOptions exec_options = query.exec_options;
+  exec_options.cancel = cancel;
+
   auto skip_plan = [&](size_t p) {
     return options.max_network_size > 0 &&
            query.ctssns[p].tree.size() > options.max_network_size;
+  };
+  auto stop_requested = [&] {
+    return cancel != nullptr && cancel->StopRequested();
   };
 
   if (options.intra_plan_threads > 1) {
@@ -519,6 +536,7 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
     // semantics are byte-identical to the single-threaded path.
     std::unique_ptr<ThreadPool> pool;
     for (size_t p : order) {
+      if (stop_requested()) break;
       if (skip_plan(p)) continue;
       if (options.global_k != 0 && results.size() >= options.global_k) break;
       const size_t limit = PlanResultCap(options, results.size());
@@ -541,8 +559,8 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
       if (pool == nullptr) {
         pool = std::make_unique<ThreadPool>(options.intra_plan_threads);
       }
-      RunPlanMorsels(layout, query, options, p, limit, pool.get(), &results,
-                     &per_plan_stats[p]);
+      RunPlanMorsels(layout, query, options, exec_options, p, limit, pool.get(),
+                     &results, &per_plan_stats[p]);
     }
   } else {
     std::mutex mutex;
@@ -550,6 +568,7 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
 
     auto run_plan = [&](size_t p) {
       if (global_stop.load(std::memory_order_relaxed)) return;
+      if (stop_requested()) return;
       if (skip_plan(p)) return;
       size_t local_count = 0;
       auto emit = [&](const std::vector<storage::ObjectId>& objs) {
@@ -571,7 +590,7 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
       }
       PlanLayout layout(&query.plans[p], options.enable_semijoin_pruning,
                         bloom_cache_ptr, &per_plan_stats[p]);
-      PlanEvaluator evaluator(&layout, query.exec_options, options.enable_cache,
+      PlanEvaluator evaluator(&layout, exec_options, options.enable_cache,
                               options.cache_capacity);
       evaluator.Run(emit);
       per_plan_stats[p].Add(evaluator.stats());

@@ -41,6 +41,7 @@ Result<const decomp::Decomposition*> XKeyword::GetDecomposition(
 Result<PreparedQuery> XKeyword::Prepare(const std::vector<std::string>& keywords,
                                         const std::string& decomposition,
                                         const QueryOptions& options) const {
+  XK_RETURN_NOT_OK(options.Validate());
   if (keywords.empty()) return Status::InvalidArgument("no keywords");
   XK_ASSIGN_OR_RETURN(const decomp::Decomposition* d,
                       GetDecomposition(decomposition));
@@ -108,29 +109,111 @@ Result<PreparedQuery> XKeyword::Prepare(const std::vector<std::string>& keywords
   return q;
 }
 
+namespace {
+
+/// Replicates the stats contract of the legacy entry points: counters
+/// accumulate into *stats, but `results` is assigned (the executors set it to
+/// the final result count rather than adding).
+void MergeLegacyStats(const ExecutionStats& from, ExecutionStats* stats) {
+  if (stats == nullptr) return;
+  const uint64_t results = from.results;
+  stats->Add(from);
+  stats->results = results;
+}
+
+}  // namespace
+
+Result<QueryResponse> XKeyword::Run(const QueryRequest& request,
+                                    CancelToken* token) const {
+  CancelToken local_token;
+  CancelToken* tok = token != nullptr ? token : &local_token;
+  // The serving layer arms the deadline at admission (queue wait counts);
+  // for direct synchronous calls the budget starts here.
+  if (request.deadline.count() > 0 && !tok->has_deadline()) {
+    tok->SetDeadlineAfter(request.deadline);
+  }
+
+  QueryOptions options = request.options;
+  options.cancel = tok;
+  XK_ASSIGN_OR_RETURN(
+      PreparedQuery q, Prepare(request.keywords, request.decomposition, options));
+
+  QueryResponse response;
+  if (tok->StopRequested()) {
+    // The budget ran out during preparation: report with empty results.
+    response.status = tok->ToStatus();
+    response.truncated = true;
+    return response;
+  }
+
+  Result<std::vector<present::Mtton>> results = Status::Internal("unreachable");
+  switch (request.mode) {
+    case QueryMode::kTopK: {
+      TopKExecutor executor;
+      results = executor.Run(q, options, &response.stats);
+      break;
+    }
+    case QueryMode::kNaive: {
+      NaiveExecutor executor;
+      results = executor.Run(q, options, &response.stats);
+      break;
+    }
+    case QueryMode::kAll: {
+      FullExecutorOptions full_options = request.full_options;
+      full_options.cancel = tok;
+      FullExecutor executor(full_options);
+      results = executor.Run(q, &response.stats);
+      break;
+    }
+  }
+  if (!results.ok()) return results.status();
+  response.mttons = results.MoveValueUnsafe();
+  if (tok->StopRequested()) {
+    response.status = tok->ToStatus();
+    response.truncated = true;
+  }
+  return response;
+}
+
 Result<std::vector<present::Mtton>> XKeyword::TopK(
     const std::vector<std::string>& keywords, const std::string& decomposition,
     const QueryOptions& options, ExecutionStats* stats) const {
-  XK_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(keywords, decomposition, options));
-  TopKExecutor executor;
-  return executor.Run(q, options, stats);
+  QueryRequest request;
+  request.keywords = keywords;
+  request.decomposition = decomposition;
+  request.mode = QueryMode::kTopK;
+  request.options = options;
+  XK_ASSIGN_OR_RETURN(QueryResponse response, Run(request));
+  MergeLegacyStats(response.stats, stats);
+  return std::move(response.mttons);
 }
 
 Result<std::vector<present::Mtton>> XKeyword::TopKNaive(
     const std::vector<std::string>& keywords, const std::string& decomposition,
     const QueryOptions& options, ExecutionStats* stats) const {
-  XK_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(keywords, decomposition, options));
-  NaiveExecutor executor;
-  return executor.Run(q, options, stats);
+  QueryRequest request;
+  request.keywords = keywords;
+  request.decomposition = decomposition;
+  request.mode = QueryMode::kNaive;
+  request.options = options;
+  XK_ASSIGN_OR_RETURN(QueryResponse response, Run(request));
+  MergeLegacyStats(response.stats, stats);
+  return std::move(response.mttons);
 }
 
 Result<std::vector<present::Mtton>> XKeyword::AllResults(
     const std::vector<std::string>& keywords, const std::string& decomposition,
     const QueryOptions& options, FullExecutorOptions full_options,
     ExecutionStats* stats) const {
-  XK_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(keywords, decomposition, options));
-  FullExecutor executor(full_options);
-  return executor.Run(q, stats);
+  QueryRequest request;
+  request.keywords = keywords;
+  request.decomposition = decomposition;
+  request.mode = QueryMode::kAll;
+  request.options = options;
+  request.full_options = full_options;
+  XK_ASSIGN_OR_RETURN(QueryResponse response, Run(request));
+  MergeLegacyStats(response.stats, stats);
+  return std::move(response.mttons);
 }
 
 Result<present::PresentationGraph> XKeyword::MakePresentationGraph(

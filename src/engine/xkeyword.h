@@ -9,7 +9,10 @@
 //
 //   auto xk = engine::XKeyword::Load(&graph, &schema, &tss).MoveValueUnsafe();
 //   xk->AddDecomposition(decomp::MakeXKeyword(tss, /*B=*/2, /*M=*/4).value());
-//   auto results = xk->TopK({"john", "vcr"}, "XKeyword", options);
+//   engine::QueryRequest request;
+//   request.keywords = {"john", "vcr"};
+//   request.decomposition = "XKeyword";
+//   auto response = xk->Run(request);  // -> Result<QueryResponse>
 
 #ifndef XK_ENGINE_XKEYWORD_H_
 #define XK_ENGINE_XKEYWORD_H_
@@ -23,6 +26,7 @@
 #include "engine/full_executor.h"
 #include "engine/load_stage.h"
 #include "engine/naive_executor.h"
+#include "engine/query_request.h"
 #include "engine/topk_executor.h"
 
 namespace xk::engine {
@@ -42,23 +46,38 @@ class XKeyword {
   Result<const decomp::Decomposition*> GetDecomposition(
       const std::string& name) const;
 
-  /// Keyword discovery + CN generation + reduction + planning.
+  /// Keyword discovery + CN generation + reduction + planning. Validates
+  /// `options` first (QueryOptions::Validate).
   Result<PreparedQuery> Prepare(const std::vector<std::string>& keywords,
                                 const std::string& decomposition,
                                 const QueryOptions& options) const;
 
-  /// Top-k keyword query with the optimized (caching, threaded) executor.
+  /// Serves one request synchronously — the unified entry point behind every
+  /// mode. `token` (borrowed, may be null) lets the caller cancel the query
+  /// from another thread; when null a private token enforces the request
+  /// deadline. The request deadline is armed on the token unless one is
+  /// already set (the serving layer arms it at admission so queue wait
+  /// counts). A tripped deadline/cancel yields an OK Result whose response
+  /// has status kDeadlineExceeded/kCancelled, truncated = true, and partial
+  /// mttons/stats; hard failures yield an error Result.
+  Result<QueryResponse> Run(const QueryRequest& request,
+                            CancelToken* token = nullptr) const;
+
+  /// Deprecated: use Run(QueryRequest{.mode = kTopK}). Top-k keyword query
+  /// with the optimized (caching, threaded) executor.
   Result<std::vector<present::Mtton>> TopK(const std::vector<std::string>& keywords,
                                            const std::string& decomposition,
                                            const QueryOptions& options,
                                            ExecutionStats* stats = nullptr) const;
 
-  /// Same query through the naive (DISCOVER/DBXplorer-style) executor.
+  /// Deprecated: use Run(QueryRequest{.mode = kNaive}). Same query through
+  /// the naive (DISCOVER/DBXplorer-style) executor.
   Result<std::vector<present::Mtton>> TopKNaive(
       const std::vector<std::string>& keywords, const std::string& decomposition,
       const QueryOptions& options, ExecutionStats* stats = nullptr) const;
 
-  /// The complete result list (Figure 4(b) presentation).
+  /// Deprecated: use Run(QueryRequest{.mode = kAll}). The complete result
+  /// list (Figure 4(b) presentation).
   Result<std::vector<present::Mtton>> AllResults(
       const std::vector<std::string>& keywords, const std::string& decomposition,
       const QueryOptions& options, FullExecutorOptions full_options = {},

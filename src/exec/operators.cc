@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/cancel_token.h"
 #include "common/logging.h"
 
 namespace xk::exec {
@@ -104,7 +105,17 @@ AccessPathKind ForEachMatch(const storage::Table& table,
     }
   }
 
+  if (opts.cancel != nullptr && opts.cancel->StopRequested()) return kind;
+
+  // Cancellation poll period: cheap enough to keep scan overhead negligible,
+  // tight enough that a tripped deadline stops mid-scan within microseconds.
+  constexpr uint64_t kCancelPollMask = 0xFF;
+  uint64_t scanned = 0;
   auto emit = [&](storage::RowId r) -> bool {
+    if (opts.cancel != nullptr && (++scanned & kCancelPollMask) == 0 &&
+        opts.cancel->StopRequested()) {
+      return false;
+    }
     if (stats != nullptr) ++stats->rows_scanned;
     if (!RowMatches(table, r, bindings, in_filters)) return true;
     if (stats != nullptr) ++stats->rows_matched;

@@ -20,6 +20,10 @@
 #include "exec/row_iterator.h"
 #include "storage/table.h"
 
+namespace xk {
+class CancelToken;
+}  // namespace xk
+
 namespace xk::exec {
 
 /// Equality binding of a table column to a constant for one probe.
@@ -57,6 +61,10 @@ const char* AccessPathKindToString(AccessPathKind kind);
 struct ExecOptions {
   /// When false, every probe is a full scan (the MinNClustNIndx policy).
   bool use_indexes = true;
+  /// Cooperative cancellation/deadline token (not owned, may be null).
+  /// ForEachMatch polls it every few hundred scanned rows and abandons the
+  /// probe; callers classify the early stop via CancelToken::ToStatus().
+  const CancelToken* cancel = nullptr;
 };
 
 /// The path a probe with the given bound columns would take on `table`.

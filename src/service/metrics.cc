@@ -1,0 +1,93 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xk::service {
+
+size_t LatencyHistogram::BucketOf(double micros) {
+  if (micros < 1.0) return 0;
+  // 4 buckets per octave: bucket = floor(4 * log2(us)).
+  const double b = 4.0 * std::log2(micros);
+  return std::min(static_cast<size_t>(b), kNumBuckets - 1);
+}
+
+void LatencyHistogram::Record(std::chrono::nanoseconds latency) {
+  const double us = static_cast<double>(latency.count()) / 1000.0;
+  ++buckets_[BucketOf(us)];
+  if (count_ == 0 || us < min_us_) min_us_ = us;
+  if (count_ == 0 || us > max_us_) max_us_ = us;
+  ++count_;
+}
+
+double LatencyHistogram::PercentileMicros(double p) const {
+  if (count_ == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const uint64_t next = seen + buckets_[b];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate inside bucket b, clamped to the observed extremes so a
+      // single-sample histogram answers the exact value.
+      const double lo = std::max(std::exp2(static_cast<double>(b) / 4.0), min_us_);
+      const double hi =
+          std::min(std::exp2(static_cast<double>(b + 1) / 4.0), max_us_);
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[b]);
+      return lo + (std::max(hi, lo) - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen = next;
+  }
+  return max_us_;
+}
+
+void Metrics::OnStart() {
+  queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+  const int64_t now = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int64_t peak = peak_in_flight_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_in_flight_.compare_exchange_weak(peak, now,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+void Metrics::OnFinish(const std::string& decomposition, const Status& status,
+                       const engine::ExecutionStats* stats,
+                       std::chrono::nanoseconds latency) {
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  if (status.IsDeadlineExceeded()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsCancelled()) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.ok()) {
+    completed_ok_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_.Record(latency);
+  if (stats != nullptr) per_decomposition_[decomposition].Add(*stats);
+}
+
+MetricsSnapshot Metrics::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.submitted = submitted_.load(std::memory_order_relaxed);
+  snap.rejected = rejected_.load(std::memory_order_relaxed);
+  snap.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+  snap.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  snap.cancelled = cancelled_.load(std::memory_order_relaxed);
+  snap.failed = failed_.load(std::memory_order_relaxed);
+  snap.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  snap.in_flight = in_flight_.load(std::memory_order_relaxed);
+  snap.peak_in_flight = peak_in_flight_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.latency_count = latency_.count();
+  snap.latency_p50_us = latency_.PercentileMicros(50);
+  snap.latency_p95_us = latency_.PercentileMicros(95);
+  snap.latency_p99_us = latency_.PercentileMicros(99);
+  snap.per_decomposition = per_decomposition_;
+  return snap;
+}
+
+}  // namespace xk::service

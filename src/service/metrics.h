@@ -1,0 +1,134 @@
+// Copyright (c) the XKeyword authors.
+//
+// Serving metrics for the QueryService front-end: per-outcome counters
+// (completed / deadline-exceeded / cancelled / rejected / failed), latency
+// histograms answering p50/p95/p99, in-flight and queue-depth gauges, and
+// the engine's probe/cache/bloom counters aggregated per decomposition.
+// Everything is cheap enough to update on the query hot path: counters and
+// gauges are lock-free atomics; only the histogram and the per-decomposition
+// aggregation take a short mutex at query completion.
+
+#ifndef XK_SERVICE_METRICS_H_
+#define XK_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "engine/query_context.h"
+
+namespace xk::service {
+
+/// Log-spaced latency histogram: 4 buckets per octave, 128 buckets covering
+/// 1 us .. 2^32 us (~71 minutes). Percentiles are estimated by linear
+/// interpolation inside the winning bucket, which keeps the p50/p95/p99
+/// error under ~19% — plenty for serving dashboards.
+class LatencyHistogram {
+ public:
+  void Record(std::chrono::nanoseconds latency);
+
+  uint64_t count() const { return count_; }
+  /// Estimated latency (microseconds) at percentile `p` in (0, 100].
+  /// Returns 0 with no samples.
+  double PercentileMicros(double p) const;
+
+ private:
+  // Bucket b covers [1us * 2^(b/4), 1us * 2^((b+1)/4)); 128 buckets reach
+  // 2^32 us ~ 71 minutes, beyond any sane query latency.
+  static constexpr size_t kNumBuckets = 128;
+  static size_t BucketOf(double micros);
+
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double min_us_ = 0;
+  double max_us_ = 0;
+};
+
+/// Point-in-time copy of every metric, safe to read without locks.
+struct MetricsSnapshot {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed_ok = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
+  uint64_t failed = 0;
+
+  int64_t queue_depth = 0;
+  int64_t in_flight = 0;
+  int64_t peak_in_flight = 0;
+
+  uint64_t latency_count = 0;
+  double latency_p50_us = 0;
+  double latency_p95_us = 0;
+  double latency_p99_us = 0;
+
+  /// Engine counters summed over every finished query, keyed by the
+  /// decomposition it ran against.
+  std::map<std::string, engine::ExecutionStats> per_decomposition;
+};
+
+/// The registry one QueryService owns. Thread-safe.
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  /// Every Submit call, admitted or not.
+  void OnSubmitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  /// Submit declined (queue full or service shut down).
+  void OnRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  /// Admitted into the queue.
+  void OnAdmitted() { queue_depth_.fetch_add(1, std::memory_order_relaxed); }
+  /// A worker dequeued the query and starts executing it.
+  void OnStart();
+  /// The query finished with `status` (the response status for soft stops,
+  /// the Result status for hard failures). `stats` may be null (hard
+  /// failure); otherwise it is aggregated under `decomposition`.
+  void OnFinish(const std::string& decomposition, const Status& status,
+                const engine::ExecutionStats* stats,
+                std::chrono::nanoseconds latency);
+
+  int64_t queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_in_flight() const {
+    return peak_in_flight_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+  uint64_t finished() const {
+    return completed_ok_.load(std::memory_order_relaxed) +
+           deadline_exceeded_.load(std::memory_order_relaxed) +
+           cancelled_.load(std::memory_order_relaxed) +
+           failed_.load(std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_ok_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> failed_{0};
+
+  std::atomic<int64_t> queue_depth_{0};
+  std::atomic<int64_t> in_flight_{0};
+  std::atomic<int64_t> peak_in_flight_{0};
+
+  mutable std::mutex mutex_;  // guards latency_ and per_decomposition_
+  LatencyHistogram latency_;
+  std::map<std::string, engine::ExecutionStats> per_decomposition_;
+};
+
+}  // namespace xk::service
+
+#endif  // XK_SERVICE_METRICS_H_

@@ -1,0 +1,145 @@
+#include "service/query_service.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace xk::service {
+
+/// Shared per-query state: the request, the cancel token both the handle and
+/// the executors poll, and the promise-like completion slot.
+struct QueryState {
+  uint64_t id = 0;
+  engine::QueryRequest request;
+  CancelToken token;
+  std::chrono::steady_clock::time_point submit_time;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Result<engine::QueryResponse> result = Status::Internal("query not finished");
+};
+
+// --- QueryHandle ---------------------------------------------------------
+
+QueryHandle::QueryHandle() = default;
+QueryHandle::~QueryHandle() = default;
+QueryHandle::QueryHandle(const QueryHandle&) = default;
+QueryHandle& QueryHandle::operator=(const QueryHandle&) = default;
+QueryHandle::QueryHandle(QueryHandle&&) noexcept = default;
+QueryHandle& QueryHandle::operator=(QueryHandle&&) noexcept = default;
+
+QueryHandle::QueryHandle(std::shared_ptr<QueryState> state)
+    : state_(std::move(state)) {}
+
+uint64_t QueryHandle::id() const { return state_ != nullptr ? state_->id : 0; }
+
+Result<engine::QueryResponse> QueryHandle::Wait() const {
+  if (state_ == nullptr) return Status::InvalidArgument("empty query handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->result;
+}
+
+bool QueryHandle::Done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+void QueryHandle::Cancel() const {
+  if (state_ != nullptr) state_->token.RequestCancel();
+}
+
+// --- QueryService --------------------------------------------------------
+
+Result<std::unique_ptr<QueryService>> QueryService::Create(
+    const engine::XKeyword* xk, QueryServiceOptions options) {
+  if (xk == nullptr) return Status::InvalidArgument("null XKeyword instance");
+  XK_RETURN_NOT_OK(options.Validate());
+  return std::unique_ptr<QueryService>(new QueryService(xk, options));
+}
+
+QueryService::QueryService(const engine::XKeyword* xk,
+                           QueryServiceOptions options)
+    : xk_(xk),
+      options_(options),
+      pool_(std::make_unique<engine::ThreadPool>(options.num_workers)) {}
+
+QueryService::~QueryService() { Shutdown(); }
+
+Result<QueryHandle> QueryService::Submit(engine::QueryRequest request) {
+  metrics_.OnSubmitted();
+  auto state = std::make_shared<QueryState>();
+  state->request = std::move(request);
+  state->submit_time = std::chrono::steady_clock::now();
+  // The wall-clock budget starts at admission: time spent waiting for a
+  // worker counts against the deadline, as a saturated service must not
+  // grant queued queries more total latency than direct ones.
+  if (state->request.deadline.count() > 0) {
+    state->token.SetDeadlineAfter(state->request.deadline);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      metrics_.OnRejected();
+      return Status::Aborted("query service is shut down");
+    }
+    if (queued_ >= options_.queue_capacity) {
+      metrics_.OnRejected();
+      return Status::ResourceExhausted(
+          StrFormat("admission queue full (%zu queued, capacity %zu)", queued_,
+                    options_.queue_capacity));
+    }
+    ++queued_;
+    state->id = next_id_++;
+    live_.emplace(state->id, state);
+  }
+  metrics_.OnAdmitted();
+  pool_->Submit([this, state] { Execute(state); });
+  return QueryHandle(state);
+}
+
+void QueryService::Execute(const std::shared_ptr<QueryState>& state) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --queued_;
+  }
+  metrics_.OnStart();
+
+  Result<engine::QueryResponse> result = xk_->Run(state->request, &state->token);
+  const auto latency = std::chrono::steady_clock::now() - state->submit_time;
+  const Status outcome = result.ok() ? result.value().status : result.status();
+  metrics_.OnFinish(state->request.decomposition, outcome,
+                    result.ok() ? &result.value().stats : nullptr,
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(latency));
+
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->result = std::move(result);
+    state->done = true;
+  }
+  state->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_.erase(state->id);
+  }
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    // Queued queries run (the pool offers no way to unqueue them) but their
+    // tokens are already tripped, so each finishes immediately as kCancelled.
+    for (auto& [id, state] : live_) {
+      (void)id;
+      state->token.RequestCancel();
+    }
+  }
+  pool_->Wait();
+}
+
+}  // namespace xk::service

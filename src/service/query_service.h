@@ -1,0 +1,138 @@
+// Copyright (c) the XKeyword authors.
+//
+// QueryService: the concurrent serving front-end over one shared XKeyword
+// instance. Keyword-search traffic is dominated by a few expensive
+// join-heavy queries among many cheap ones, so the service is built around
+// per-query budgets rather than raw throughput alone:
+//
+//   * admission control — a bounded queue in front of a fixed worker pool
+//     (engine::ThreadPool); Submit past the bound fails fast with
+//     kResourceExhausted instead of letting latency collapse;
+//   * deadlines — each request's wall-clock budget starts at admission and
+//     is enforced cooperatively down to probe granularity in the executors;
+//   * cancellation — every Submit returns a joinable QueryHandle whose
+//     Cancel() stops the running query at the next poll;
+//   * observability — a Metrics registry with per-outcome counters, latency
+//     percentiles, gauges, and per-decomposition engine counters.
+//
+// The XKeyword instance is immutable at serving time (Load/AddDecomposition
+// happen before the service is built), so workers share it without locks.
+//
+//   auto service = service::QueryService::Create(&xk, {.num_workers = 8});
+//   engine::QueryRequest req{.keywords = {"john", "vcr"},
+//                            .decomposition = "XKeyword",
+//                            .deadline = std::chrono::milliseconds(50)};
+//   auto handle = (*service)->Submit(req);
+//   auto response = handle->Wait();  // Result<QueryResponse>
+
+#ifndef XK_SERVICE_QUERY_SERVICE_H_
+#define XK_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "engine/thread_pool.h"
+#include "engine/xkeyword.h"
+#include "service/metrics.h"
+
+namespace xk::service {
+
+struct QueryState;  // shared between a QueryHandle and the executing worker
+
+struct QueryServiceOptions {
+  /// Workers executing queries concurrently (the in-flight bound).
+  int num_workers = 4;
+  /// Admitted-but-not-yet-started bound: Submit returns kResourceExhausted
+  /// once this many queries are waiting for a worker.
+  size_t queue_capacity = 256;
+
+  Status Validate() const {
+    if (num_workers < 1) {
+      return Status::InvalidArgument("num_workers must be >= 1");
+    }
+    if (queue_capacity < 1) {
+      return Status::InvalidArgument("queue_capacity must be >= 1");
+    }
+    return Status::OK();
+  }
+};
+
+/// Joinable handle to one submitted query. Copyable; all copies name the
+/// same query.
+class QueryHandle {
+ public:
+  QueryHandle();
+  ~QueryHandle();
+  QueryHandle(const QueryHandle&);
+  QueryHandle& operator=(const QueryHandle&);
+  QueryHandle(QueryHandle&&) noexcept;
+  QueryHandle& operator=(QueryHandle&&) noexcept;
+
+  bool valid() const { return state_ != nullptr; }
+  uint64_t id() const;
+
+  /// Blocks until the query finishes and returns its outcome; repeatable.
+  Result<engine::QueryResponse> Wait() const;
+  bool Done() const;
+
+  /// Cooperative cancel: the running (or still queued) query observes it at
+  /// the next poll and finishes with response status kCancelled, keeping any
+  /// partial results and statistics.
+  void Cancel() const;
+
+ private:
+  friend class QueryService;
+  explicit QueryHandle(std::shared_ptr<QueryState> state);
+
+  std::shared_ptr<QueryState> state_;
+};
+
+class QueryService {
+ public:
+  static Result<std::unique_ptr<QueryService>> Create(
+      const engine::XKeyword* xk, QueryServiceOptions options = {});
+
+  /// Cancels every live query, drains the workers, and joins them.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits one query. Fails fast with kResourceExhausted when the admission
+  /// queue is full and kAborted after Shutdown; otherwise the query runs on
+  /// a pool worker and the returned handle joins it.
+  Result<QueryHandle> Submit(engine::QueryRequest request);
+
+  /// Stops admitting, cancels every queued and running query, and waits for
+  /// the workers to drain. Idempotent.
+  void Shutdown();
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  const QueryServiceOptions& options() const { return options_; }
+
+ private:
+  QueryService(const engine::XKeyword* xk, QueryServiceOptions options);
+
+  void Execute(const std::shared_ptr<QueryState>& state);
+
+  const engine::XKeyword* xk_;
+  const QueryServiceOptions options_;
+  Metrics metrics_;
+
+  std::mutex mutex_;  // guards accepting_, queued_, next_id_, live_
+  bool accepting_ = true;
+  size_t queued_ = 0;
+  uint64_t next_id_ = 1;
+  /// Queries admitted but not yet finished, for Shutdown's cancel broadcast.
+  std::unordered_map<uint64_t, std::shared_ptr<QueryState>> live_;
+
+  /// Last member: destroyed (joined) first, while the rest is still alive.
+  std::unique_ptr<engine::ThreadPool> pool_;
+};
+
+}  // namespace xk::service
+
+#endif  // XK_SERVICE_QUERY_SERVICE_H_

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "common/cancel_token.h"
 #include "common/logging.h"
 #include "common/lru_cache.h"
 #include "common/random.h"
@@ -41,6 +42,72 @@ TEST(StatusTest, AllCodesRoundTripThroughToString) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+}
+
+TEST(StatusTest, ServingCodesCarryCodeAndMessage) {
+  Status deadline = Status::DeadlineExceeded("budget spent");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "deadline exceeded: budget spent");
+  EXPECT_FALSE(deadline.IsCancelled());
+
+  Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "cancelled: caller gave up");
+  EXPECT_FALSE(cancelled.IsDeadlineExceeded());
+}
+
+TEST(CancelTokenTest, FreshTokenRequestsNothing) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancel_requested());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.deadline_exceeded());
+  EXPECT_FALSE(token.StopRequested());
+  EXPECT_TRUE(token.ToStatus().ok());
+}
+
+TEST(CancelTokenTest, CancelIsStickyAndMapsToCancelled) {
+  CancelToken token;
+  token.RequestCancel();
+  EXPECT_TRUE(token.cancel_requested());
+  EXPECT_TRUE(token.StopRequested());
+  EXPECT_TRUE(token.ToStatus().IsCancelled());
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineMapsToDeadlineExceeded) {
+  CancelToken token;
+  token.SetDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.deadline_exceeded());
+  EXPECT_TRUE(token.StopRequested());
+  EXPECT_TRUE(token.ToStatus().IsDeadlineExceeded());
+}
+
+TEST(CancelTokenTest, FutureDeadlineDoesNotStop) {
+  CancelToken token;
+  token.SetDeadlineAfter(std::chrono::hours(1));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.StopRequested());
+  EXPECT_TRUE(token.ToStatus().ok());
+}
+
+TEST(CancelTokenTest, NonPositiveBudgetIsIgnored) {
+  CancelToken token;
+  token.SetDeadlineAfter(std::chrono::nanoseconds(0));
+  token.SetDeadlineAfter(std::chrono::milliseconds(-5));
+  EXPECT_FALSE(token.has_deadline());
+}
+
+TEST(CancelTokenTest, CancelWinsOverExpiredDeadline) {
+  CancelToken token;
+  token.SetDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  token.RequestCancel();
+  EXPECT_TRUE(token.ToStatus().IsCancelled());
 }
 
 TEST(StatusTest, CopyPreservesState) {

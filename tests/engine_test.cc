@@ -284,5 +284,80 @@ TEST_F(EngineTest, AddDecompositionTwiceRejected) {
                   .IsAlreadyExists());
 }
 
+// The deprecated entry points are thin wrappers over Run(QueryRequest); for
+// every mode the two must return byte-identical Mtton lists and the same
+// counters, so existing call sites can migrate without any result drift.
+TEST_F(EngineTest, RunMatchesDeprecatedWrappersInAllModes) {
+  QueryOptions options;
+  options.max_size_z = 6;
+  options.per_network_k = 100000;
+  options.num_threads = 1;
+  const std::vector<std::string> keywords = {"john", "tv"};
+
+  QueryRequest request;
+  request.keywords = keywords;
+  request.decomposition = "MinClust";
+  request.options = options;
+
+  {  // kTopK vs TopK
+    request.mode = QueryMode::kTopK;
+    ExecutionStats legacy_stats;
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> legacy,
+                            xk_->TopK(keywords, "MinClust", options, &legacy_stats));
+    XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, xk_->Run(request));
+    EXPECT_TRUE(response.status.ok());
+    EXPECT_FALSE(response.truncated);
+    EXPECT_EQ(response.mttons, legacy);
+    EXPECT_EQ(response.stats.probes.probes, legacy_stats.probes.probes);
+    EXPECT_EQ(response.stats.results, legacy_stats.results);
+  }
+  {  // kNaive vs TopKNaive
+    request.mode = QueryMode::kNaive;
+    ExecutionStats legacy_stats;
+    XK_ASSERT_OK_AND_ASSIGN(
+        std::vector<Mtton> legacy,
+        xk_->TopKNaive(keywords, "MinClust", options, &legacy_stats));
+    XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, xk_->Run(request));
+    EXPECT_TRUE(response.status.ok());
+    EXPECT_EQ(response.mttons, legacy);
+    EXPECT_EQ(response.stats.probes.probes, legacy_stats.probes.probes);
+  }
+  {  // kAll vs AllResults, both full-executor modes
+    request.mode = QueryMode::kAll;
+    for (FullMode mode : {FullMode::kHashJoin, FullMode::kIndexNestedLoop}) {
+      request.full_options.mode = mode;
+      FullExecutorOptions full;
+      full.mode = mode;
+      XK_ASSERT_OK_AND_ASSIGN(
+          std::vector<Mtton> legacy,
+          xk_->AllResults(keywords, "MinClust", options, full));
+      XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, xk_->Run(request));
+      EXPECT_TRUE(response.status.ok());
+      EXPECT_EQ(response.mttons, legacy);
+    }
+  }
+}
+
+// Prepare (and thus every entry point above it) rejects malformed options
+// before touching the master index or the optimizer.
+TEST_F(EngineTest, PrepareValidatesQueryOptions) {
+  QueryOptions options;
+  options.per_network_k = 0;
+  EXPECT_TRUE(
+      xk_->Prepare({"john"}, "MinClust", options).status().IsInvalidArgument());
+  options = QueryOptions();
+  options.morsel_size = 0;
+  EXPECT_TRUE(
+      xk_->Prepare({"john"}, "MinClust", options).status().IsInvalidArgument());
+  options = QueryOptions();
+  options.num_threads = -1;
+  EXPECT_TRUE(
+      xk_->Prepare({"john"}, "MinClust", options).status().IsInvalidArgument());
+  options = QueryOptions();
+  options.intra_plan_threads = -3;
+  EXPECT_TRUE(
+      xk_->TopK({"john"}, "MinClust", options).status().IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace xk::engine

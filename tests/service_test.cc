@@ -1,0 +1,381 @@
+// Tests for the QueryService serving front-end: concurrent submits,
+// deadlines, cooperative cancellation, admission control, metrics — plus the
+// LatencyHistogram and the unified Run API's soft-stop semantics on the
+// DBLP fixture.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "datagen/dblp_gen.h"
+#include "service/query_service.h"
+#include "test_util.h"
+
+namespace xk::service {
+namespace {
+
+using engine::QueryMode;
+using engine::QueryRequest;
+using engine::QueryResponse;
+using std::chrono::milliseconds;
+
+// --- LatencyHistogram ----------------------------------------------------
+
+TEST(LatencyHistogramTest, EmptyAnswersZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.PercentileMicros(50), 0);
+  EXPECT_EQ(h.PercentileMicros(99), 0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsExactAtEveryPercentile) {
+  LatencyHistogram h;
+  h.Record(milliseconds(3));  // 3000 us
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.PercentileMicros(50), 3000.0);
+  EXPECT_DOUBLE_EQ(h.PercentileMicros(99), 3000.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreOrderedAndBracketed) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(std::chrono::microseconds(i * 100));  // 100us .. 100ms uniform
+  }
+  const double p50 = h.PercentileMicros(50);
+  const double p95 = h.PercentileMicros(95);
+  const double p99 = h.PercentileMicros(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Log-bucketed estimates: within a bucket (~19%) of the true value.
+  EXPECT_NEAR(p50, 50000.0, 50000.0 * 0.25);
+  EXPECT_NEAR(p99, 99000.0, 99000.0 * 0.25);
+  EXPECT_LE(p99, 100000.0 + 1);  // clamped to the observed maximum
+}
+
+// --- Service fixture -----------------------------------------------------
+
+/// DBLP database sized so one expensive query (kExpensive below) takes long
+/// enough to observe in-flight overlap and mid-query cancellation, while
+/// cheap queries stay in the low milliseconds.
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::DblpConfig config;
+    config.num_conferences = 8;
+    config.years_per_conference = 5;
+    config.avg_papers_per_year = 18;
+    config.avg_citations_per_paper = 12.0;
+    config.author_vocab = 150;
+    config.title_vocab = 150;
+    config.seed = 2003;
+    db_ = datagen::DblpDatabase::Generate(config).MoveValueUnsafe().release();
+    xk_ = engine::XKeyword::Load(&db_->graph(), &db_->schema(), &db_->tss())
+              .MoveValueUnsafe()
+              .release();
+    ASSERT_TRUE(xk_->AddDecomposition(
+                       decomp::MakeXKeyword(db_->tss(), /*B=*/2, /*M=*/6)
+                           .MoveValueUnsafe())
+                    .ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete xk_;
+    xk_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  /// A cheap request: small networks, top-k bounded.
+  static QueryRequest Cheap(const std::vector<std::string>& keywords) {
+    QueryRequest request;
+    request.keywords = keywords;
+    request.decomposition = "XKeyword";
+    request.options.max_size_z = 4;
+    request.options.per_network_k = 3;
+    return request;
+  }
+
+  /// An expensive request: the naive (cacheless, serial) executor over the
+  /// full network space with effectively unbounded per-network output.
+  static QueryRequest Expensive() {
+    QueryRequest request;
+    request.keywords = {"gray", "codd"};
+    request.decomposition = "XKeyword";
+    request.mode = QueryMode::kNaive;
+    request.options.max_size_z = 6;
+    request.options.per_network_k = 1000000;
+    return request;
+  }
+
+  /// Spins until `predicate` holds or `budget` elapses.
+  template <typename Predicate>
+  static bool SpinUntil(Predicate predicate, milliseconds budget) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (predicate()) return true;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return predicate();
+  }
+
+  static datagen::DblpDatabase* db_;
+  static engine::XKeyword* xk_;
+};
+
+datagen::DblpDatabase* ServiceTest::db_ = nullptr;
+engine::XKeyword* ServiceTest::xk_ = nullptr;
+
+// --- Unified Run API -----------------------------------------------------
+
+TEST_F(ServiceTest, RunMatchesLegacyWrappers) {
+  QueryRequest request = Cheap({"gray", "codd"});
+  XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, xk_->Run(request));
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_FALSE(response.truncated);
+
+  engine::ExecutionStats legacy_stats;
+  XK_ASSERT_OK_AND_ASSIGN(
+      std::vector<present::Mtton> legacy,
+      xk_->TopK(request.keywords, request.decomposition, request.options,
+                &legacy_stats));
+  ASSERT_EQ(response.mttons.size(), legacy.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(response.mttons[i].objects, legacy[i].objects);
+    EXPECT_EQ(response.mttons[i].ctssn_index, legacy[i].ctssn_index);
+  }
+  EXPECT_EQ(response.stats.probes.probes, legacy_stats.probes.probes);
+  EXPECT_EQ(response.stats.results, legacy_stats.results);
+}
+
+TEST_F(ServiceTest, TinyDeadlineReturnsDeadlineExceededWithPartialStats) {
+  QueryRequest request = Expensive();
+  request.deadline = milliseconds(1);
+  XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, xk_->Run(request));
+  EXPECT_TRUE(response.status.IsDeadlineExceeded()) << response.status.ToString();
+  EXPECT_TRUE(response.truncated);
+  // Partial statistics survive the stop; the full query does far more work.
+  engine::ExecutionStats full_stats;
+  XK_ASSERT_OK_AND_ASSIGN(
+      std::vector<present::Mtton> full,
+      xk_->TopKNaive(request.keywords, request.decomposition, request.options,
+                     &full_stats));
+  EXPECT_LT(response.stats.probes.rows_scanned, full_stats.probes.rows_scanned);
+  EXPECT_LE(response.mttons.size(), full.size());
+}
+
+TEST_F(ServiceTest, ExternalTokenCancelsSynchronousRun) {
+  CancelToken token;
+  token.RequestCancel();
+  XK_ASSERT_OK_AND_ASSIGN(QueryResponse response,
+                          xk_->Run(Expensive(), &token));
+  EXPECT_TRUE(response.status.IsCancelled());
+  EXPECT_TRUE(response.truncated);
+}
+
+TEST_F(ServiceTest, InvalidOptionsRejectedBeforeExecution) {
+  QueryRequest request = Cheap({"gray"});
+  request.options.per_network_k = 0;
+  EXPECT_TRUE(xk_->Run(request).status().IsInvalidArgument());
+  request = Cheap({"gray"});
+  request.options.morsel_size = 0;
+  EXPECT_TRUE(xk_->Run(request).status().IsInvalidArgument());
+  request = Cheap({"gray"});
+  request.options.num_threads = -1;
+  EXPECT_TRUE(xk_->Run(request).status().IsInvalidArgument());
+  request = Cheap({"gray"});
+  request.options.intra_plan_threads = -2;
+  EXPECT_TRUE(xk_->Run(request).status().IsInvalidArgument());
+}
+
+// --- QueryService --------------------------------------------------------
+
+TEST_F(ServiceTest, ConcurrentSubmitsFromManyThreadsAreDeterministic) {
+  QueryServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 1024;
+  XK_ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryService> service,
+                          QueryService::Create(xk_, options));
+
+  const std::vector<std::vector<std::string>> queries = {
+      {"gray", "codd"}, {"ullman", "widom"}, {"garcia", "molina"},
+      {"author23", "author31"}};
+  // Reference results from the synchronous API.
+  std::vector<QueryResponse> expected;
+  for (const auto& q : queries) {
+    XK_ASSERT_OK_AND_ASSIGN(QueryResponse r, xk_->Run(Cheap(q)));
+    expected.push_back(std::move(r));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 6;
+  std::vector<std::vector<QueryHandle>> handles(kThreads);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto handle = service->Submit(Cheap(queries[(t + i) % queries.size()]));
+        ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+        handles[t].push_back(*handle);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, handles[t][i].Wait());
+      EXPECT_TRUE(response.status.ok());
+      const QueryResponse& want = expected[(t + i) % queries.size()];
+      ASSERT_EQ(response.mttons.size(), want.mttons.size());
+      for (size_t m = 0; m < want.mttons.size(); ++m) {
+        EXPECT_EQ(response.mttons[m].objects, want.mttons[m].objects);
+        EXPECT_EQ(response.mttons[m].ctssn_index, want.mttons[m].ctssn_index);
+      }
+    }
+  }
+  const MetricsSnapshot snap = service->metrics().Snapshot();
+  EXPECT_EQ(snap.submitted, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.completed_ok, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.in_flight, 0);
+  EXPECT_EQ(snap.queue_depth, 0);
+  EXPECT_EQ(snap.latency_count, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_GT(snap.latency_p99_us, 0);
+  EXPECT_GE(snap.latency_p99_us, snap.latency_p50_us);
+  ASSERT_TRUE(snap.per_decomposition.contains("XKeyword"));
+  EXPECT_GT(snap.per_decomposition.at("XKeyword").probes.probes, 0u);
+}
+
+TEST_F(ServiceTest, SustainsEightConcurrentInFlightQueries) {
+  QueryServiceOptions options;
+  options.num_workers = 8;
+  options.queue_capacity = 64;
+  XK_ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryService> service,
+                          QueryService::Create(xk_, options));
+
+  XK_ASSERT_OK_AND_ASSIGN(QueryResponse expected, xk_->Run(Expensive()));
+
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    auto handle = service->Submit(Expensive());
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    handles.push_back(*handle);
+  }
+  // All eight workers pick up a query long before any expensive query ends.
+  EXPECT_TRUE(SpinUntil([&] { return service->metrics().in_flight() >= 8; },
+                        milliseconds(10000)));
+  EXPECT_GE(service->metrics().peak_in_flight(), 8);
+
+  for (QueryHandle& handle : handles) {
+    XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, handle.Wait());
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_EQ(response.mttons.size(), expected.mttons.size());
+    for (size_t m = 0; m < expected.mttons.size(); ++m) {
+      EXPECT_EQ(response.mttons[m].objects, expected.mttons[m].objects);
+    }
+  }
+  EXPECT_EQ(service->metrics().Snapshot().completed_ok, 8u);
+}
+
+TEST_F(ServiceTest, DeadlineExceededThroughServiceKeepsPartialStats) {
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  XK_ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryService> service,
+                          QueryService::Create(xk_, options));
+  QueryRequest request = Expensive();
+  request.deadline = milliseconds(1);
+  XK_ASSERT_OK_AND_ASSIGN(QueryHandle handle, service->Submit(request));
+  XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, handle.Wait());
+  EXPECT_TRUE(response.status.IsDeadlineExceeded()) << response.status.ToString();
+  EXPECT_TRUE(response.truncated);
+  const MetricsSnapshot snap = service->metrics().Snapshot();
+  EXPECT_EQ(snap.deadline_exceeded, 1u);
+  EXPECT_EQ(snap.completed_ok, 0u);
+}
+
+TEST_F(ServiceTest, CancelMidQueryReturnsCancelled) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  XK_ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryService> service,
+                          QueryService::Create(xk_, options));
+  XK_ASSERT_OK_AND_ASSIGN(QueryHandle handle, service->Submit(Expensive()));
+  // Let the worker actually start before cancelling.
+  EXPECT_TRUE(SpinUntil([&] { return service->metrics().in_flight() >= 1; },
+                        milliseconds(10000)));
+  handle.Cancel();
+  XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, handle.Wait());
+  EXPECT_TRUE(response.status.IsCancelled()) << response.status.ToString();
+  EXPECT_TRUE(response.truncated);
+  EXPECT_EQ(service->metrics().Snapshot().cancelled, 1u);
+}
+
+TEST_F(ServiceTest, QueueFullReturnsResourceExhausted) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  XK_ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryService> service,
+                          QueryService::Create(xk_, options));
+
+  // First query occupies the only worker...
+  XK_ASSERT_OK_AND_ASSIGN(QueryHandle running, service->Submit(Expensive()));
+  ASSERT_TRUE(SpinUntil([&] { return service->metrics().in_flight() >= 1; },
+                        milliseconds(10000)));
+  // ...the second fills the queue, the third must be rejected.
+  XK_ASSERT_OK_AND_ASSIGN(QueryHandle queued, service->Submit(Expensive()));
+  Result<QueryHandle> rejected = service->Submit(Expensive());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted())
+      << rejected.status().ToString();
+  EXPECT_GE(service->metrics().rejected(), 1u);
+
+  running.Cancel();
+  queued.Cancel();
+  XK_ASSERT_OK_AND_ASSIGN(QueryResponse r1, running.Wait());
+  XK_ASSERT_OK_AND_ASSIGN(QueryResponse r2, queued.Wait());
+  EXPECT_TRUE(r1.status.IsCancelled());
+  EXPECT_TRUE(r2.status.IsCancelled());
+}
+
+TEST_F(ServiceTest, ShutdownCancelsLiveQueriesAndRejectsNewOnes) {
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  XK_ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryService> service,
+                          QueryService::Create(xk_, options));
+  XK_ASSERT_OK_AND_ASSIGN(QueryHandle handle, service->Submit(Expensive()));
+  service->Shutdown();
+  XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, handle.Wait());
+  // Either the worker observed the cancel, or the query happened to finish.
+  EXPECT_TRUE(response.status.IsCancelled() || response.status.ok());
+  EXPECT_TRUE(service->Submit(Cheap({"gray"})).status().IsAborted());
+  service->Shutdown();  // idempotent
+}
+
+TEST_F(ServiceTest, WaitIsRepeatableAndHandlesAreCopyable) {
+  QueryServiceOptions options;
+  XK_ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryService> service,
+                          QueryService::Create(xk_, options));
+  XK_ASSERT_OK_AND_ASSIGN(QueryHandle handle,
+                          service->Submit(Cheap({"gray", "codd"})));
+  QueryHandle copy = handle;
+  XK_ASSERT_OK_AND_ASSIGN(QueryResponse first, handle.Wait());
+  XK_ASSERT_OK_AND_ASSIGN(QueryResponse second, copy.Wait());
+  EXPECT_TRUE(copy.Done());
+  EXPECT_EQ(first.mttons.size(), second.mttons.size());
+  EXPECT_EQ(handle.id(), copy.id());
+}
+
+TEST(QueryServiceOptionsTest, CreateValidatesOptions) {
+  QueryServiceOptions bad_workers;
+  bad_workers.num_workers = 0;
+  EXPECT_TRUE(QueryServiceOptions{bad_workers}.Validate().IsInvalidArgument());
+  QueryServiceOptions bad_queue;
+  bad_queue.queue_capacity = 0;
+  EXPECT_TRUE(bad_queue.Validate().IsInvalidArgument());
+  EXPECT_TRUE(QueryService::Create(nullptr).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace xk::service
