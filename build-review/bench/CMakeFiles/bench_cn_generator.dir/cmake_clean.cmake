@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cn_generator.dir/bench_cn_generator.cc.o"
+  "CMakeFiles/bench_cn_generator.dir/bench_cn_generator.cc.o.d"
+  "bench_cn_generator"
+  "bench_cn_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cn_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

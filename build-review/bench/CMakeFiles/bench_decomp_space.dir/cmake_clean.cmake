@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decomp_space.dir/bench_decomp_space.cc.o"
+  "CMakeFiles/bench_decomp_space.dir/bench_decomp_space.cc.o.d"
+  "bench_decomp_space"
+  "bench_decomp_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decomp_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15b.dir/bench_fig15b.cc.o"
+  "CMakeFiles/bench_fig15b.dir/bench_fig15b.cc.o.d"
+  "bench_fig15b"
+  "bench_fig15b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

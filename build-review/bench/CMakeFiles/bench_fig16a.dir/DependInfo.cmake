@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig16a.cc" "bench/CMakeFiles/bench_fig16a.dir/bench_fig16a.cc.o" "gcc" "bench/CMakeFiles/bench_fig16a.dir/bench_fig16a.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/xk_service.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_engine.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_opt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_decomp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_present.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_cn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_exec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_keyword.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_schema.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_xml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16a.dir/bench_fig16a.cc.o"
+  "CMakeFiles/bench_fig16a.dir/bench_fig16a.cc.o.d"
+  "bench_fig16a"
+  "bench_fig16a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

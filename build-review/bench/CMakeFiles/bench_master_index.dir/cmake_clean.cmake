@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_master_index.dir/bench_master_index.cc.o"
+  "CMakeFiles/bench_master_index.dir/bench_master_index.cc.o.d"
+  "bench_master_index"
+  "bench_master_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_master_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke "/root/repo/build-review/bench/bench_fig15a" "--benchmark_filter=Fig15a/XKeyword/K:1/|Fig15aPar/MinClust/T:4|Fig15aPrune")
+set_tests_properties(bench_smoke PROPERTIES  ENVIRONMENT "XK_BENCH_SCALE=tiny" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;21;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_service "/root/repo/build-review/bench/bench_service" "--benchmark_filter=Service/C:4/W:4|ServiceOverload")
+set_tests_properties(bench_smoke_service PROPERTIES  ENVIRONMENT "XK_BENCH_SCALE=tiny" LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")

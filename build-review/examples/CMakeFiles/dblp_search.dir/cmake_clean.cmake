@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_search.dir/dblp_search.cpp.o"
+  "CMakeFiles/dblp_search.dir/dblp_search.cpp.o.d"
+  "dblp_search"
+  "dblp_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

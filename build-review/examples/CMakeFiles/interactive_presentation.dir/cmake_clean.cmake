@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_presentation.dir/interactive_presentation.cpp.o"
+  "CMakeFiles/interactive_presentation.dir/interactive_presentation.cpp.o.d"
+  "interactive_presentation"
+  "interactive_presentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_presentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

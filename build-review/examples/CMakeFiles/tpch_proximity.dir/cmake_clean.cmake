@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_proximity.dir/tpch_proximity.cpp.o"
+  "CMakeFiles/tpch_proximity.dir/tpch_proximity.cpp.o.d"
+  "tpch_proximity"
+  "tpch_proximity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_proximity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xkeyword_cli.dir/xkeyword_cli.cpp.o"
+  "CMakeFiles/xkeyword_cli.dir/xkeyword_cli.cpp.o.d"
+  "xkeyword_cli"
+  "xkeyword_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xkeyword_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_cn.dir/cn/candidate_network.cc.o"
+  "CMakeFiles/xk_cn.dir/cn/candidate_network.cc.o.d"
+  "CMakeFiles/xk_cn.dir/cn/cn_generator.cc.o"
+  "CMakeFiles/xk_cn.dir/cn/cn_generator.cc.o.d"
+  "CMakeFiles/xk_cn.dir/cn/ctssn.cc.o"
+  "CMakeFiles/xk_cn.dir/cn/ctssn.cc.o.d"
+  "libxk_cn.a"
+  "libxk_cn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_cn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

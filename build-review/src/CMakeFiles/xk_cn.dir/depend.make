@@ -1,0 +1,2 @@
+# Empty dependencies file for xk_cn.
+# This may be replaced when dependencies are built.

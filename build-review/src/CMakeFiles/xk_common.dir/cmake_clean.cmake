@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_common.dir/common/logging.cc.o"
+  "CMakeFiles/xk_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/xk_common.dir/common/random.cc.o"
+  "CMakeFiles/xk_common.dir/common/random.cc.o.d"
+  "CMakeFiles/xk_common.dir/common/status.cc.o"
+  "CMakeFiles/xk_common.dir/common/status.cc.o.d"
+  "CMakeFiles/xk_common.dir/common/strings.cc.o"
+  "CMakeFiles/xk_common.dir/common/strings.cc.o.d"
+  "libxk_common.a"
+  "libxk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

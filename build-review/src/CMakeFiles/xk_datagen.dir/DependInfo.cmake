@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dblp_gen.cc" "src/CMakeFiles/xk_datagen.dir/datagen/dblp_gen.cc.o" "gcc" "src/CMakeFiles/xk_datagen.dir/datagen/dblp_gen.cc.o.d"
+  "/root/repo/src/datagen/tpch_gen.cc" "src/CMakeFiles/xk_datagen.dir/datagen/tpch_gen.cc.o" "gcc" "src/CMakeFiles/xk_datagen.dir/datagen/tpch_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/xk_xml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_schema.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_datagen.dir/datagen/dblp_gen.cc.o"
+  "CMakeFiles/xk_datagen.dir/datagen/dblp_gen.cc.o.d"
+  "CMakeFiles/xk_datagen.dir/datagen/tpch_gen.cc.o"
+  "CMakeFiles/xk_datagen.dir/datagen/tpch_gen.cc.o.d"
+  "libxk_datagen.a"
+  "libxk_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decomp/classify.cc" "src/CMakeFiles/xk_decomp.dir/decomp/classify.cc.o" "gcc" "src/CMakeFiles/xk_decomp.dir/decomp/classify.cc.o.d"
+  "/root/repo/src/decomp/coverage.cc" "src/CMakeFiles/xk_decomp.dir/decomp/coverage.cc.o" "gcc" "src/CMakeFiles/xk_decomp.dir/decomp/coverage.cc.o.d"
+  "/root/repo/src/decomp/decomposition.cc" "src/CMakeFiles/xk_decomp.dir/decomp/decomposition.cc.o" "gcc" "src/CMakeFiles/xk_decomp.dir/decomp/decomposition.cc.o.d"
+  "/root/repo/src/decomp/enumerate.cc" "src/CMakeFiles/xk_decomp.dir/decomp/enumerate.cc.o" "gcc" "src/CMakeFiles/xk_decomp.dir/decomp/enumerate.cc.o.d"
+  "/root/repo/src/decomp/fragment.cc" "src/CMakeFiles/xk_decomp.dir/decomp/fragment.cc.o" "gcc" "src/CMakeFiles/xk_decomp.dir/decomp/fragment.cc.o.d"
+  "/root/repo/src/decomp/relation_builder.cc" "src/CMakeFiles/xk_decomp.dir/decomp/relation_builder.cc.o" "gcc" "src/CMakeFiles/xk_decomp.dir/decomp/relation_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/xk_schema.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_exec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_xml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

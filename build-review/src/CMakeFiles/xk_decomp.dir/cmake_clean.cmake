@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_decomp.dir/decomp/classify.cc.o"
+  "CMakeFiles/xk_decomp.dir/decomp/classify.cc.o.d"
+  "CMakeFiles/xk_decomp.dir/decomp/coverage.cc.o"
+  "CMakeFiles/xk_decomp.dir/decomp/coverage.cc.o.d"
+  "CMakeFiles/xk_decomp.dir/decomp/decomposition.cc.o"
+  "CMakeFiles/xk_decomp.dir/decomp/decomposition.cc.o.d"
+  "CMakeFiles/xk_decomp.dir/decomp/enumerate.cc.o"
+  "CMakeFiles/xk_decomp.dir/decomp/enumerate.cc.o.d"
+  "CMakeFiles/xk_decomp.dir/decomp/fragment.cc.o"
+  "CMakeFiles/xk_decomp.dir/decomp/fragment.cc.o.d"
+  "CMakeFiles/xk_decomp.dir/decomp/relation_builder.cc.o"
+  "CMakeFiles/xk_decomp.dir/decomp/relation_builder.cc.o.d"
+  "libxk_decomp.a"
+  "libxk_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/expansion.cc" "src/CMakeFiles/xk_engine.dir/engine/expansion.cc.o" "gcc" "src/CMakeFiles/xk_engine.dir/engine/expansion.cc.o.d"
+  "/root/repo/src/engine/full_executor.cc" "src/CMakeFiles/xk_engine.dir/engine/full_executor.cc.o" "gcc" "src/CMakeFiles/xk_engine.dir/engine/full_executor.cc.o.d"
+  "/root/repo/src/engine/load_stage.cc" "src/CMakeFiles/xk_engine.dir/engine/load_stage.cc.o" "gcc" "src/CMakeFiles/xk_engine.dir/engine/load_stage.cc.o.d"
+  "/root/repo/src/engine/naive_executor.cc" "src/CMakeFiles/xk_engine.dir/engine/naive_executor.cc.o" "gcc" "src/CMakeFiles/xk_engine.dir/engine/naive_executor.cc.o.d"
+  "/root/repo/src/engine/thread_pool.cc" "src/CMakeFiles/xk_engine.dir/engine/thread_pool.cc.o" "gcc" "src/CMakeFiles/xk_engine.dir/engine/thread_pool.cc.o.d"
+  "/root/repo/src/engine/topk_executor.cc" "src/CMakeFiles/xk_engine.dir/engine/topk_executor.cc.o" "gcc" "src/CMakeFiles/xk_engine.dir/engine/topk_executor.cc.o.d"
+  "/root/repo/src/engine/xkeyword.cc" "src/CMakeFiles/xk_engine.dir/engine/xkeyword.cc.o" "gcc" "src/CMakeFiles/xk_engine.dir/engine/xkeyword.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/xk_opt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_present.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_exec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_keyword.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_decomp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_cn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_schema.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_xml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_engine.dir/engine/expansion.cc.o"
+  "CMakeFiles/xk_engine.dir/engine/expansion.cc.o.d"
+  "CMakeFiles/xk_engine.dir/engine/full_executor.cc.o"
+  "CMakeFiles/xk_engine.dir/engine/full_executor.cc.o.d"
+  "CMakeFiles/xk_engine.dir/engine/load_stage.cc.o"
+  "CMakeFiles/xk_engine.dir/engine/load_stage.cc.o.d"
+  "CMakeFiles/xk_engine.dir/engine/naive_executor.cc.o"
+  "CMakeFiles/xk_engine.dir/engine/naive_executor.cc.o.d"
+  "CMakeFiles/xk_engine.dir/engine/thread_pool.cc.o"
+  "CMakeFiles/xk_engine.dir/engine/thread_pool.cc.o.d"
+  "CMakeFiles/xk_engine.dir/engine/topk_executor.cc.o"
+  "CMakeFiles/xk_engine.dir/engine/topk_executor.cc.o.d"
+  "CMakeFiles/xk_engine.dir/engine/xkeyword.cc.o"
+  "CMakeFiles/xk_engine.dir/engine/xkeyword.cc.o.d"
+  "libxk_engine.a"
+  "libxk_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

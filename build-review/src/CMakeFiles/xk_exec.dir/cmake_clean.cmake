@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_exec.dir/exec/operators.cc.o"
+  "CMakeFiles/xk_exec.dir/exec/operators.cc.o.d"
+  "CMakeFiles/xk_exec.dir/exec/plan.cc.o"
+  "CMakeFiles/xk_exec.dir/exec/plan.cc.o.d"
+  "libxk_exec.a"
+  "libxk_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

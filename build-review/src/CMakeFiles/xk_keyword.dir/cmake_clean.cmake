@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_keyword.dir/keyword/master_index.cc.o"
+  "CMakeFiles/xk_keyword.dir/keyword/master_index.cc.o.d"
+  "libxk_keyword.a"
+  "libxk_keyword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_keyword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_opt.dir/opt/cost_model.cc.o"
+  "CMakeFiles/xk_opt.dir/opt/cost_model.cc.o.d"
+  "CMakeFiles/xk_opt.dir/opt/optimizer.cc.o"
+  "CMakeFiles/xk_opt.dir/opt/optimizer.cc.o.d"
+  "CMakeFiles/xk_opt.dir/opt/reuse.cc.o"
+  "CMakeFiles/xk_opt.dir/opt/reuse.cc.o.d"
+  "CMakeFiles/xk_opt.dir/opt/tiler.cc.o"
+  "CMakeFiles/xk_opt.dir/opt/tiler.cc.o.d"
+  "libxk_opt.a"
+  "libxk_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_present.dir/present/mtton.cc.o"
+  "CMakeFiles/xk_present.dir/present/mtton.cc.o.d"
+  "CMakeFiles/xk_present.dir/present/presentation_graph.cc.o"
+  "CMakeFiles/xk_present.dir/present/presentation_graph.cc.o.d"
+  "libxk_present.a"
+  "libxk_present.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_present.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

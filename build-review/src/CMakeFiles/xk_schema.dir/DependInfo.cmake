@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/config_parser.cc" "src/CMakeFiles/xk_schema.dir/schema/config_parser.cc.o" "gcc" "src/CMakeFiles/xk_schema.dir/schema/config_parser.cc.o.d"
+  "/root/repo/src/schema/decomposer.cc" "src/CMakeFiles/xk_schema.dir/schema/decomposer.cc.o" "gcc" "src/CMakeFiles/xk_schema.dir/schema/decomposer.cc.o.d"
+  "/root/repo/src/schema/schema_graph.cc" "src/CMakeFiles/xk_schema.dir/schema/schema_graph.cc.o" "gcc" "src/CMakeFiles/xk_schema.dir/schema/schema_graph.cc.o.d"
+  "/root/repo/src/schema/tss_graph.cc" "src/CMakeFiles/xk_schema.dir/schema/tss_graph.cc.o" "gcc" "src/CMakeFiles/xk_schema.dir/schema/tss_graph.cc.o.d"
+  "/root/repo/src/schema/tss_tree.cc" "src/CMakeFiles/xk_schema.dir/schema/tss_tree.cc.o" "gcc" "src/CMakeFiles/xk_schema.dir/schema/tss_tree.cc.o.d"
+  "/root/repo/src/schema/validator.cc" "src/CMakeFiles/xk_schema.dir/schema/validator.cc.o" "gcc" "src/CMakeFiles/xk_schema.dir/schema/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/xk_xml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/xk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_schema.dir/schema/config_parser.cc.o"
+  "CMakeFiles/xk_schema.dir/schema/config_parser.cc.o.d"
+  "CMakeFiles/xk_schema.dir/schema/decomposer.cc.o"
+  "CMakeFiles/xk_schema.dir/schema/decomposer.cc.o.d"
+  "CMakeFiles/xk_schema.dir/schema/schema_graph.cc.o"
+  "CMakeFiles/xk_schema.dir/schema/schema_graph.cc.o.d"
+  "CMakeFiles/xk_schema.dir/schema/tss_graph.cc.o"
+  "CMakeFiles/xk_schema.dir/schema/tss_graph.cc.o.d"
+  "CMakeFiles/xk_schema.dir/schema/tss_tree.cc.o"
+  "CMakeFiles/xk_schema.dir/schema/tss_tree.cc.o.d"
+  "CMakeFiles/xk_schema.dir/schema/validator.cc.o"
+  "CMakeFiles/xk_schema.dir/schema/validator.cc.o.d"
+  "libxk_schema.a"
+  "libxk_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_service.dir/service/metrics.cc.o"
+  "CMakeFiles/xk_service.dir/service/metrics.cc.o.d"
+  "CMakeFiles/xk_service.dir/service/query_service.cc.o"
+  "CMakeFiles/xk_service.dir/service/query_service.cc.o.d"
+  "libxk_service.a"
+  "libxk_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

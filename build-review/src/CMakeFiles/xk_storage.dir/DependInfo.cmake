@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/blob_store.cc" "src/CMakeFiles/xk_storage.dir/storage/blob_store.cc.o" "gcc" "src/CMakeFiles/xk_storage.dir/storage/blob_store.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/xk_storage.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/xk_storage.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/xk_storage.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/xk_storage.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/statistics.cc" "src/CMakeFiles/xk_storage.dir/storage/statistics.cc.o" "gcc" "src/CMakeFiles/xk_storage.dir/storage/statistics.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/xk_storage.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/xk_storage.dir/storage/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/xk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

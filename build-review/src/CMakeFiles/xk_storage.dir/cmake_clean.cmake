@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_storage.dir/storage/blob_store.cc.o"
+  "CMakeFiles/xk_storage.dir/storage/blob_store.cc.o.d"
+  "CMakeFiles/xk_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/xk_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/xk_storage.dir/storage/index.cc.o"
+  "CMakeFiles/xk_storage.dir/storage/index.cc.o.d"
+  "CMakeFiles/xk_storage.dir/storage/statistics.cc.o"
+  "CMakeFiles/xk_storage.dir/storage/statistics.cc.o.d"
+  "CMakeFiles/xk_storage.dir/storage/table.cc.o"
+  "CMakeFiles/xk_storage.dir/storage/table.cc.o.d"
+  "libxk_storage.a"
+  "libxk_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_xml.dir/xml/xml_graph.cc.o"
+  "CMakeFiles/xk_xml.dir/xml/xml_graph.cc.o.d"
+  "CMakeFiles/xk_xml.dir/xml/xml_parser.cc.o"
+  "CMakeFiles/xk_xml.dir/xml/xml_parser.cc.o.d"
+  "CMakeFiles/xk_xml.dir/xml/xml_writer.cc.o"
+  "CMakeFiles/xk_xml.dir/xml/xml_writer.cc.o.d"
+  "libxk_xml.a"
+  "libxk_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxk_xml.a"
+)

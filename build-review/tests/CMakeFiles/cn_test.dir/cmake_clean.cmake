@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_test.dir/cn_test.cc.o"
+  "CMakeFiles/cn_test.dir/cn_test.cc.o.d"
+  "cn_test"
+  "cn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/present_test.dir/present_test.cc.o"
+  "CMakeFiles/present_test.dir/present_test.cc.o.d"
+  "present_test"
+  "present_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/present_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_executor_test.dir/topk_executor_test.cc.o"
+  "CMakeFiles/topk_executor_test.dir/topk_executor_test.cc.o.d"
+  "topk_executor_test"
+  "topk_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_test.dir/tss_test.cc.o"
+  "CMakeFiles/tss_test.dir/tss_test.cc.o.d"
+  "tss_test"
+  "tss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xk_test_util.dir/test_util.cc.o"
+  "CMakeFiles/xk_test_util.dir/test_util.cc.o.d"
+  "libxk_test_util.a"
+  "libxk_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xk_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
