@@ -9,12 +9,17 @@
 //   rejected  — admission-queue rejections (kResourceExhausted)
 //
 // Series: Service/C:<clients>/W:<workers> scales the client count against a
-// fixed worker pool (closed-loop saturation), and ServiceOverload drives a
-// one-worker, two-slot queue past capacity so the admission path and its
-// rejection counters are exercised rather than idle.
+// fixed worker pool (closed-loop saturation; cache bypassed so every query
+// actually executes), ServiceOverload drives a one-worker, two-slot queue
+// past capacity so the admission path and its rejection counters are
+// exercised rather than idle, and ServiceRepeated/cache:{on,off} replays a
+// small query set many times to expose the answer cache: with the cache on
+// it also reports hit_rate and coalesced, and its p50 against the cache:off
+// p50 is the cache-hit vs cache-miss latency gap.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,14 +40,19 @@ struct LoopSetup {
   int workers = 4;
   size_t queue_capacity = 256;
   int queries_per_client = 40;
+  /// Queries cycled per client; 0 = the whole fixture workload.
+  size_t distinct_queries = 0;
+  xk::engine::CacheMode cache_mode = xk::engine::CacheMode::kBypass;
 };
 
-QueryRequest MakeRequest(const std::vector<std::string>& keywords) {
+QueryRequest MakeRequest(const std::vector<std::string>& keywords,
+                         xk::engine::CacheMode cache_mode) {
   QueryRequest request;
   request.keywords = keywords;
   request.decomposition = "XKeyword";
   request.options.max_size_z = 6;
   request.options.per_network_k = 10;
+  request.cache_mode = cache_mode;
   return request;
 }
 
@@ -54,8 +64,13 @@ void BM_ServiceClosedLoop(benchmark::State& state, const LoopSetup& setup) {
   options.num_workers = setup.workers;
   options.queue_capacity = setup.queue_capacity;
 
+  const size_t cycle = setup.distinct_queries > 0
+                           ? std::min(setup.distinct_queries, queries.size())
+                           : queries.size();
+
   uint64_t completed = 0;
   uint64_t rejected = 0;
+  uint64_t hits = 0, misses = 0, coalesced = 0;
   double p50 = 0, p99 = 0;
   for (auto _ : state) {
     auto service = QueryService::Create(&fixture.xk(), options).MoveValueUnsafe();
@@ -64,8 +79,8 @@ void BM_ServiceClosedLoop(benchmark::State& state, const LoopSetup& setup) {
     for (int c = 0; c < setup.clients; ++c) {
       clients.emplace_back([&, c] {
         for (int i = 0; i < setup.queries_per_client; ++i) {
-          auto handle =
-              service->Submit(MakeRequest(queries[(c + i) % queries.size()]));
+          auto handle = service->Submit(
+              MakeRequest(queries[(c + i) % cycle], setup.cache_mode));
           if (!handle.ok()) continue;  // rejected: counted by the service
           auto response = handle->Wait();
           benchmark::DoNotOptimize(response);
@@ -76,6 +91,9 @@ void BM_ServiceClosedLoop(benchmark::State& state, const LoopSetup& setup) {
     const MetricsSnapshot snap = service->metrics().Snapshot();
     completed += snap.completed_ok;
     rejected += snap.rejected;
+    hits += snap.cache_hits;
+    misses += snap.cache_misses;
+    coalesced += snap.coalesced;
     p50 = snap.latency_p50_us;  // last iteration's distribution
     p99 = snap.latency_p99_us;
   }
@@ -86,6 +104,14 @@ void BM_ServiceClosedLoop(benchmark::State& state, const LoopSetup& setup) {
   state.counters["p50_us"] = benchmark::Counter(p50);
   state.counters["p99_us"] = benchmark::Counter(p99);
   state.counters["rejected"] = benchmark::Counter(static_cast<double>(rejected));
+  if (setup.cache_mode != xk::engine::CacheMode::kBypass) {
+    const uint64_t eligible = hits + misses + coalesced;
+    state.counters["hit_rate"] = benchmark::Counter(
+        eligible > 0 ? static_cast<double>(hits) / static_cast<double>(eligible)
+                     : 0.0);
+    state.counters["coalesced"] =
+        benchmark::Counter(static_cast<double>(coalesced));
+  }
   state.SetLabel(std::to_string(setup.clients) + " clients / " +
                  std::to_string(setup.workers) + " workers");
 }
@@ -115,6 +141,28 @@ void RegisterAll() {
   b->Unit(benchmark::kMillisecond);
   b->Iterations(2);
   b->UseRealTime();
+
+  // Repeated workload: 4 clients replay the same 8 queries 100 times each.
+  // cache:on serves all but the first occurrence of each query from the
+  // answer cache (hit_rate well above 0.9); cache:off (kBypass) executes
+  // every one, so its p50 is the cache-miss latency to compare against.
+  for (bool cache_on : {true, false}) {
+    LoopSetup repeated;
+    repeated.clients = 4;
+    repeated.workers = 4;
+    repeated.queries_per_client = 100;
+    repeated.distinct_queries = 8;
+    repeated.cache_mode = cache_on ? xk::engine::CacheMode::kDefault
+                                   : xk::engine::CacheMode::kBypass;
+    auto* r = benchmark::RegisterBenchmark(
+        cache_on ? "ServiceRepeated/cache:on" : "ServiceRepeated/cache:off",
+        [repeated](benchmark::State& state) {
+          BM_ServiceClosedLoop(state, repeated);
+        });
+    r->Unit(benchmark::kMillisecond);
+    r->Iterations(2);
+    r->UseRealTime();
+  }
 }
 
 }  // namespace

@@ -46,6 +46,13 @@ class CancelToken {
     return deadline_ns_.load(std::memory_order_acquire) != 0;
   }
 
+  /// The armed deadline as a time point; unspecified when !has_deadline().
+  /// Lets a waiter sleep until exactly the deadline instead of polling.
+  std::chrono::steady_clock::time_point deadline_time() const {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(deadline_ns_.load(std::memory_order_acquire)));
+  }
+
   bool cancel_requested() const {
     return cancelled_.load(std::memory_order_acquire);
   }

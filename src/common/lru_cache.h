@@ -1,17 +1,30 @@
 // Copyright (c) the XKeyword authors.
 //
-// Fixed-capacity LRU cache. Section 6 of the paper: "XKeyword uses a fixed
-// size cache for each keyword query to store past results and if the cache
-// gets full, the queries are re-sent to the DBMS." The top-k executor keys
-// this cache by (subplan id, join binding) and stores the subplan's output.
+// LRU caches. Section 6 of the paper: "XKeyword uses a fixed size cache for
+// each keyword query to store past results and if the cache gets full, the
+// queries are re-sent to the DBMS."
+//
+// Two variants share this header:
+//   * LruCache — single-threaded, entry-count capacity. The top-k executor
+//     keys it by (subplan id, join binding) and stores the subplan's output;
+//     each executor thread owns its own instance.
+//   * ShardedLruCache — thread-safe, byte-budget capacity. Keys are hashed
+//     onto N independently locked shards, each running its own LRU order and
+//     byte accounting, so concurrent lookups from serving threads only
+//     contend when they land on the same shard. The serving-layer
+//     AnswerCache stores whole QueryResponse payloads in it.
 
 #ifndef XK_COMMON_LRU_CACHE_H_
 #define XK_COMMON_LRU_CACHE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace xk {
 
@@ -72,6 +85,143 @@ class LruCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+};
+
+/// Thread-safe sharded LRU map from K to shared V with a byte budget.
+/// The budget is split evenly across shards; each Put carries the entry's
+/// byte charge and evicts that shard's least-recently-used entries until the
+/// new entry fits. Values are handed out as shared_ptr<const V> so a reader
+/// keeps its value alive even if the entry is evicted concurrently.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedLruCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+
+  ShardedLruCache(size_t num_shards, size_t max_bytes)
+      : shard_budget_(max_bytes / (num_shards == 0 ? 1 : num_shards)),
+        shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  /// Returns the cached value and refreshes its recency, or nullptr on a
+  /// miss.
+  std::shared_ptr<const V> Get(const K& key) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return nullptr;
+    }
+    ++shard.hits;
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts or overwrites `key`, charging `bytes` against the shard budget,
+  /// and evicts least-recently-used entries until the shard fits again.
+  /// Entries larger than a whole shard are not stored (they would evict
+  /// everything for a value nobody can keep). Returns the number of entries
+  /// evicted by this call.
+  size_t Put(const K& key, std::shared_ptr<const V> value, size_t bytes) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (bytes > shard_budget_) return 0;
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.bytes -= it->second->bytes;
+      it->second->value = std::move(value);
+      it->second->bytes = bytes;
+      shard.bytes += bytes;
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return EvictUntilFit(&shard);
+    }
+    shard.order.push_front(Entry{key, std::move(value), bytes});
+    shard.map[key] = shard.order.begin();
+    shard.bytes += bytes;
+    return EvictUntilFit(&shard);
+  }
+
+  /// Removes `key` if present; returns whether an entry was removed.
+  bool Erase(const K& key) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    shard.bytes -= it->second->bytes;
+    shard.order.erase(it->second);
+    shard.map.erase(it);
+    return true;
+  }
+
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.map.clear();
+      shard.order.clear();
+      shard.bytes = 0;
+    }
+  }
+
+  /// Aggregated over all shards; each shard is locked briefly in turn, so
+  /// the numbers are per-shard consistent rather than a global snapshot.
+  Stats GetStats() const {
+    Stats stats;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      stats.hits += shard.hits;
+      stats.misses += shard.misses;
+      stats.evictions += shard.evictions;
+      stats.entries += shard.map.size();
+      stats.bytes += shard.bytes;
+    }
+    return stats;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t shard_budget_bytes() const { return shard_budget_; }
+
+ private:
+  struct Entry {
+    K key;
+    std::shared_ptr<const V> value;
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> order;  // front = most recent
+    std::unordered_map<K, typename std::list<Entry>::iterator, Hash> map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardOf(const K& key) {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+
+  /// Caller holds the shard lock.
+  size_t EvictUntilFit(Shard* shard) {
+    size_t evicted = 0;
+    while (shard->bytes > shard_budget_ && !shard->order.empty()) {
+      const Entry& victim = shard->order.back();
+      shard->bytes -= victim.bytes;
+      shard->map.erase(victim.key);
+      shard->order.pop_back();
+      ++shard->evictions;
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  const size_t shard_budget_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace xk

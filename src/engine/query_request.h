@@ -41,6 +41,31 @@ inline const char* QueryModeToString(QueryMode mode) {
   return "?";
 }
 
+/// How a request interacts with the serving layer's whole-answer cache
+/// (service::AnswerCache). Ignored by the synchronous XKeyword::Run path,
+/// which never caches.
+enum class CacheMode {
+  /// Serve from the cache when a fresh answer exists; otherwise execute and
+  /// cache the result. Identical concurrent requests coalesce onto one
+  /// execution.
+  kDefault = 0,
+  /// Never read or write the cache, and never coalesce: always a private
+  /// execution (load tests, debugging).
+  kBypass = 1,
+  /// Skip the cache read but execute and overwrite the cached answer
+  /// (forced recompute). Still coalesces with identical in-flight requests.
+  kRefresh = 2,
+};
+
+inline const char* CacheModeToString(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kDefault: return "default";
+    case CacheMode::kBypass: return "bypass";
+    case CacheMode::kRefresh: return "refresh";
+  }
+  return "?";
+}
+
 /// One keyword query, self-contained.
 struct QueryRequest {
   std::vector<std::string> keywords;
@@ -58,6 +83,9 @@ struct QueryRequest {
   QueryOptions options;
   /// Extra knobs of the kAll mode (ignored otherwise).
   FullExecutorOptions full_options;
+
+  /// Answer-cache interaction under service::QueryService (see CacheMode).
+  CacheMode cache_mode = CacheMode::kDefault;
 };
 
 /// The outcome of a served request.

@@ -26,6 +26,9 @@ Status XKeyword::AddDecomposition(decomp::Decomposition d) {
   }
   XK_RETURN_NOT_OK(MaterializeDecomposition(d, *tss_, data_.get()));
   decompositions_.emplace(d.name, std::move(d));
+  // Answers computed before this decomposition existed are now stale (the
+  // new connection relations can produce results the old plans could not).
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 

@@ -17,6 +17,8 @@
 #ifndef XK_ENGINE_XKEYWORD_H_
 #define XK_ENGINE_XKEYWORD_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -92,6 +94,14 @@ class XKeyword {
   /// On-demand expansion engine over a materialized decomposition.
   Result<ExpansionEngine> MakeExpansionEngine(const std::string& decomposition) const;
 
+  /// Monotonic generation of the loaded data. Bumped whenever the queryable
+  /// state changes (today: AddDecomposition; a future reload path must bump
+  /// it too). The serving layer tags every cached answer with the generation
+  /// it was computed under, so a bump atomically invalidates stale answers.
+  uint64_t data_generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
   // --- Introspection (tests, benches, examples) -------------------------
 
   const LoadedData& data() const { return *data_; }
@@ -112,6 +122,7 @@ class XKeyword {
   const schema::TssGraph* tss_;
   std::unique_ptr<LoadedData> data_;
   std::map<std::string, decomp::Decomposition> decompositions_;
+  std::atomic<uint64_t> generation_{1};
 };
 
 }  // namespace xk::engine

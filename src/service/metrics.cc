@@ -29,13 +29,19 @@ double LatencyHistogram::PercentileMicros(double p) const {
     const uint64_t next = seen + buckets_[b];
     if (static_cast<double>(next) >= target) {
       // Interpolate inside bucket b, clamped to the observed extremes so a
-      // single-sample histogram answers the exact value.
-      const double lo = std::max(std::exp2(static_cast<double>(b) / 4.0), min_us_);
-      const double hi =
-          std::min(std::exp2(static_cast<double>(b + 1) / 4.0), max_us_);
+      // single-sample histogram answers the exact value. Bucket 0 is special:
+      // it absorbs everything below 1 us, so its lower edge is the observed
+      // minimum, not exp2(0) = 1 us (which would report percentiles above the
+      // maximum of an all-sub-microsecond workload).
+      const double edge_lo =
+          b == 0 ? min_us_ : std::exp2(static_cast<double>(b) / 4.0);
+      const double lo = std::clamp(edge_lo, min_us_, max_us_);
+      const double hi = std::clamp(std::exp2(static_cast<double>(b + 1) / 4.0),
+                                   lo, max_us_);
       const double frac =
           (target - static_cast<double>(seen)) / static_cast<double>(buckets_[b]);
-      return lo + (std::max(hi, lo) - lo) * std::clamp(frac, 0.0, 1.0);
+      return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), min_us_,
+                        max_us_);
     }
     seen = next;
   }
@@ -52,10 +58,7 @@ void Metrics::OnStart() {
   }
 }
 
-void Metrics::OnFinish(const std::string& decomposition, const Status& status,
-                       const engine::ExecutionStats* stats,
-                       std::chrono::nanoseconds latency) {
-  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+void Metrics::CountOutcome(const Status& status) {
   if (status.IsDeadlineExceeded()) {
     deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
   } else if (status.IsCancelled()) {
@@ -65,9 +68,24 @@ void Metrics::OnFinish(const std::string& decomposition, const Status& status,
   } else {
     failed_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void Metrics::OnFinish(const std::string& decomposition, const Status& status,
+                       const engine::ExecutionStats* stats,
+                       std::chrono::nanoseconds latency) {
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  CountOutcome(status);
   std::lock_guard<std::mutex> lock(mutex_);
   latency_.Record(latency);
   if (stats != nullptr) per_decomposition_[decomposition].Add(*stats);
+}
+
+void Metrics::OnServed(const std::string& decomposition, const Status& status,
+                       std::chrono::nanoseconds latency) {
+  (void)decomposition;  // kept for a future per-decomposition hit breakdown
+  CountOutcome(status);
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_.Record(latency);
 }
 
 MetricsSnapshot Metrics::Snapshot() const {
@@ -81,6 +99,11 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   snap.in_flight = in_flight_.load(std::memory_order_relaxed);
   snap.peak_in_flight = peak_in_flight_.load(std::memory_order_relaxed);
+  snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snap.coalesced = coalesced_.load(std::memory_order_relaxed);
+  snap.cache_stale = cache_stale_.load(std::memory_order_relaxed);
+  snap.cache_evicted = cache_evicted_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   snap.latency_count = latency_.count();
   snap.latency_p50_us = latency_.PercentileMicros(50);

@@ -66,6 +66,17 @@ struct MetricsSnapshot {
   double latency_p95_us = 0;
   double latency_p99_us = 0;
 
+  /// Answer-cache outcomes (see service::AnswerCache). Every cache-eligible
+  /// submit counts in exactly one of hit/miss/coalesced (miss = it became a
+  /// leader execution). `cache_stale` side-counts lookups whose entry was
+  /// from an older data generation; `cache_evicted` counts entries
+  /// LRU-evicted by stores.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t coalesced = 0;
+  uint64_t cache_stale = 0;
+  uint64_t cache_evicted = 0;
+
   /// Engine counters summed over every finished query, keyed by the
   /// decomposition it ran against.
   std::map<std::string, engine::ExecutionStats> per_decomposition;
@@ -88,10 +99,42 @@ class Metrics {
   void OnStart();
   /// The query finished with `status` (the response status for soft stops,
   /// the Result status for hard failures). `stats` may be null (hard
-  /// failure); otherwise it is aggregated under `decomposition`.
+  /// failure, or a cache hit / coalesced follower whose engine work already
+  /// counted under the leader); otherwise it is aggregated under
+  /// `decomposition`.
   void OnFinish(const std::string& decomposition, const Status& status,
                 const engine::ExecutionStats* stats,
                 std::chrono::nanoseconds latency);
+
+  /// A query served without ever occupying a worker — a cache hit completed
+  /// at submit, or a coalesced follower woken by its leader. Counts the
+  /// outcome and the latency but no in-flight/engine accounting.
+  void OnServed(const std::string& decomposition, const Status& status,
+                std::chrono::nanoseconds latency);
+
+  /// Answer-cache outcomes, recorded by QueryService at submit/store time.
+  void OnCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void OnCacheMiss() { cache_misses_.fetch_add(1, std::memory_order_relaxed); }
+  /// The submit attached to an identical in-flight execution as a follower.
+  void OnCoalesced() { coalesced_.fetch_add(1, std::memory_order_relaxed); }
+  /// A lookup found an answer from an older data generation; the submit
+  /// then proceeds as a miss or coalesces, counted separately.
+  void OnCacheStale() {
+    cache_stale_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnCacheEvicted(uint64_t n) {
+    if (n > 0) cache_evicted_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t coalesced() const {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
 
   int64_t queue_depth() const {
     return queue_depth_.load(std::memory_order_relaxed);
@@ -123,6 +166,14 @@ class Metrics {
   std::atomic<int64_t> queue_depth_{0};
   std::atomic<int64_t> in_flight_{0};
   std::atomic<int64_t> peak_in_flight_{0};
+
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> cache_stale_{0};
+  std::atomic<uint64_t> cache_evicted_{0};
+
+  void CountOutcome(const Status& status);
 
   mutable std::mutex mutex_;  // guards latency_ and per_decomposition_
   LatencyHistogram latency_;

@@ -13,10 +13,20 @@
 //   * cancellation — every Submit returns a joinable QueryHandle whose
 //     Cancel() stops the running query at the next poll;
 //   * observability — a Metrics registry with per-outcome counters, latency
-//     percentiles, gauges, and per-decomposition engine counters.
+//     percentiles, gauges, and per-decomposition engine counters;
+//   * answer caching — completed responses are kept in an AnswerCache keyed
+//     by the canonicalized request, so a repeated query is answered without
+//     running the engine (QueryRequest::cache_mode opts out per request);
+//   * in-flight coalescing — identical concurrent requests attach to the
+//     one execution already running (the leader) and all wake with the same
+//     response; a follower's cancel or deadline detaches only that
+//     follower. A popular-keyword burst costs one executor run, not N.
 //
 // The XKeyword instance is immutable at serving time (Load/AddDecomposition
 // happen before the service is built), so workers share it without locks.
+// Cached answers are tagged with XKeyword::data_generation(); a generation
+// bump (e.g. a decomposition added between serving sessions) atomically
+// invalidates every older answer.
 //
 //   auto service = service::QueryService::Create(&xk, {.num_workers = 8});
 //   engine::QueryRequest req{.keywords = {"john", "vcr"},
@@ -31,22 +41,35 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "engine/thread_pool.h"
 #include "engine/xkeyword.h"
+#include "service/answer_cache.h"
 #include "service/metrics.h"
 
 namespace xk::service {
 
 struct QueryState;  // shared between a QueryHandle and the executing worker
+struct CoalesceGroup;  // one in-flight execution plus its followers
 
 struct QueryServiceOptions {
   /// Workers executing queries concurrently (the in-flight bound).
   int num_workers = 4;
   /// Admitted-but-not-yet-started bound: Submit returns kResourceExhausted
-  /// once this many queries are waiting for a worker.
+  /// once this many queries are waiting for a worker. Cache hits and
+  /// coalesced followers do not occupy queue slots (they cost no worker).
   size_t queue_capacity = 256;
+
+  /// Whole-answer caching of completed responses. Disable for benchmarking
+  /// raw engine throughput.
+  bool enable_answer_cache = true;
+  AnswerCacheOptions answer_cache;
+
+  /// Duplicate-request suppression: attach identical concurrent requests to
+  /// one leader execution instead of running each.
+  bool enable_coalescing = true;
 
   Status Validate() const {
     if (num_workers < 1) {
@@ -54,6 +77,9 @@ struct QueryServiceOptions {
     }
     if (queue_capacity < 1) {
       return Status::InvalidArgument("queue_capacity must be >= 1");
+    }
+    if (enable_answer_cache) {
+      XK_RETURN_NOT_OK(answer_cache.Validate());
     }
     return Status::OK();
   }
@@ -101,33 +127,44 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Admits one query. Fails fast with kResourceExhausted when the admission
-  /// queue is full and kAborted after Shutdown; otherwise the query runs on
-  /// a pool worker and the returned handle joins it.
+  /// queue is full and kAborted after Shutdown. A fresh cached answer
+  /// completes the handle immediately; a request identical to one already
+  /// in flight attaches to it as a follower; otherwise the query runs on a
+  /// pool worker and the returned handle joins it.
   Result<QueryHandle> Submit(engine::QueryRequest request);
 
   /// Stops admitting, cancels every queued and running query, and waits for
   /// the workers to drain. Idempotent.
   void Shutdown();
 
-  Metrics& metrics() { return metrics_; }
-  const Metrics& metrics() const { return metrics_; }
+  Metrics& metrics() { return *metrics_; }
+  const Metrics& metrics() const { return *metrics_; }
   const QueryServiceOptions& options() const { return options_; }
+
+  /// Null when the answer cache is disabled.
+  const AnswerCache* answer_cache() const { return cache_.get(); }
 
  private:
   QueryService(const engine::XKeyword* xk, QueryServiceOptions options);
 
-  void Execute(const std::shared_ptr<QueryState>& state);
+  void Execute(const std::shared_ptr<QueryState>& state,
+               const std::shared_ptr<CoalesceGroup>& group);
 
   const engine::XKeyword* xk_;
   const QueryServiceOptions options_;
-  Metrics metrics_;
+  /// Shared (not owned by value) so a detached coalesced follower can still
+  /// record its outcome through its QueryState after the service is gone.
+  std::shared_ptr<Metrics> metrics_ = std::make_shared<Metrics>();
+  std::unique_ptr<AnswerCache> cache_;
 
-  std::mutex mutex_;  // guards accepting_, queued_, next_id_, live_
+  std::mutex mutex_;  // guards accepting_, queued_, next_id_, live_, inflight_
   bool accepting_ = true;
   size_t queued_ = 0;
   uint64_t next_id_ = 1;
   /// Queries admitted but not yet finished, for Shutdown's cancel broadcast.
   std::unordered_map<uint64_t, std::shared_ptr<QueryState>> live_;
+  /// Cache key -> the in-flight execution identical submits coalesce onto.
+  std::unordered_map<std::string, std::shared_ptr<CoalesceGroup>> inflight_;
 
   /// Last member: destroyed (joined) first, while the rest is still alive.
   std::unique_ptr<engine::ThreadPool> pool_;

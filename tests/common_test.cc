@@ -251,6 +251,80 @@ TEST(LruCacheTest, HitMissCounters) {
   EXPECT_EQ(cache.misses(), 1u);
 }
 
+TEST(ShardedLruCacheTest, PutGetAcrossShards) {
+  ShardedLruCache<int, int> cache(/*num_shards=*/4, /*max_bytes=*/4096);
+  for (int i = 0; i < 32; ++i) {
+    cache.Put(i, std::make_shared<int>(i * 10), /*bytes=*/8);
+  }
+  for (int i = 0; i < 32; ++i) {
+    auto v = cache.Get(i);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i * 10);
+  }
+  EXPECT_EQ(cache.Get(99), nullptr);
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 32u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 32u);
+  EXPECT_EQ(stats.bytes, 32u * 8u);
+}
+
+TEST(ShardedLruCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  // One shard so the LRU order is global and deterministic.
+  ShardedLruCache<int, int> cache(/*num_shards=*/1, /*max_bytes=*/100);
+  EXPECT_EQ(cache.Put(1, std::make_shared<int>(1), 40), 0u);
+  EXPECT_EQ(cache.Put(2, std::make_shared<int>(2), 40), 0u);
+  ASSERT_NE(cache.Get(1), nullptr);  // refresh 1; now 2 is the LRU victim
+  EXPECT_EQ(cache.Put(3, std::make_shared<int>(3), 40), 1u);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+}
+
+TEST(ShardedLruCacheTest, OversizedEntryIsNotStored) {
+  ShardedLruCache<int, int> cache(/*num_shards=*/1, /*max_bytes=*/100);
+  cache.Put(1, std::make_shared<int>(1), 10);
+  // Larger than the whole shard budget: storing it would evict everything
+  // for an entry that cannot fit anyway.
+  EXPECT_EQ(cache.Put(2, std::make_shared<int>(2), 1000), 0u);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+}
+
+TEST(ShardedLruCacheTest, OverwriteReplacesByteCharge) {
+  ShardedLruCache<std::string, int> cache(/*num_shards=*/1, /*max_bytes=*/100);
+  cache.Put("k", std::make_shared<int>(1), 60);
+  cache.Put("k", std::make_shared<int>(2), 30);
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 30u);
+  EXPECT_EQ(*cache.Get("k"), 2);
+}
+
+TEST(ShardedLruCacheTest, SharedValueSurvivesEviction) {
+  ShardedLruCache<int, int> cache(/*num_shards=*/1, /*max_bytes=*/50);
+  cache.Put(1, std::make_shared<int>(11), 40);
+  std::shared_ptr<const int> held = cache.Get(1);
+  cache.Put(2, std::make_shared<int>(22), 40);  // evicts 1
+  EXPECT_EQ(cache.Get(1), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(*held, 11);  // the reader's reference keeps the value alive
+}
+
+TEST(ShardedLruCacheTest, EraseAndClear) {
+  ShardedLruCache<int, int> cache(/*num_shards=*/2, /*max_bytes=*/1000);
+  cache.Put(1, std::make_shared<int>(1), 10);
+  cache.Put(2, std::make_shared<int>(2), 10);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+  EXPECT_EQ(cache.GetStats().bytes, 0u);
+}
+
 TEST(RandomTest, DeterministicBySeed) {
   Random a(99);
   Random b(99);

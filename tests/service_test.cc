@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -53,6 +56,49 @@ TEST(LatencyHistogramTest, PercentilesAreOrderedAndBracketed) {
   EXPECT_NEAR(p50, 50000.0, 50000.0 * 0.25);
   EXPECT_NEAR(p99, 99000.0, 99000.0 * 0.25);
   EXPECT_LE(p99, 100000.0 + 1);  // clamped to the observed maximum
+}
+
+TEST(LatencyHistogramTest, SubMicrosecondSamplesStayBracketed) {
+  // Regression: bucket 0 nominally spans [1us, 2^(1/4) us), but it also
+  // absorbs everything below 1 us. Interpolating from the 1.0 us edge used
+  // to report percentiles ABOVE the maximum of an all-sub-microsecond
+  // workload (e.g. p50 = 1.09 us for samples in [100ns, 900ns]).
+  LatencyHistogram h;
+  for (int i = 1; i <= 9; ++i) {
+    h.Record(std::chrono::nanoseconds(i * 100));  // 0.1us .. 0.9us
+  }
+  for (double p : {1.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    const double v = h.PercentileMicros(p);
+    EXPECT_GE(v, 0.1) << "p" << p;
+    EXPECT_LE(v, 0.9) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesBracketedAndMonotoneOnRandomWorkloads) {
+  // Property: for any sample set, every percentile estimate lies within
+  // [min, max] of the observed samples and is non-decreasing in p.
+  std::mt19937 rng(20260806);
+  for (int trial = 0; trial < 20; ++trial) {
+    LatencyHistogram h;
+    // Log-uniform over ~7 decades, crossing the sub-microsecond boundary.
+    std::uniform_real_distribution<double> exponent(1.0, 8.0);
+    const int n = 1 + static_cast<int>(rng() % 500);
+    double min_ns = 0, max_ns = 0;
+    for (int i = 0; i < n; ++i) {
+      const double ns = std::pow(10.0, exponent(rng));
+      if (i == 0 || ns < min_ns) min_ns = ns;
+      if (i == 0 || ns > max_ns) max_ns = ns;
+      h.Record(std::chrono::nanoseconds(static_cast<int64_t>(ns)));
+    }
+    double prev = 0;
+    for (int p = 1; p <= 100; ++p) {
+      const double v = h.PercentileMicros(p);
+      EXPECT_GE(v, std::floor(min_ns) / 1000.0) << "trial " << trial << " p" << p;
+      EXPECT_LE(v, max_ns / 1000.0) << "trial " << trial << " p" << p;
+      EXPECT_GE(v, prev) << "trial " << trial << " p" << p;
+      prev = v;
+    }
+  }
 }
 
 // --- Service fixture -----------------------------------------------------
@@ -259,9 +305,13 @@ TEST_F(ServiceTest, SustainsEightConcurrentInFlightQueries) {
 
   XK_ASSERT_OK_AND_ASSIGN(QueryResponse expected, xk_->Run(Expensive()));
 
+  // kBypass: this test wants eight *independent* executions in flight, not
+  // one leader plus seven coalesced followers.
+  QueryRequest independent = Expensive();
+  independent.cache_mode = engine::CacheMode::kBypass;
   std::vector<QueryHandle> handles;
   for (int i = 0; i < 8; ++i) {
-    auto handle = service->Submit(Expensive());
+    auto handle = service->Submit(independent);
     ASSERT_TRUE(handle.ok()) << handle.status().ToString();
     handles.push_back(*handle);
   }
@@ -320,13 +370,17 @@ TEST_F(ServiceTest, QueueFullReturnsResourceExhausted) {
   XK_ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryService> service,
                           QueryService::Create(xk_, options));
 
+  // kBypass keeps the three identical requests from coalescing — admission
+  // control is what's under test here.
+  QueryRequest independent = Expensive();
+  independent.cache_mode = engine::CacheMode::kBypass;
   // First query occupies the only worker...
-  XK_ASSERT_OK_AND_ASSIGN(QueryHandle running, service->Submit(Expensive()));
+  XK_ASSERT_OK_AND_ASSIGN(QueryHandle running, service->Submit(independent));
   ASSERT_TRUE(SpinUntil([&] { return service->metrics().in_flight() >= 1; },
                         milliseconds(10000)));
   // ...the second fills the queue, the third must be rejected.
-  XK_ASSERT_OK_AND_ASSIGN(QueryHandle queued, service->Submit(Expensive()));
-  Result<QueryHandle> rejected = service->Submit(Expensive());
+  XK_ASSERT_OK_AND_ASSIGN(QueryHandle queued, service->Submit(independent));
+  Result<QueryHandle> rejected = service->Submit(independent);
   EXPECT_TRUE(rejected.status().IsResourceExhausted())
       << rejected.status().ToString();
   EXPECT_GE(service->metrics().rejected(), 1u);
@@ -351,6 +405,46 @@ TEST_F(ServiceTest, ShutdownCancelsLiveQueriesAndRejectsNewOnes) {
   EXPECT_TRUE(response.status.IsCancelled() || response.status.ok());
   EXPECT_TRUE(service->Submit(Cheap({"gray"})).status().IsAborted());
   service->Shutdown();  // idempotent
+}
+
+TEST_F(ServiceTest, SubmitRacingShutdownNeverLosesAQuery) {
+  // Regression: Submit used to hand the query to the pool after releasing
+  // the service mutex, so a racing Shutdown could return from pool_->Wait()
+  // with an admitted query still on its way into the queue. Every Submit
+  // must either be rejected (kAborted/kResourceExhausted) or complete.
+  for (int round = 0; round < 20; ++round) {
+    QueryServiceOptions options;
+    options.num_workers = 2;
+    options.queue_capacity = 64;
+    XK_ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryService> service,
+                            QueryService::Create(xk_, options));
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 8;
+    std::atomic<int> admitted{0};
+    std::vector<std::thread> submitters;
+    submitters.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < kPerThread; ++i) {
+          Result<QueryHandle> handle = service->Submit(Cheap({"gray"}));
+          if (!handle.ok()) {
+            EXPECT_TRUE(handle.status().IsAborted() ||
+                        handle.status().IsResourceExhausted())
+                << handle.status().ToString();
+            continue;
+          }
+          ++admitted;
+          // Every admitted handle completes — Wait never hangs on a query
+          // the shutdown-drained pool silently dropped.
+          EXPECT_TRUE(handle->Wait().ok());
+        }
+      });
+    }
+    service->Shutdown();  // races the submitters
+    for (std::thread& t : submitters) t.join();
+    EXPECT_EQ(service->metrics().finished(),
+              static_cast<uint64_t>(admitted.load()));
+  }
 }
 
 TEST_F(ServiceTest, WaitIsRepeatableAndHandlesAreCopyable) {
