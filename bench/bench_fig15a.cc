@@ -23,6 +23,7 @@ struct TopKSetup {
   std::string decomposition;
   int intra_plan_threads = 1;
   bool semijoin_pruning = true;
+  bool vectorized = true;
 };
 
 void BM_TopK(benchmark::State& state, const TopKSetup& setup, size_t k,
@@ -43,6 +44,7 @@ void BM_TopK(benchmark::State& state, const TopKSetup& setup, size_t k,
   options.num_threads = 1;
   options.intra_plan_threads = setup.intra_plan_threads;
   options.enable_semijoin_pruning = setup.semijoin_pruning;
+  options.vectorized = setup.vectorized;
 
   uint64_t results = 0;
   uint64_t probes = 0;
@@ -105,6 +107,24 @@ void RegisterAll() {
     for (int t : {1, 2, 4}) b->Arg(t);
     b->Unit(benchmark::kMillisecond);
     b->Iterations(2);
+  }
+
+  // Vectorized batch execution ablation at K = 100: V:0 is the row-at-a-time
+  // engine, V:1 the RowBlock path (results byte-identical).
+  for (const char* decomposition : {"MinClust", "MinNClustIndx"}) {
+    auto* b = benchmark::RegisterBenchmark(
+        (std::string("Fig15aVec/") + decomposition).c_str(),
+        [decomposition](benchmark::State& state) {
+          TopKSetup setup{decomposition};
+          setup.vectorized = state.range(0) != 0;
+          BM_TopK(state, setup, /*k=*/100,
+                  setup.vectorized ? "block" : "row");
+        });
+    b->ArgName("V");
+    b->Arg(0);
+    b->Arg(1);
+    b->Unit(benchmark::kMillisecond);
+    b->Iterations(3);
   }
 
   // Semi-join Bloom pruning ablation at the paper's K = 100 point.

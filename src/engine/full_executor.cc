@@ -6,7 +6,9 @@
 
 #include "common/logging.h"
 #include "engine/topk_executor.h"
+#include "exec/join_hash_table.h"
 #include "exec/plan.h"
+#include "exec/row_block.h"
 
 namespace xk::engine {
 
@@ -64,13 +66,17 @@ const std::vector<storage::Tuple>* FilteredScan(
 
 /// Full hash-join evaluation of one plan with reuse of filtered scans.
 /// Intermediates are kept as per-step indexes into the filtered scans (one
-/// uint32 per step per row), so joins shuffle indexes, not tuples.
+/// uint32 per step per row), so joins shuffle indexes, not tuples. With
+/// `exec_options.vectorized` the build side is a flat open-addressing
+/// JoinHashTable probed in key blocks; otherwise the legacy unordered_map.
+/// Either way output order is the scan-order nested enumeration.
 void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
-                 bool enable_reuse, const CancelToken* cancel,
+                 bool enable_reuse, const exec::ExecOptions& exec_options,
                  ExecutionStats* stats,
                  const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
   const std::vector<exec::JoinStep>& steps = plan.query.steps;
   const size_t num_steps = steps.size();
+  const CancelToken* cancel = exec_options.cancel;
   auto groups = SameSegmentGroups(*plan.ctssn);
 
   // Filtered scans stay cancel-free: they are bounded by table size and feed
@@ -90,36 +96,82 @@ void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
   std::vector<uint32_t> current(scans[0]->size());
   for (uint32_t r = 0; r < current.size(); ++r) current[r] = r;
 
+  const size_t block = exec_options.block_size != 0
+                           ? exec_options.block_size
+                           : exec::RowBlock::kDefaultCapacity;
+  std::vector<storage::ObjectId> key_buf;  // block of probe keys, flat
+  std::vector<uint32_t> head_buf;          // per probe key: match chain head
+
   for (size_t i = 1; i < num_steps && !current.empty(); ++i) {
     if (stop_requested()) return;
     const exec::JoinStep& s = steps[i];
     const std::vector<storage::Tuple>& build_rows = *scans[i];
-    // Hash build side on its eq columns.
-    std::unordered_map<storage::Tuple, std::vector<uint32_t>, storage::TupleHash>
-        build;
-    build.reserve(build_rows.size());
-    storage::Tuple key(s.eq.size());
-    for (uint32_t r = 0; r < build_rows.size(); ++r) {
-      for (size_t k = 0; k < s.eq.size(); ++k) {
-        key[k] = build_rows[r][static_cast<size_t>(s.eq[k].first)];
-      }
-      build[key].push_back(r);
-    }
     std::vector<uint32_t> next;
     const size_t rows = current.size() / width;
-    for (size_t r = 0; r < rows; ++r) {
-      if ((r & 0x3FF) == 0 && stop_requested()) return;
-      const uint32_t* left = &current[r * width];
-      for (size_t k = 0; k < s.eq.size(); ++k) {
-        const exec::ColumnRef& ref = s.eq[k].second;
-        key[k] = (*scans[static_cast<size_t>(ref.step)])[left[ref.step]]
-                     [static_cast<size_t>(ref.column)];
+
+    if (exec_options.vectorized) {
+      // Build: flat open-addressing table keyed on the eq columns; duplicate
+      // rows chain in scan order, so probe output matches the map path.
+      exec::JoinHashTable table(static_cast<int>(s.eq.size()));
+      table.Reserve(build_rows.size());
+      std::vector<storage::ObjectId> key(s.eq.size());
+      for (uint32_t r = 0; r < build_rows.size(); ++r) {
+        for (size_t k = 0; k < s.eq.size(); ++k) {
+          key[k] = build_rows[r][static_cast<size_t>(s.eq[k].first)];
+        }
+        table.Insert(key.data(), r);
       }
-      auto it = build.find(key);
-      if (it == build.end()) continue;
-      for (uint32_t right : it->second) {
-        next.insert(next.end(), left, left + width);
-        next.push_back(right);
+      // Probe in blocks: gather keys, batch-lookup, walk match chains.
+      key_buf.resize(block * s.eq.size());
+      head_buf.resize(block);
+      for (size_t base = 0; base < rows; base += block) {
+        if (stop_requested()) return;
+        const size_t n = std::min(block, rows - base);
+        for (size_t r = 0; r < n; ++r) {
+          const uint32_t* left = &current[(base + r) * width];
+          for (size_t k = 0; k < s.eq.size(); ++k) {
+            const exec::ColumnRef& ref = s.eq[k].second;
+            key_buf[r * s.eq.size() + k] =
+                (*scans[static_cast<size_t>(ref.step)])[left[ref.step]]
+                    [static_cast<size_t>(ref.column)];
+          }
+        }
+        table.LookupBatch(key_buf.data(), n, head_buf.data());
+        for (size_t r = 0; r < n; ++r) {
+          const uint32_t* left = &current[(base + r) * width];
+          for (uint32_t node = head_buf[r]; node != exec::JoinHashTable::kNil;
+               node = table.NextMatch(node)) {
+            next.insert(next.end(), left, left + width);
+            next.push_back(table.MatchRow(node));
+          }
+        }
+      }
+    } else {
+      // Legacy: hash build side on its eq columns via unordered_map.
+      std::unordered_map<storage::Tuple, std::vector<uint32_t>, storage::TupleHash>
+          build;
+      build.reserve(build_rows.size());
+      storage::Tuple key(s.eq.size());
+      for (uint32_t r = 0; r < build_rows.size(); ++r) {
+        for (size_t k = 0; k < s.eq.size(); ++k) {
+          key[k] = build_rows[r][static_cast<size_t>(s.eq[k].first)];
+        }
+        build[key].push_back(r);
+      }
+      for (size_t r = 0; r < rows; ++r) {
+        if ((r & 0x3FF) == 0 && stop_requested()) return;
+        const uint32_t* left = &current[r * width];
+        for (size_t k = 0; k < s.eq.size(); ++k) {
+          const exec::ColumnRef& ref = s.eq[k].second;
+          key[k] = (*scans[static_cast<size_t>(ref.step)])[left[ref.step]]
+                       [static_cast<size_t>(ref.column)];
+        }
+        auto it = build.find(key);
+        if (it == build.end()) continue;
+        for (uint32_t right : it->second) {
+          next.insert(next.end(), left, left + width);
+          next.push_back(right);
+        }
       }
     }
     current = std::move(next);
@@ -211,7 +263,7 @@ Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query
       RunIndexNestedLoop(plan, exec_options, options_.enable_semijoin_pruning,
                          bloom_cache_ptr, stats, emit);
     } else {
-      RunHashJoin(plan, &cache, options_.enable_reuse, options_.cancel, stats,
+      RunHashJoin(plan, &cache, options_.enable_reuse, exec_options, stats,
                   emit);
     }
   }

@@ -61,6 +61,13 @@ struct QueryOptions {
   /// (counted in ProbeStats::bloom_skips). Never changes results.
   bool enable_semijoin_pruning = true;
 
+  /// Vectorized batch execution: probes stream candidates through RowBlocks
+  /// and evaluate predicates as selection-vector kernels, with cancellation
+  /// polled once per block; hash joins build flat open-addressing tables.
+  /// Off = the row-at-a-time legacy path. Results are byte-identical either
+  /// way (kept as a knob so benches can A/B the two engines).
+  bool vectorized = true;
+
   /// Cooperative cancellation/deadline token (not owned, may be null). The
   /// executors poll it at plan, morsel, and probe granularity and return
   /// whatever results were complete when it tripped. Installed by

@@ -164,6 +164,7 @@ PlanEvaluator::PlanEvaluator(const PlanLayout* layout,
       enable_cache_(enable_cache) {
   const size_t num_steps = plan_->query.steps.size();
   caches_.resize(num_steps);
+  binding_scratch_.resize(num_steps);
   if (enable_cache_ && num_steps > 1) {
     size_t per_level = std::max<size_t>(cache_capacity / (num_steps - 1), 16);
     for (size_t i = 1; i < num_steps; ++i) {
@@ -245,7 +246,9 @@ bool PlanEvaluator::Eval(
   if (cache != nullptr) active_collectors_.push_back(&collector);
 
   const exec::JoinStep& step = steps[i];
-  std::vector<exec::ColumnBinding> bindings = step.const_filters;
+  std::vector<exec::ColumnBinding>& bindings = binding_scratch_[i];
+  bindings.assign(step.const_filters.begin(), step.const_filters.end());
+  bindings.reserve(bindings.size() + step.eq.size());
   for (const auto& [col, ref] : step.eq) {
     bindings.push_back(exec::ColumnBinding{
         col, (*rows)[static_cast<size_t>(ref.step)][static_cast<size_t>(ref.column)]});
@@ -521,6 +524,9 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
   const CancelToken* cancel = options.cancel;
   exec::ExecOptions exec_options = query.exec_options;
   exec_options.cancel = cancel;
+  // Run-time knob wins over the Prepare-time snapshot, so one prepared query
+  // can be executed both row-at-a-time and vectorized (the benches A/B this).
+  exec_options.vectorized = options.vectorized;
 
   auto skip_plan = [&](size_t p) {
     return options.max_network_size > 0 &&

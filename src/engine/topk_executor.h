@@ -153,6 +153,9 @@ class PlanEvaluator {
       caches_;
   std::vector<Collector*> active_collectors_;
   ExecutionStats stats_;
+  /// Per-depth probe bindings, reused across outer rows (Eval runs once per
+  /// outer row — rebuilding this vector there was a hot-loop allocation).
+  std::vector<std::vector<exec::ColumnBinding>> binding_scratch_;
 };
 
 /// Step-0 matches of `plan` in probe order — the driver rows the morsel

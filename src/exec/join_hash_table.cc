@@ -1,0 +1,125 @@
+#include "exec/join_hash_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace xk::exec {
+
+namespace {
+
+/// SplitMix64 finalizer over the FNV tuple hash: the power-of-two mask uses
+/// only low bits, so the sequential ids common in connection relations need
+/// the extra avalanche.
+uint64_t Finalize(uint64_t h) {
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+JoinHashTable::JoinHashTable(int key_width) : key_width_(key_width) {
+  XK_CHECK_GE(key_width_, 1);
+  slots_.resize(16);
+  mask_ = slots_.size() - 1;
+}
+
+uint64_t JoinHashTable::HashKey(const storage::ObjectId* key) const {
+  return Finalize(storage::HashIds(
+      storage::TupleView(key, static_cast<size_t>(key_width_))));
+}
+
+bool JoinHashTable::KeyEquals(const Slot& slot,
+                              const storage::ObjectId* key) const {
+  const storage::ObjectId* stored =
+      keys_.data() + static_cast<size_t>(slot.key_pos) * key_width_;
+  for (int i = 0; i < key_width_; ++i) {
+    if (stored[i] != key[i]) return false;
+  }
+  return true;
+}
+
+void JoinHashTable::Reserve(size_t expected_rows) {
+  nodes_.reserve(expected_rows);
+  keys_.reserve(expected_rows * static_cast<size_t>(key_width_));
+  size_t want = 16;
+  // Slots for the worst case of all-distinct keys at < 0.7 load.
+  while (want * 7 < expected_rows * 10) want <<= 1;
+  if (want > slots_.size()) Rehash(want);
+}
+
+void JoinHashTable::Rehash(size_t new_slot_count) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_slot_count, Slot{});
+  mask_ = new_slot_count - 1;
+  for (const Slot& s : old) {
+    if (s.head == kNil) continue;
+    size_t i = s.hash & mask_;
+    while (slots_[i].head != kNil) i = (i + 1) & mask_;
+    slots_[i] = s;
+  }
+}
+
+void JoinHashTable::Insert(const storage::ObjectId* key, uint32_t row) {
+  if ((num_keys_ + 1) * 10 >= slots_.size() * 7) Rehash(slots_.size() * 2);
+  const uint64_t hash = HashKey(key);
+  size_t i = hash & mask_;
+  while (true) {
+    Slot& slot = slots_[i];
+    if (slot.head == kNil) {
+      slot.hash = hash;
+      slot.key_pos = static_cast<uint32_t>(num_keys_);
+      keys_.insert(keys_.end(), key, key + key_width_);
+      slot.head = slot.tail = static_cast<uint32_t>(nodes_.size());
+      nodes_.push_back(Node{row, kNil});
+      ++num_keys_;
+      return;
+    }
+    if (slot.hash == hash && KeyEquals(slot, key)) {
+      const uint32_t node = static_cast<uint32_t>(nodes_.size());
+      nodes_.push_back(Node{row, kNil});
+      nodes_[slot.tail].next = node;
+      slot.tail = node;
+      return;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+uint32_t JoinHashTable::LookupHashed(const storage::ObjectId* key,
+                                     uint64_t hash) const {
+  size_t i = hash & mask_;
+  while (true) {
+    const Slot& slot = slots_[i];
+    if (slot.head == kNil) return kNil;
+    if (slot.hash == hash && KeyEquals(slot, key)) return slot.head;
+    i = (i + 1) & mask_;
+  }
+}
+
+void JoinHashTable::LookupBatch(const storage::ObjectId* keys, size_t count,
+                                uint32_t* heads) const {
+  // Hash in chunks ahead of the probes so the multiply-heavy hash loop and
+  // the cache-missing slot loop don't serialize per key.
+  constexpr size_t kChunk = 64;
+  uint64_t hashes[kChunk];
+  for (size_t base = 0; base < count; base += kChunk) {
+    const size_t n = std::min(kChunk, count - base);
+    for (size_t r = 0; r < n; ++r) {
+      hashes[r] = HashKey(keys + (base + r) * static_cast<size_t>(key_width_));
+    }
+    for (size_t r = 0; r < n; ++r) {
+      heads[base + r] = LookupHashed(
+          keys + (base + r) * static_cast<size_t>(key_width_), hashes[r]);
+    }
+  }
+}
+
+size_t JoinHashTable::MemoryBytes() const {
+  return slots_.capacity() * sizeof(Slot) +
+         keys_.capacity() * sizeof(storage::ObjectId) +
+         nodes_.capacity() * sizeof(Node);
+}
+
+}  // namespace xk::exec

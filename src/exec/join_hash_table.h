@@ -1,0 +1,82 @@
+// Copyright (c) the XKeyword authors.
+//
+// Cache-conscious hash table for joins: flat open addressing (linear probe,
+// power-of-two slot array) with precomputed 64-bit hashes, keys packed into
+// one flat ObjectId arena, and duplicate rows chained through a node arena in
+// insertion order. Replaces unordered_map<Tuple, vector<RowId>> — no
+// pointer-chased buckets, no per-key vector allocation, and probing a missing
+// key touches at most a handful of contiguous slots.
+
+#ifndef XK_EXEC_JOIN_HASH_TABLE_H_
+#define XK_EXEC_JOIN_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace xk::exec {
+
+class JoinHashTable {
+ public:
+  /// End-of-chain / not-found sentinel for node handles.
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  /// `key_width` is the number of ObjectIds per key (>= 1).
+  explicit JoinHashTable(int key_width);
+
+  /// Pre-sizes the slot array and arenas for `expected_rows` insertions so
+  /// the build loop never rehashes mid-stream.
+  void Reserve(size_t expected_rows);
+
+  /// Appends `row` under `key` (key_width ids). Duplicate keys chain in
+  /// insertion order, so per-key match enumeration is deterministic.
+  void Insert(const storage::ObjectId* key, uint32_t row);
+
+  /// Head of the match chain for `key`, or kNil. Never allocates.
+  uint32_t Lookup(const storage::ObjectId* key) const {
+    return LookupHashed(key, HashKey(key));
+  }
+
+  /// Probes `count` keys (row-major, key_width ids each) and writes each
+  /// key's chain head (or kNil) to `heads`. Hashes are computed in one pass
+  /// over the flat key buffer before any slot is touched. Never allocates.
+  void LookupBatch(const storage::ObjectId* keys, size_t count,
+                   uint32_t* heads) const;
+
+  /// Chain walking: the build row of a node, and the next node (kNil at end).
+  uint32_t MatchRow(uint32_t node) const { return nodes_[node].row; }
+  uint32_t NextMatch(uint32_t node) const { return nodes_[node].next; }
+
+  size_t num_keys() const { return num_keys_; }
+  size_t num_rows() const { return nodes_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t key_pos = 0;   // key start / key_width in keys_
+    uint32_t head = kNil;   // kNil marks an empty slot
+    uint32_t tail = kNil;
+  };
+  struct Node {
+    uint32_t row;
+    uint32_t next;
+  };
+
+  uint64_t HashKey(const storage::ObjectId* key) const;
+  uint32_t LookupHashed(const storage::ObjectId* key, uint64_t hash) const;
+  bool KeyEquals(const Slot& slot, const storage::ObjectId* key) const;
+  void Rehash(size_t new_slot_count);
+
+  int key_width_;
+  uint64_t mask_ = 0;  // slots_.size() - 1
+  size_t num_keys_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<storage::ObjectId> keys_;  // key_width_ ids per distinct key
+  std::vector<Node> nodes_;
+};
+
+}  // namespace xk::exec
+
+#endif  // XK_EXEC_JOIN_HASH_TABLE_H_

@@ -4,6 +4,7 @@
 
 #include "common/cancel_token.h"
 #include "common/logging.h"
+#include "exec/block_ops.h"
 
 namespace xk::exec {
 
@@ -22,11 +23,12 @@ bool RowMatches(const storage::Table& table, storage::RowId r,
   return true;
 }
 
-/// Bound columns arranged as the longest possible prefix of `key`, or empty
-/// if not even the first key column is bound.
+}  // namespace
+
 std::vector<storage::ObjectId> KeyPrefixFromBindings(
     const std::vector<int>& key, const std::vector<ColumnBinding>& bindings) {
   std::vector<storage::ObjectId> prefix;
+  prefix.reserve(key.size());
   for (int key_col : key) {
     auto it = std::find_if(bindings.begin(), bindings.end(),
                            [key_col](const ColumnBinding& b) {
@@ -37,8 +39,6 @@ std::vector<storage::ObjectId> KeyPrefixFromBindings(
   }
   return prefix;
 }
-
-}  // namespace
 
 const char* AccessPathKindToString(AccessPathKind kind) {
   switch (kind) {
@@ -91,6 +91,15 @@ AccessPathKind ForEachMatch(const storage::Table& table,
                             const ExecOptions& opts,
                             const std::function<bool(storage::RowId)>& fn,
                             ProbeStats* stats) {
+  if (opts.vectorized) {
+    // Adaptive batch path: small index probes run a fused scalar loop with
+    // allocation-free cursor setup, large scans are filtered block-at-a-time
+    // by selection-vector kernels; matches arrive in candidate order either
+    // way, so callers see the exact row sequence the legacy loop below
+    // would produce.
+    return ForEachMatchRows(table, bindings, in_filters, prune_blooms, opts,
+                            fn, stats);
+  }
   if (stats != nullptr) ++stats->probes;
   const AccessPathKind kind = ChooseAccessPath(table, bindings, opts);
 

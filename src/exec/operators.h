@@ -61,9 +61,17 @@ const char* AccessPathKindToString(AccessPathKind kind);
 struct ExecOptions {
   /// When false, every probe is a full scan (the MinNClustNIndx policy).
   bool use_indexes = true;
+  /// Batch-at-a-time probe evaluation: candidates stream through RowBlocks
+  /// and predicates run as selection-vector kernels (block_ops.h), polling
+  /// cancellation once per block. Off = the row-at-a-time legacy path.
+  /// Results are byte-identical either way.
+  bool vectorized = true;
+  /// Rows per batch on the vectorized path (0 = RowBlock::kDefaultCapacity).
+  size_t block_size = 0;
   /// Cooperative cancellation/deadline token (not owned, may be null).
-  /// ForEachMatch polls it every few hundred scanned rows and abandons the
-  /// probe; callers classify the early stop via CancelToken::ToStatus().
+  /// ForEachMatch polls it every few hundred scanned rows (row path) or once
+  /// per block (vectorized path) and abandons the probe; callers classify
+  /// the early stop via CancelToken::ToStatus().
   const CancelToken* cancel = nullptr;
 };
 
@@ -81,6 +89,12 @@ AccessPathKind ChooseAccessPath(const storage::Table& table,
 const storage::CompositeIndex* BestCompositeIndex(
     const storage::Table& table, const std::vector<ColumnBinding>& bindings,
     std::vector<storage::ObjectId>* prefix);
+
+/// Bound columns arranged as the longest possible prefix of `key`, or empty
+/// if not even the first key column is bound. Shared by the row-at-a-time
+/// and block access paths.
+std::vector<storage::ObjectId> KeyPrefixFromBindings(
+    const std::vector<int>& key, const std::vector<ColumnBinding>& bindings);
 
 /// Counters accumulated across probes; the benches report these alongside
 /// wall time so the cost differences are explainable.

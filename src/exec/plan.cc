@@ -2,8 +2,11 @@
 
 #include <unordered_map>
 
+#include "common/cancel_token.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "exec/join_hash_table.h"
+#include "exec/row_block.h"
 
 namespace xk::exec {
 
@@ -53,6 +56,7 @@ Status JoinQuery::Validate() const {
 Status NestedLoopExecutor::Run(const RowSink& sink, size_t limit) {
   XK_RETURN_NOT_OK(query_->Validate());
   std::vector<storage::TupleView> rows(query_->steps.size());
+  binding_scratch_.resize(query_->steps.size());
   size_t produced = 0;
   Recurse(0, &rows, sink, limit, &produced);
   return Status::OK();
@@ -62,8 +66,10 @@ bool NestedLoopExecutor::Recurse(size_t depth, std::vector<storage::TupleView>* 
                                  const RowSink& sink, size_t limit,
                                  size_t* produced) {
   const JoinStep& step = query_->steps[depth];
-  // Assemble this probe's constant bindings from join refs + const filters.
-  std::vector<ColumnBinding> bindings = step.const_filters;
+  // Assemble this probe's constant bindings from join refs + const filters
+  // into the per-depth scratch (no allocation once its capacity is warm).
+  std::vector<ColumnBinding>& bindings = binding_scratch_[depth];
+  bindings.assign(step.const_filters.begin(), step.const_filters.end());
   bindings.reserve(bindings.size() + step.eq.size());
   for (const auto& [col, ref] : step.eq) {
     bindings.push_back(
@@ -93,8 +99,111 @@ bool NestedLoopExecutor::Recurse(size_t depth, std::vector<storage::TupleView>* 
 
 Status HashJoinExecutor::Run(const RowSink& sink) {
   XK_RETURN_NOT_OK(query_->Validate());
+  return opts_.vectorized ? RunVectorized(sink) : RunLegacy(sink);
+}
+
+Status HashJoinExecutor::RunVectorized(const RowSink& sink) {
   const std::vector<JoinStep>& steps = query_->steps;
-  const ExecOptions no_index{.use_indexes = false};
+  ExecOptions scan_opts = opts_;
+  scan_opts.use_indexes = false;  // hash join pairs with full scans
+
+  // Per step, the base-table rows passing the step's local filters, in scan
+  // order. Intermediates reference these by ordinal: row r of a width-w
+  // intermediate occupies current[r*w .. r*w+w), one scan ordinal per step.
+  // Build scans run lazily so an empty intermediate stops all further work.
+  std::vector<std::vector<storage::RowId>> scans(steps.size());
+  auto scan_step = [&](size_t i) {
+    const JoinStep& s = steps[i];
+    ForEachMatch(*s.table, s.const_filters, s.in_filters, scan_opts,
+                 [&](storage::RowId r) {
+                   scans[i].push_back(r);
+                   return true;
+                 },
+                 nullptr);
+  };
+  scan_step(0);
+
+  size_t width = 1;
+  std::vector<uint32_t> current(scans[0].size());
+  for (uint32_t r = 0; r < current.size(); ++r) current[r] = r;
+  rows_materialized_ += current.size();
+
+  const size_t block =
+      opts_.block_size != 0 ? opts_.block_size : RowBlock::kDefaultCapacity;
+  std::vector<storage::ObjectId> key_buf;   // block of probe keys, flat
+  std::vector<uint32_t> head_buf;           // per probe key: match chain head
+  std::vector<uint32_t> next;
+
+  for (size_t i = 1; i < steps.size() && !current.empty(); ++i) {
+    const JoinStep& s = steps[i];
+    const int key_width = static_cast<int>(s.eq.size());
+    scan_step(i);
+
+    // Build: flat open-addressing table over the step's scan, keyed by its
+    // eq columns; duplicate rows chain in scan order.
+    JoinHashTable table(key_width);
+    table.Reserve(scans[i].size());
+    std::vector<storage::ObjectId> key(s.eq.size());
+    for (uint32_t r = 0; r < scans[i].size(); ++r) {
+      for (size_t k = 0; k < s.eq.size(); ++k) {
+        key[k] = s.table->At(scans[i][r], static_cast<size_t>(s.eq[k].first));
+      }
+      table.Insert(key.data(), r);
+    }
+
+    // Probe: blocks of intermediate rows — gather keys, batch-probe, then
+    // walk the match chains. One cancellation poll per block.
+    next.clear();
+    const size_t rows = current.size() / width;
+    key_buf.resize(block * s.eq.size());
+    head_buf.resize(block);
+    for (size_t base = 0; base < rows; base += block) {
+      if (opts_.cancel != nullptr && opts_.cancel->StopRequested()) {
+        return Status::OK();
+      }
+      const size_t n = std::min(block, rows - base);
+      for (size_t r = 0; r < n; ++r) {
+        const uint32_t* left = &current[(base + r) * width];
+        for (size_t k = 0; k < s.eq.size(); ++k) {
+          const ColumnRef& ref = s.eq[k].second;
+          const JoinStep& ref_step = steps[static_cast<size_t>(ref.step)];
+          key_buf[r * s.eq.size() + k] = ref_step.table->At(
+              scans[static_cast<size_t>(ref.step)][left[ref.step]],
+              static_cast<size_t>(ref.column));
+        }
+      }
+      table.LookupBatch(key_buf.data(), n, head_buf.data());
+      for (size_t r = 0; r < n; ++r) {
+        const uint32_t* left = &current[(base + r) * width];
+        for (uint32_t node = head_buf[r]; node != JoinHashTable::kNil;
+             node = table.NextMatch(node)) {
+          next.insert(next.end(), left, left + width);
+          next.push_back(table.MatchRow(node));
+        }
+      }
+    }
+    current = std::move(next);
+    next = {};
+    ++width;
+    rows_materialized_ += current.size() / width;
+  }
+
+  std::vector<storage::TupleView> views(steps.size());
+  const size_t rows = current.size() / width;
+  for (size_t r = 0; r < rows; ++r) {
+    const uint32_t* row = &current[r * width];
+    for (size_t i = 0; i < width; ++i) {
+      views[i] = steps[i].table->Row(scans[i][row[i]]);
+    }
+    if (!sink(views)) break;
+  }
+  return Status::OK();
+}
+
+Status HashJoinExecutor::RunLegacy(const RowSink& sink) {
+  const std::vector<JoinStep>& steps = query_->steps;
+  ExecOptions no_index = opts_;
+  no_index.use_indexes = false;
 
   // Materialized intermediate: per output row, one Tuple per step so far.
   std::vector<std::vector<storage::Tuple>> current;  // row -> step rows

@@ -85,13 +85,22 @@ class NestedLoopExecutor {
   ExecOptions opts_;
   const std::vector<std::vector<ColumnBloom>>* step_blooms_ = nullptr;
   ProbeStats stats_;
+  /// Per-depth probe bindings, reused across rows (no inner-loop allocation).
+  std::vector<std::vector<ColumnBinding>> binding_scratch_;
 };
 
 /// Bottom-up hash-join interpreter: materializes step 0 (after filters), then
 /// hash-joins each further step in order.
+///
+/// With `opts.vectorized` (the default) the build side is a flat
+/// open-addressing JoinHashTable (precomputed hashes, arena duplicate
+/// chains), intermediates are flat arrays of scan ordinals, and the probe
+/// side is processed in key blocks; `vectorized = false` keeps the legacy
+/// unordered_map build for A/B comparison. Output is byte-identical.
 class HashJoinExecutor {
  public:
-  explicit HashJoinExecutor(const JoinQuery* query) : query_(query) {}
+  explicit HashJoinExecutor(const JoinQuery* query, ExecOptions opts = {})
+      : query_(query), opts_(opts) {}
 
   Status Run(const RowSink& sink);
 
@@ -99,7 +108,11 @@ class HashJoinExecutor {
   uint64_t rows_materialized() const { return rows_materialized_; }
 
  private:
+  Status RunVectorized(const RowSink& sink);
+  Status RunLegacy(const RowSink& sink);
+
   const JoinQuery* query_;
+  ExecOptions opts_;
   uint64_t rows_materialized_ = 0;
 };
 

@@ -8,15 +8,27 @@
 namespace xk::storage {
 
 HashIndex::HashIndex(const Table& table, int column) : column_(column) {
-  buckets_.reserve(table.NumRows());
+  // Two-pass build: count rows per key first, then reserve every bucket
+  // vector to its exact final size before filling — no reallocation churn
+  // (and no over-allocation) while appending row ids.
+  std::unordered_map<ObjectId, RowId> counts;
+  counts.reserve(table.NumRows());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    ++counts[table.At(static_cast<RowId>(r), column)];
+  }
+  buckets_.reserve(counts.size());
+  for (const auto& [key, n] : counts) {
+    buckets_[key].reserve(n);
+  }
   for (size_t r = 0; r < table.NumRows(); ++r) {
     buckets_[table.At(static_cast<RowId>(r), column)].push_back(static_cast<RowId>(r));
   }
 }
 
-const std::vector<RowId>& HashIndex::Lookup(ObjectId key) const {
+std::span<const RowId> HashIndex::Lookup(ObjectId key) const {
   auto it = buckets_.find(key);
-  return it == buckets_.end() ? empty_ : it->second;
+  if (it == buckets_.end()) return {};
+  return std::span<const RowId>(it->second);
 }
 
 size_t HashIndex::MemoryBytes() const {

@@ -34,8 +34,10 @@ class HashIndex {
 
   int column() const { return column_; }
 
-  /// Rows whose indexed column equals `key` (empty vector if none).
-  const std::vector<RowId>& Lookup(ObjectId key) const;
+  /// Rows whose indexed column equals `key`, in row order (empty span if
+  /// none). Never allocates — a missing key returns a default span, so probe
+  /// loops can call this per row without touching the heap.
+  std::span<const RowId> Lookup(ObjectId key) const;
 
   size_t distinct_keys() const { return buckets_.size(); }
   /// Approximate heap footprint, for the space ablation bench.
@@ -44,7 +46,6 @@ class HashIndex {
  private:
   int column_;
   std::unordered_map<ObjectId, std::vector<RowId>> buckets_;
-  std::vector<RowId> empty_;
 };
 
 /// Split-block-free Bloom filter over ObjectIds. Used by the executor's

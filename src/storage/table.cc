@@ -155,14 +155,21 @@ size_t Table::MemoryBytes() const {
 
 size_t Table::DistinctCount(int column) const {
   XK_CHECK(column >= 0 && column < arity_);
-  auto& slot = distinct_cache_[static_cast<size_t>(column)];
-  if (frozen_ && slot.has_value()) return *slot;
+  if (frozen_) {
+    std::lock_guard<std::mutex> lock(distinct_mu_);
+    const auto& slot = distinct_cache_[static_cast<size_t>(column)];
+    if (slot.has_value()) return *slot;
+  }
   std::unordered_set<ObjectId> seen;
   for (size_t r = 0; r < num_rows_; ++r) {
     seen.insert(At(static_cast<RowId>(r), column));
   }
-  if (frozen_) slot = seen.size();
-  return seen.size();
+  const size_t count = seen.size();
+  if (frozen_) {
+    std::lock_guard<std::mutex> lock(distinct_mu_);
+    distinct_cache_[static_cast<size_t>(column)] = count;
+  }
+  return count;
 }
 
 }  // namespace xk::storage

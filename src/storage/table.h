@@ -11,6 +11,7 @@
 #define XK_STORAGE_TABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,6 +27,21 @@ namespace xk::storage {
 class Table {
  public:
   Table(std::string name, std::vector<std::string> column_names);
+
+  // Movable despite the distinct-count mutex (the moved-to table gets a fresh
+  // one). Moving is only safe before the table is shared across threads or
+  // has secondary indexes, same as before the mutex existed.
+  Table(Table&& other) noexcept
+      : name_(std::move(other.name_)),
+        column_names_(std::move(other.column_names_)),
+        arity_(other.arity_),
+        rows_(std::move(other.rows_)),
+        num_rows_(other.num_rows_),
+        frozen_(other.frozen_),
+        clustering_(std::move(other.clustering_)),
+        hash_indexes_(std::move(other.hash_indexes_)),
+        composite_indexes_(std::move(other.composite_indexes_)),
+        distinct_cache_(std::move(other.distinct_cache_)) {}
 
   const std::string& name() const { return name_; }
   int arity() const { return static_cast<int>(column_names_.size()); }
@@ -89,6 +105,7 @@ class Table {
   size_t MemoryBytes() const;
 
   /// Distinct values in `column` (computed lazily, cached after Freeze()).
+  /// Safe to call concurrently from multiple threads.
   size_t DistinctCount(int column) const;
 
  private:
@@ -104,6 +121,11 @@ class Table {
   std::optional<std::vector<int>> clustering_;
   std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
   std::vector<std::unique_ptr<CompositeIndex>> composite_indexes_;
+  /// Lazily-filled per-column distinct counts. DistinctCount may be called
+  /// from concurrent query threads, so both the has_value check and the fill
+  /// must happen under distinct_mu_ (an unguarded optional write raced with
+  /// readers before).
+  mutable std::mutex distinct_mu_;
   mutable std::vector<std::optional<size_t>> distinct_cache_;
 };
 

@@ -6,8 +6,11 @@
 #include <set>
 
 #include "common/random.h"
+#include "exec/block_ops.h"
+#include "exec/join_hash_table.h"
 #include "exec/operators.h"
 #include "exec/plan.h"
+#include "exec/row_block.h"
 #include "test_util.h"
 
 namespace xk::exec {
@@ -340,6 +343,268 @@ TEST(JoinExecutorsTest, InFilterRestrictsBothExecutors) {
     return true;
   }));
   EXPECT_EQ(nl_count, hj_count);
+}
+
+// --- Vectorized execution ------------------------------------------------
+
+/// Ordered row-id trace of one probe, with the path chosen by `opts`.
+std::vector<RowId> ProbeTrace(const Table& t,
+                              const std::vector<ColumnBinding>& bindings,
+                              const std::vector<ColumnInSet>& in_filters,
+                              ExecOptions opts, ProbeStats* stats = nullptr) {
+  std::vector<RowId> out;
+  ForEachMatch(t, bindings, in_filters, opts,
+               [&](RowId r) {
+                 out.push_back(r);
+                 return true;
+               },
+               stats);
+  return out;
+}
+
+/// Row path vs block path must emit the exact same row-id sequence — across
+/// every physical design, binding shape, and block size, including blocks of
+/// one row, a block size that never divides the table, empty results, and
+/// filters that kill entire blocks.
+class VectorizedDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(VectorizedDifferential, RowAndBlockPathsAreByteIdentical) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  storage::IdSet odd;
+  for (ObjectId v = 1; v < 20; v += 2) odd.insert(v);
+  storage::IdSet nothing = {777};  // outside the value domain
+
+  struct Case {
+    std::vector<ColumnBinding> bindings;
+    std::vector<ColumnInSet> filters;
+  };
+  const std::vector<Case> cases = {
+      {{}, {}},                       // unfiltered full scan
+      {{{0, 7}}, {}},                 // one binding (index-servable)
+      {{{0, 7}, {1, 3}}, {}},         // two bindings
+      {{{0, 7}}, {{1, &odd}}},        // binding + in-set
+      {{}, {{0, &odd}, {1, &odd}}},   // in-sets only
+      {{{0, 10'000}}, {}},            // no matching rows at all
+      {{}, {{0, &nothing}}},          // every block fully filtered
+  };
+
+  for (Physical physical :
+       {Physical::kClustered, Physical::kComposite, Physical::kHash,
+        Physical::kNone}) {
+    // 301 rows: no block size below divides it, so the tail block is partial.
+    auto t = MakeEdgeTable(physical, seed, /*rows=*/301, /*domain=*/20);
+    for (size_t ci = 0; ci < cases.size(); ++ci) {
+      const Case& c = cases[ci];
+      ExecOptions row_opts;
+      row_opts.vectorized = false;
+      ProbeStats row_stats;
+      const std::vector<RowId> expected =
+          ProbeTrace(*t, c.bindings, c.filters, row_opts, &row_stats);
+      for (size_t bs : {size_t{1}, size_t{7}, size_t{1024}}) {
+        ExecOptions blk_opts;
+        blk_opts.block_size = bs;
+        ProbeStats blk_stats;
+        EXPECT_EQ(ProbeTrace(*t, c.bindings, c.filters, blk_opts, &blk_stats),
+                  expected)
+            << "physical=" << static_cast<int>(physical) << " case=" << ci
+            << " block_size=" << bs;
+        // Without an early stop, the block path scans and matches the exact
+        // same rows the row path does.
+        EXPECT_EQ(blk_stats.rows_scanned, row_stats.rows_scanned);
+        EXPECT_EQ(blk_stats.rows_matched, row_stats.rows_matched);
+        EXPECT_EQ(blk_stats.probes, row_stats.probes);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorizedDifferential, ::testing::Range(1, 6));
+
+TEST(ForEachMatchBlockTest, EarlyStopAndBloomPruneMatchRowPath) {
+  auto t = MakeEdgeTable(Physical::kHash, 6, /*rows=*/200, /*domain=*/30);
+  // Early stop: the first 5 matches are the same rows the row path yields.
+  ExecOptions row_opts;
+  row_opts.vectorized = false;
+  std::vector<RowId> expected;
+  ForEachMatch(*t, {}, {}, row_opts,
+               [&](RowId r) {
+                 expected.push_back(r);
+                 return expected.size() < 5;
+               },
+               nullptr);
+  std::vector<RowId> got;
+  ForEachMatch(*t, {}, {}, ExecOptions{.block_size = 7},
+               [&](RowId r) {
+                 got.push_back(r);
+                 return got.size() < 5;
+               },
+               nullptr);
+  EXPECT_EQ(got, expected);
+
+  // Bloom prune short-circuits before any block is formed.
+  storage::BloomFilter bloom(/*expected_keys=*/200);
+  for (RowId r = 0; r < 200; ++r) bloom.Add(t->At(r, 0));
+  ProbeStats dead;
+  ForEachMatch(*t, {{0, 1234}}, {}, {{0, &bloom}}, ExecOptions{},
+               [](RowId) { return true; }, &dead);
+  EXPECT_EQ(dead.bloom_skips, 1u);
+  EXPECT_EQ(dead.rows_scanned, 0u);
+}
+
+TEST(SelectionKernelTest, CompactAscendingWithoutAllocation) {
+  auto t = MakeEdgeTable(Physical::kNone, 8, /*rows=*/64, /*domain=*/4);
+  RowBlock block;
+  block.Reset(t->arity(), 64);
+  for (size_t i = 0; i < 64; ++i) block.row_ids[i] = static_cast<RowId>(i);
+  block.SelectAll(64);
+
+  const ObjectId v = t->At(0, 0);
+  size_t n = SelEqual(*t, &block, 0, v);
+  EXPECT_EQ(n, block.num_selected);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(t->At(block.row_ids[block.sel[i]], 0), v);
+    if (i > 0) EXPECT_LT(block.sel[i - 1], block.sel[i]);  // ascending
+  }
+
+  storage::IdSet none = {999};
+  EXPECT_EQ(SelInSet(*t, &block, 1, none), 0u);
+  EXPECT_EQ(block.num_selected, 0u);
+}
+
+TEST(ScanBlockIteratorTest, MatchesTableScanIteratorThroughAdapter) {
+  auto t = MakeEdgeTable(Physical::kNone, 21, /*rows=*/133, /*domain=*/6);
+  for (size_t bs : {size_t{1}, size_t{7}, size_t{1024}}) {
+    ExecOptions opts;
+    opts.block_size = bs;
+    ScanBlockIterator blocks(*t, {ColumnBinding{0, 2}}, {}, opts);
+    EXPECT_EQ(blocks.path(), AccessPathKind::kFullScan);
+    BlockRowAdapter rows(&blocks);
+    TableScanIterator expected(*t, {ColumnBinding{0, 2}}, {});
+    Tuple a, b;
+    size_t n = 0;
+    while (true) {
+      const bool more_expected = expected.Next(&a);
+      ASSERT_EQ(rows.Next(&b), more_expected) << "block_size=" << bs;
+      if (!more_expected) break;
+      EXPECT_EQ(b, a) << "row " << n << " block_size=" << bs;
+      ++n;
+    }
+    EXPECT_GT(n, 0u);
+    EXPECT_FALSE(rows.Next(&b));  // stays drained
+  }
+
+  // A scan with no survivors produces no blocks.
+  ScanBlockIterator empty(*t, {ColumnBinding{0, 10'000}}, {}, ExecOptions{});
+  RowBlock block;
+  EXPECT_FALSE(empty.Next(&block));
+}
+
+TEST(IndexNestedLoopBlockIteratorTest, MatchesRowNestedLoopJoin) {
+  JoinFixture f;
+  JoinQuery q = f.MakeQuery();
+
+  std::vector<std::vector<ObjectId>> expected;
+  NestedLoopExecutor nl(&q, ExecOptions{});
+  XK_ASSERT_OK(nl.Run([&](const std::vector<storage::TupleView>& rows) {
+    std::vector<ObjectId> flat;
+    for (auto view : rows) flat.insert(flat.end(), view.begin(), view.end());
+    expected.push_back(std::move(flat));
+    return true;
+  }));
+  ASSERT_FALSE(expected.empty());
+
+  for (size_t bs : {size_t{1}, size_t{7}, size_t{1024}}) {
+    ExecOptions opts;
+    opts.block_size = bs;
+    ScanBlockIterator outer(*f.left, {}, {}, opts);
+    // right.src (col 0) == left.dst (col 1), as in MakeQuery.
+    IndexNestedLoopBlockIterator join(
+        &outer, *f.right, {IndexNestedLoopBlockIterator::JoinKey{0, 1}}, {},
+        opts);
+    BlockRowAdapter rows(&join);
+    Tuple row;
+    std::vector<std::vector<ObjectId>> got;
+    while (rows.Next(&row)) got.push_back(row);
+    EXPECT_EQ(got, expected) << "block_size=" << bs;
+  }
+}
+
+TEST(JoinExecutorsTest, HashJoinVectorizedMatchesLegacyExactly) {
+  JoinFixture f;
+  storage::IdSet filter = {0, 1, 2, 3};
+  JoinQuery q = f.MakeQuery(&filter);
+
+  auto collect = [&](ExecOptions opts) {
+    std::vector<std::vector<ObjectId>> out;
+    HashJoinExecutor hj(&q, opts);
+    XK_EXPECT_OK(hj.Run([&](const std::vector<storage::TupleView>& rows) {
+      std::vector<ObjectId> flat;
+      for (auto view : rows) flat.insert(flat.end(), view.begin(), view.end());
+      out.push_back(std::move(flat));
+      return true;
+    }));
+    return out;
+  };
+
+  ExecOptions legacy;
+  legacy.vectorized = false;
+  const auto expected = collect(legacy);
+  EXPECT_FALSE(expected.empty());
+  for (size_t bs : {size_t{1}, size_t{7}, size_t{1024}}) {
+    ExecOptions vec;
+    vec.block_size = bs;
+    EXPECT_EQ(collect(vec), expected) << "block_size=" << bs;
+  }
+}
+
+// --- JoinHashTable -------------------------------------------------------
+
+TEST(JoinHashTableTest, ChainsPreserveInsertionOrderThroughGrowth) {
+  JoinHashTable table(2);  // no Reserve: exercises mid-stream rehashing
+  constexpr uint32_t kRows = 1000;
+  constexpr ObjectId kKeys = 37;
+  for (uint32_t r = 0; r < kRows; ++r) {
+    const ObjectId key[2] = {r % kKeys, (r % kKeys) * 2};
+    table.Insert(key, r);
+  }
+  EXPECT_EQ(table.num_keys(), static_cast<size_t>(kKeys));
+  EXPECT_EQ(table.num_rows(), static_cast<size_t>(kRows));
+
+  for (ObjectId k = 0; k < kKeys; ++k) {
+    const ObjectId key[2] = {k, k * 2};
+    std::vector<uint32_t> rows;
+    for (uint32_t n = table.Lookup(key); n != JoinHashTable::kNil;
+         n = table.NextMatch(n)) {
+      rows.push_back(table.MatchRow(n));
+    }
+    std::vector<uint32_t> want;
+    for (uint32_t r = static_cast<uint32_t>(k); r < kRows; r += kKeys) {
+      want.push_back(r);
+    }
+    EXPECT_EQ(rows, want) << "key " << k;
+  }
+
+  const ObjectId missing[2] = {5, 11};  // second id never pairs with first
+  EXPECT_EQ(table.Lookup(missing), JoinHashTable::kNil);
+  EXPECT_GT(table.MemoryBytes(), 0u);
+}
+
+TEST(JoinHashTableTest, LookupBatchAgreesWithScalarLookup) {
+  JoinHashTable table(1);
+  table.Reserve(200);
+  for (uint32_t r = 0; r < 200; ++r) {
+    const ObjectId k = r % 50;
+    table.Insert(&k, r);
+  }
+  // 130 keys spans two hash chunks and includes 80 missing keys.
+  std::vector<ObjectId> keys;
+  for (ObjectId k = 0; k < 130; ++k) keys.push_back(k);
+  std::vector<uint32_t> heads(keys.size());
+  table.LookupBatch(keys.data(), keys.size(), heads.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(heads[i], table.Lookup(&keys[i])) << "key " << keys[i];
+    if (keys[i] >= 50) EXPECT_EQ(heads[i], JoinHashTable::kNil);
+  }
 }
 
 }  // namespace

@@ -2,11 +2,55 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
 #include "storage/blob_store.h"
 #include "storage/catalog.h"
 #include "storage/statistics.h"
 #include "storage/table.h"
 #include "test_util.h"
+
+// Counts every global allocation in this binary so no-allocation guarantees
+// can be asserted directly (HashIndexTest.MissingKeyLookupDoesNotAllocate).
+// Sanitizer builds interpose the allocator themselves — replacing operator
+// new there causes alloc/dealloc mismatches, so the counter stays inert and
+// the no-allocation assertions become vacuous under asan/tsan (they are
+// enforced by the default preset).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define XK_COUNT_ALLOCATIONS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define XK_COUNT_ALLOCATIONS 0
+#else
+#define XK_COUNT_ALLOCATIONS 1
+#endif
+#else
+#define XK_COUNT_ALLOCATIONS 1
+#endif
+
+namespace {
+std::atomic<size_t> g_allocations{0};
+}  // namespace
+
+#if XK_COUNT_ALLOCATIONS
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // XK_COUNT_ALLOCATIONS
 
 namespace xk::storage {
 namespace {
@@ -133,6 +177,46 @@ TEST(TableTest, DistinctCount) {
   t.Freeze();
   EXPECT_EQ(t.DistinctCount(0), 5u);  // cached path
   EXPECT_EQ(t.DistinctCount(0), 5u);
+}
+
+TEST(TableTest, DistinctCountConcurrentReadsAreSafe) {
+  // Regression: the lazy distinct cache used to be filled with no
+  // synchronization, so concurrent readers of a frozen table raced on the
+  // optional slots (flagged by TSan). Every reader must see the same counts.
+  Table t = MakeTable();
+  const size_t want_a = t.DistinctCount(0);
+  const size_t want_b = t.DistinctCount(1);
+  const size_t want_c = t.DistinctCount(2);
+  t.Freeze();
+  constexpr int kThreads = 8;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int iter = 0; iter < 50; ++iter) {
+        if (t.DistinctCount(0) != want_a) errors.fetch_add(1);
+        if (t.DistinctCount(1) != want_b) errors.fetch_add(1);
+        if (t.DistinctCount(2) != want_c) errors.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(HashIndexTest, MissingKeyLookupDoesNotAllocate) {
+  Table t = MakeTable();
+  XK_ASSERT_OK(t.BuildHashIndex(0));
+  const HashIndex* idx = t.GetHashIndex(0);
+  ASSERT_NE(idx, nullptr);
+  const size_t before = g_allocations.load(std::memory_order_relaxed);
+  std::span<const RowId> hit = idx->Lookup(2);
+  std::span<const RowId> miss = idx->Lookup(77);
+  const size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "Lookup must not touch the heap";
+  EXPECT_EQ(hit.size(), 10u);
+  EXPECT_TRUE(miss.empty());
 }
 
 TEST(TableTest, MemoryBytesGrowsWithIndexes) {
