@@ -16,13 +16,18 @@ void BM_Build(benchmark::State& state) {
       xk::schema::Validate(fixture.db().graph(), fixture.db().schema());
   XK_CHECK(validation.ok());
   size_t postings = 0;
+  size_t memory_bytes = 0;
   for (auto _ : state) {
     xk::keyword::MasterIndex index = xk::keyword::MasterIndex::Build(
         fixture.db().graph(), *validation, fixture.xk().objects());
     benchmark::DoNotOptimize(index);
     postings = index.NumPostings();
+    memory_bytes = index.MemoryBytes();
   }
   state.counters["postings"] = benchmark::Counter(static_cast<double>(postings));
+  // Footprint of the arena-interned keyword store plus shrunk posting lists.
+  state.counters["memory_bytes"] =
+      benchmark::Counter(static_cast<double>(memory_bytes));
   state.counters["postings/s"] = benchmark::Counter(
       static_cast<double>(postings), benchmark::Counter::kIsIterationInvariantRate);
 }

@@ -20,6 +20,8 @@ void BM_FullResults(benchmark::State& state, bool reuse) {
 
   uint64_t reuse_hits = 0;
   uint64_t probes = 0;
+  uint64_t subplan_hits = 0;
+  uint64_t saved_rows = 0;
   for (auto _ : state) {
     for (const xk::engine::PreparedQuery& q : prepared) {
       xk::engine::ExecutionStats stats;
@@ -27,12 +29,19 @@ void BM_FullResults(benchmark::State& state, bool reuse) {
       benchmark::DoNotOptimize(executor.Run(q, &stats));
       reuse_hits += stats.reuse_hits;
       probes += stats.probes.probes;
+      subplan_hits += stats.subplan_hits;
+      saved_rows += stats.dedup_saved_rows;
     }
   }
   state.counters["reuse_hits"] = benchmark::Counter(
       static_cast<double>(reuse_hits) / static_cast<double>(state.iterations()));
   state.counters["scans"] = benchmark::Counter(
       static_cast<double>(probes) / static_cast<double>(state.iterations()));
+  // Cross-CN join-prefix memoization (the plan-DAG layer above scan reuse).
+  state.counters["subplan_hits"] = benchmark::Counter(
+      static_cast<double>(subplan_hits) / static_cast<double>(state.iterations()));
+  state.counters["dedup_saved_rows"] = benchmark::Counter(
+      static_cast<double>(saved_rows) / static_cast<double>(state.iterations()));
   state.SetLabel(reuse ? "with reuse" : "no reuse");
 }
 

@@ -64,6 +64,23 @@ const std::vector<storage::Tuple>* FilteredScan(
   return cache->Put(signature, std::move(rows));
 }
 
+/// Query-scoped memo of hash-join prefix intermediates, keyed by the
+/// optimizer's prefix signatures. An entry stores the flat per-step scan
+/// indexes after joining the prefix's last step; since the filtered scans
+/// themselves are shared by signature (MaterializedViewCache::Put dedups),
+/// the indexes are valid for every plan carrying the signature. Only
+/// prefixes at least two plans share are stored, up to a byte budget.
+struct SubplanMemo {
+  struct Entry {
+    size_t width;
+    std::vector<uint32_t> rows;
+  };
+  std::unordered_map<std::string, int> shared_count;
+  std::unordered_map<std::string, Entry> entries;
+  size_t bytes = 0;
+  size_t budget = 0;
+};
+
 /// Full hash-join evaluation of one plan with reuse of filtered scans.
 /// Intermediates are kept as per-step indexes into the filtered scans (one
 /// uint32 per step per row), so joins shuffle indexes, not tuples. With
@@ -71,8 +88,8 @@ const std::vector<storage::Tuple>* FilteredScan(
 /// JoinHashTable probed in key blocks; otherwise the legacy unordered_map.
 /// Either way output order is the scan-order nested enumeration.
 void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
-                 bool enable_reuse, const exec::ExecOptions& exec_options,
-                 ExecutionStats* stats,
+                 bool enable_reuse, SubplanMemo* memo,
+                 const exec::ExecOptions& exec_options, ExecutionStats* stats,
                  const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
   const std::vector<exec::JoinStep>& steps = plan.query.steps;
   const size_t num_steps = steps.size();
@@ -92,9 +109,31 @@ void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
   };
 
   // Intermediate rows, flat: row r occupies [r*width, r*width + width).
+  // Resume from the deepest memoized shared prefix when one exists (the
+  // intermediate is deterministic per signature, so output is unchanged).
   size_t width = 1;
-  std::vector<uint32_t> current(scans[0]->size());
-  for (uint32_t r = 0; r < current.size(); ++r) current[r] = r;
+  size_t start = 1;
+  std::vector<uint32_t> current;
+  bool resumed = false;
+  if (memo != nullptr) {
+    for (size_t i = num_steps; i-- > 1;) {
+      auto it = memo->entries.find(plan.prefix_signatures[i]);
+      if (it == memo->entries.end()) continue;
+      width = it->second.width;
+      start = width;
+      current = it->second.rows;
+      resumed = true;
+      if (stats != nullptr) {
+        ++stats->subplan_hits;
+        stats->dedup_saved_rows += current.size() / width;
+      }
+      break;
+    }
+  }
+  if (!resumed) {
+    current.resize(scans[0]->size());
+    for (uint32_t r = 0; r < current.size(); ++r) current[r] = r;
+  }
 
   const size_t block = exec_options.block_size != 0
                            ? exec_options.block_size
@@ -102,7 +141,7 @@ void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
   std::vector<storage::ObjectId> key_buf;  // block of probe keys, flat
   std::vector<uint32_t> head_buf;          // per probe key: match chain head
 
-  for (size_t i = 1; i < num_steps && !current.empty(); ++i) {
+  for (size_t i = start; i < num_steps && !current.empty(); ++i) {
     if (stop_requested()) return;
     const exec::JoinStep& s = steps[i];
     const std::vector<storage::Tuple>& build_rows = *scans[i];
@@ -176,6 +215,26 @@ void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
     }
     current = std::move(next);
     ++width;
+    // Memoize the completed prefix when other plans share it and the budget
+    // allows (only complete levels reach this point: cancellation returns
+    // above, so the memo never holds truncated intermediates).
+    if (memo != nullptr) {
+      const std::string& sig = plan.prefix_signatures[i];
+      auto shared = memo->shared_count.find(sig);
+      if (shared != memo->shared_count.end() && shared->second >= 2 &&
+          memo->entries.find(sig) == memo->entries.end()) {
+        const size_t add = current.size() * sizeof(uint32_t);
+        if (memo->bytes + add <= memo->budget) {
+          memo->entries.emplace(sig, SubplanMemo::Entry{width, current});
+          memo->bytes += add;
+          if (stats != nullptr) {
+            ++stats->subplan_misses;
+            stats->subplan_bytes =
+                std::max(stats->subplan_bytes, static_cast<uint64_t>(memo->bytes));
+          }
+        }
+      }
+    }
   }
 
   std::vector<storage::ObjectId> objs(plan.node_source.size());
@@ -229,6 +288,25 @@ Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query
   exec::ExecOptions exec_options = query.exec_options;
   exec_options.cancel = options_.cancel;
 
+  // Prefix-intermediate memo for the hash-join path: count how many runnable
+  // plans carry each prefix signature, so only genuinely shared prefixes are
+  // stored. Requires scan reuse (the memo indexes the shared scans).
+  SubplanMemo memo;
+  SubplanMemo* memo_ptr = nullptr;
+  if (options_.enable_reuse && options_.enable_subplan_reuse) {
+    memo.budget = options_.subplan_cache_budget_bytes;
+    for (size_t p = 0; p < query.plans.size(); ++p) {
+      if (options_.max_network_size > 0 &&
+          query.ctssns[p].tree.size() > options_.max_network_size) {
+        continue;
+      }
+      for (const std::string& sig : query.plans[p].prefix_signatures) {
+        ++memo.shared_count[sig];
+      }
+    }
+    memo_ptr = &memo;
+  }
+
   for (size_t p = 0; p < query.plans.size(); ++p) {
     if (options_.cancel != nullptr && options_.cancel->StopRequested()) break;
     const opt::CtssnPlan& plan = query.plans[p];
@@ -263,8 +341,8 @@ Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query
       RunIndexNestedLoop(plan, exec_options, options_.enable_semijoin_pruning,
                          bloom_cache_ptr, stats, emit);
     } else {
-      RunHashJoin(plan, &cache, options_.enable_reuse, exec_options, stats,
-                  emit);
+      RunHashJoin(plan, &cache, options_.enable_reuse, memo_ptr, exec_options,
+                  stats, emit);
     }
   }
 

@@ -29,6 +29,14 @@ struct FullExecutorOptions {
   FullMode mode = FullMode::kAuto;
   /// Reuse keyword-filtered scans across networks.
   bool enable_reuse = true;
+  /// Memoize hash-join intermediates of join prefixes shared by several
+  /// candidate networks (equal optimizer prefix signatures), so each shared
+  /// prefix joins once per query. Requires `enable_reuse` (the memo stores
+  /// indexes into the shared filtered scans). Never changes results.
+  bool enable_subplan_reuse = true;
+  /// Byte budget of the per-query prefix-intermediate memo; prefixes that
+  /// would exceed it are simply not memoized.
+  size_t subplan_cache_budget_bytes = 64ull << 20;
   /// When > 0, skip networks with more CTSSN edges than this.
   int max_network_size = 0;
   /// Semi-join keyword pruning of index-nested-loop probes (see

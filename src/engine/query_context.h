@@ -5,6 +5,7 @@
 #ifndef XK_ENGINE_QUERY_CONTEXT_H_
 #define XK_ENGINE_QUERY_CONTEXT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -61,6 +62,24 @@ struct QueryOptions {
   /// (counted in ProbeStats::bloom_skips). Never changes results.
   bool enable_semijoin_pruning = true;
 
+  /// Plan-DAG shared-subplan memoization: join prefixes common to several
+  /// candidate networks (equal optimizer prefix signatures) execute once per
+  /// query; the materialized prefix rows are replayed by every consuming
+  /// plan. Thread-safe (leader/follower) under both parallelism axes. Never
+  /// changes results: replay order equals the serial nested-loop order.
+  bool enable_subplan_reuse = true;
+  /// Byte budget of the per-query subplan materialization cache; productions
+  /// that would exceed it abort and their consumers fall back to direct
+  /// execution. Fully-released entries are evicted first under pressure.
+  size_t subplan_cache_budget_bytes = 64ull << 20;
+
+  /// Cost-ordered candidate-network scheduling: inside each network-size
+  /// class, run plans cheapest first by the cost model's output-cardinality
+  /// estimate (shared-subplan producers are thereby hoisted before their
+  /// consumers), so a global_k bound is reached earlier. Off = legacy order
+  /// (size class, then plan index).
+  bool cost_ordered_scheduling = true;
+
   /// Vectorized batch execution: probes stream candidates through RowBlocks
   /// and evaluate predicates as selection-vector kernels, with cancellation
   /// polled once per block; hash joins build flat open-addressing tables.
@@ -90,6 +109,10 @@ struct QueryOptions {
     if (intra_plan_threads < 0) {
       return Status::InvalidArgument("intra_plan_threads must be >= 0");
     }
+    if (enable_subplan_reuse && subplan_cache_budget_bytes == 0) {
+      return Status::InvalidArgument(
+          "enable_subplan_reuse requires subplan_cache_budget_bytes > 0");
+    }
     return Status::OK();
   }
 };
@@ -105,6 +128,13 @@ struct ExecutionStats {
   /// Rows streamed while building semi-join Bloom filters (one filtered scan
   /// per distinct step signature; kept apart from probe-time rows_scanned).
   uint64_t bloom_build_rows = 0;
+  /// Plan-DAG shared-subplan cache (opt::SubplanCache): consumers served from
+  /// a materialized prefix / leader productions / high-water cached bytes /
+  /// prefix rows consumers replayed instead of recomputing.
+  uint64_t subplan_hits = 0;
+  uint64_t subplan_misses = 0;
+  uint64_t subplan_bytes = 0;
+  uint64_t dedup_saved_rows = 0;
 
   void Add(const ExecutionStats& o) {
     probes.Add(o.probes);
@@ -114,6 +144,10 @@ struct ExecutionStats {
     reuse_hits += o.reuse_hits;
     reuse_misses += o.reuse_misses;
     bloom_build_rows += o.bloom_build_rows;
+    subplan_hits += o.subplan_hits;
+    subplan_misses += o.subplan_misses;
+    subplan_bytes = std::max(subplan_bytes, o.subplan_bytes);
+    dedup_saved_rows += o.dedup_saved_rows;
   }
 };
 

@@ -325,6 +325,27 @@ void PlanEvaluator::RunMorsel(
   }
 }
 
+void PlanEvaluator::RunReplay(
+    const exec::MaterializedSubplan& prefix, size_t begin, size_t end,
+    const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
+  if (plan_->query.steps.empty()) return;
+  const size_t arity = static_cast<size_t>(prefix.arity());
+  XK_CHECK_LE(arity, plan_->query.steps.size());
+  std::vector<storage::TupleView> rows(plan_->query.steps.size());
+  std::vector<storage::ObjectId> objs(plan_->node_source.size(),
+                                      storage::kInvalidId);
+  for (size_t r = begin; r < end; ++r) {
+    for (size_t c = 0; c < arity; ++c) {
+      const exec::JoinStep& step = plan_->query.steps[c];
+      rows[c] = step.table->Row(prefix.At(r, static_cast<int>(c)));
+      for (const auto& [node, col] : layout_->nodes_at_[c]) {
+        objs[static_cast<size_t>(node)] = rows[c][static_cast<size_t>(col)];
+      }
+    }
+    if (!Eval(arity, &rows, &objs, emit)) return;
+  }
+}
+
 std::vector<storage::RowId> EnumerateDriverMatches(const PlanLayout& layout,
                                                    const exec::ExecOptions& options,
                                                    ExecutionStats* stats) {
@@ -338,6 +359,73 @@ std::vector<storage::RowId> EnumerateDriverMatches(const PlanLayout& layout,
                      },
                      stats != nullptr ? &stats->probes : nullptr);
   return rows;
+}
+
+bool MaterializePrefixRows(const PlanLayout& layout, int depth,
+                           const exec::ExecOptions& options,
+                           const exec::MaterializedSubplan* base, size_t max_bytes,
+                           ExecutionStats* stats, exec::MaterializedSubplan* out) {
+  const std::vector<exec::JoinStep>& steps = layout.plan().query.steps;
+  XK_CHECK(depth >= 0 && static_cast<size_t>(depth) < steps.size());
+  XK_CHECK(out != nullptr && out->arity() == depth + 1);
+  const CancelToken* cancel = options.cancel;
+  std::vector<storage::TupleView> rows(static_cast<size_t>(depth) + 1);
+  std::vector<storage::RowId> row_ids(static_cast<size_t>(depth) + 1);
+  std::vector<std::vector<exec::ColumnBinding>> binding_scratch(
+      static_cast<size_t>(depth) + 1);
+
+  bool ok = true;  // false = truncated (cancel / byte budget)
+  std::function<bool(size_t)> descend = [&](size_t i) -> bool {
+    if (cancel != nullptr && cancel->StopRequested()) {
+      ok = false;
+      return false;
+    }
+    if (i > static_cast<size_t>(depth)) {
+      out->Append(row_ids.data());
+      if (out->bytes() > max_bytes) {
+        ok = false;
+        return false;
+      }
+      return true;
+    }
+    const exec::JoinStep& step = steps[i];
+    std::vector<exec::ColumnBinding>& bindings = binding_scratch[i];
+    bindings.assign(step.const_filters.begin(), step.const_filters.end());
+    for (const auto& [col, ref] : step.eq) {
+      bindings.push_back(exec::ColumnBinding{
+          col,
+          rows[static_cast<size_t>(ref.step)][static_cast<size_t>(ref.column)]});
+    }
+    bool keep = true;
+    exec::ForEachMatch(*step.table, bindings, layout.step_filters(i),
+                       layout.step_blooms()[i], options,
+                       [&](storage::RowId r) {
+                         rows[i] = step.table->Row(r);
+                         row_ids[i] = r;
+                         keep = descend(i + 1);
+                         return keep;
+                       },
+                       stats != nullptr ? &stats->probes : nullptr);
+    return keep;
+  };
+
+  if (base == nullptr) {
+    descend(0);
+    return ok;
+  }
+  // Stack on the shallower materialization: its rows are exactly the serial
+  // enumeration of steps [0, base->arity()), so extending each in order
+  // reproduces the full serial enumeration.
+  const size_t start = static_cast<size_t>(base->arity());
+  XK_CHECK_LE(start, static_cast<size_t>(depth));
+  for (size_t r = 0; r < base->num_rows(); ++r) {
+    for (size_t c = 0; c < start; ++c) {
+      row_ids[c] = base->At(r, static_cast<int>(c));
+      rows[c] = steps[c].table->Row(row_ids[c]);
+    }
+    if (!descend(start)) break;
+  }
+  return ok;
 }
 
 // --- Single-object plans -------------------------------------------------
@@ -405,14 +493,25 @@ void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
                     const exec::ExecOptions& exec_options, size_t plan_index,
                     size_t limit, ThreadPool* pool,
                     std::vector<present::Mtton>* out,
-                    ExecutionStats* plan_stats) {
+                    ExecutionStats* plan_stats,
+                    const exec::MaterializedSubplan* prefix) {
   const CancelToken* cancel = options.cancel;
-  std::vector<storage::RowId> driver =
-      EnumerateDriverMatches(layout, exec_options, plan_stats);
+  // The morsel-partitioned work items: materialized prefix rows when a shared
+  // subplan is available (its step-0.. bindings replay instead of probing),
+  // step-0 driver matches otherwise. Both are in serial enumeration order, so
+  // morsel merge order — and thus output — is identical either way.
+  std::vector<storage::RowId> driver;
+  size_t num_items;
+  if (prefix != nullptr) {
+    num_items = prefix->num_rows();
+  } else {
+    driver = EnumerateDriverMatches(layout, exec_options, plan_stats);
+    num_items = driver.size();
+  }
   const int score = query.ctssns[plan_index].cn_size;
 
   const size_t morsel = std::max<size_t>(options.morsel_size, 1);
-  const size_t num_morsels = (driver.size() + morsel - 1) / morsel;
+  const size_t num_morsels = (num_items + morsel - 1) / morsel;
 
   auto append = [&](const std::vector<storage::ObjectId>& objs) {
     out->push_back(present::Mtton{static_cast<int>(plan_index), objs, score});
@@ -422,11 +521,15 @@ void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
     PlanEvaluator evaluator(&layout, exec_options, options.enable_cache,
                             options.cache_capacity);
     size_t taken = 0;
-    evaluator.RunMorsel(std::span<const storage::RowId>(driver),
-                        [&](const std::vector<storage::ObjectId>& objs) {
-                          append(objs);
-                          return ++taken < limit;
-                        });
+    auto sink = [&](const std::vector<storage::ObjectId>& objs) {
+      append(objs);
+      return ++taken < limit;
+    };
+    if (prefix != nullptr) {
+      evaluator.RunReplay(*prefix, 0, num_items, sink);
+    } else {
+      evaluator.RunMorsel(std::span<const storage::RowId>(driver), sink);
+    }
     plan_stats->Add(evaluator.stats());
     return;
   }
@@ -458,14 +561,20 @@ void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
         XK_CHECK_GE(worker, 0);
         std::vector<std::vector<storage::ObjectId>>& slot = morsel_out[m];
         const size_t begin = m * morsel;
-        const size_t count = std::min(morsel, driver.size() - begin);
-        shards[static_cast<size_t>(worker)]->RunMorsel(
-            std::span<const storage::RowId>(driver.data() + begin, count),
-            [&](const std::vector<storage::ObjectId>& objs) {
-              slot.push_back(objs);
-              return slot.size() < limit &&
-                     !cancelled.load(std::memory_order_relaxed);
-            });
+        const size_t count = std::min(morsel, num_items - begin);
+        auto sink = [&](const std::vector<storage::ObjectId>& objs) {
+          slot.push_back(objs);
+          return slot.size() < limit &&
+                 !cancelled.load(std::memory_order_relaxed);
+        };
+        if (prefix != nullptr) {
+          shards[static_cast<size_t>(worker)]->RunReplay(*prefix, begin,
+                                                         begin + count, sink);
+        } else {
+          shards[static_cast<size_t>(worker)]->RunMorsel(
+              std::span<const storage::RowId>(driver.data() + begin, count),
+              sink);
+        }
       }
       std::lock_guard<std::mutex> lock(watermark_mutex);
       morsel_done[m] = 1;
@@ -506,14 +615,6 @@ void SortMttons(std::vector<present::Mtton>* results) {
 Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query,
                                                       const QueryOptions& options,
                                                       ExecutionStats* stats) {
-  // Plans in nondecreasing network size: smaller networks answer first and
-  // rank higher.
-  std::vector<size_t> order(query.plans.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return query.ctssns[a].cn_size < query.ctssns[b].cn_size;
-  });
-
   std::vector<present::Mtton> results;
   std::vector<ExecutionStats> per_plan_stats(query.plans.size());
   BloomCache bloom_cache;
@@ -534,6 +635,56 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
   };
   auto stop_requested = [&] {
     return cancel != nullptr && cancel->StopRequested();
+  };
+
+  // Plan DAG: execution order (nondecreasing network size — smaller networks
+  // answer first and rank higher — cost-ordered inside a size class) plus the
+  // shared join prefixes among the plans that will actually run.
+  std::vector<bool> active(query.plans.size());
+  for (size_t p = 0; p < query.plans.size(); ++p) active[p] = !skip_plan(p);
+  opt::PlanDagOptions dag_options;
+  dag_options.cost_ordered = options.cost_ordered_scheduling;
+  dag_options.share_subplans = options.enable_subplan_reuse;
+  const opt::PlanDag dag = opt::BuildPlanDag(query.plans, active, dag_options);
+  const std::vector<size_t>& order = dag.schedule;
+
+  std::unique_ptr<opt::SubplanCache> subplan_cache;
+  if (options.enable_subplan_reuse && !dag.subplans.empty()) {
+    subplan_cache =
+        std::make_unique<opt::SubplanCache>(options.subplan_cache_budget_bytes);
+  }
+
+  // The materialized prefix assigned to plan `p`, producing it (leader) or
+  // waiting on a concurrent producer as needed; nullptr when the plan has no
+  // shared prefix or the production failed (fall back to direct execution).
+  auto acquire_prefix = [&](size_t p, const PlanLayout& layout)
+      -> opt::SubplanCache::SubplanPtr {
+    if (subplan_cache == nullptr || dag.shared_subplan[p] < 0) return nullptr;
+    const opt::SharedSubplan& node =
+        dag.subplans[static_cast<size_t>(dag.shared_subplan[p])];
+    return subplan_cache->GetOrCompute(
+        node.signature, node.consumers,
+        [&]() -> opt::SubplanCache::SubplanPtr {
+          auto sub = std::make_shared<exec::MaterializedSubplan>(node.depth + 1);
+          // Stack on the deepest already-materialized shallower prefix.
+          opt::SubplanCache::SubplanPtr base;
+          const std::vector<std::string>& sigs = query.plans[p].prefix_signatures;
+          for (int d = node.depth - 1; d >= 0; --d) {
+            base = subplan_cache->Peek(sigs[static_cast<size_t>(d)]);
+            if (base != nullptr) break;
+          }
+          if (!MaterializePrefixRows(layout, node.depth, exec_options,
+                                     base.get(), subplan_cache->budget_bytes(),
+                                     &per_plan_stats[p], sub.get())) {
+            return nullptr;
+          }
+          return sub;
+        });
+  };
+  auto release_prefix = [&](size_t p) {
+    if (subplan_cache == nullptr || dag.shared_subplan[p] < 0) return;
+    subplan_cache->Release(
+        dag.subplans[static_cast<size_t>(dag.shared_subplan[p])].signature);
   };
 
   if (options.intra_plan_threads > 1) {
@@ -562,11 +713,13 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
 
       PlanLayout layout(&query.plans[p], options.enable_semijoin_pruning,
                         bloom_cache_ptr, &per_plan_stats[p]);
+      opt::SubplanCache::SubplanPtr prefix = acquire_prefix(p, layout);
       if (pool == nullptr) {
         pool = std::make_unique<ThreadPool>(options.intra_plan_threads);
       }
       RunPlanMorsels(layout, query, options, exec_options, p, limit, pool.get(),
-                     &results, &per_plan_stats[p]);
+                     &results, &per_plan_stats[p], prefix.get());
+      release_prefix(p);
     }
   } else {
     std::mutex mutex;
@@ -596,10 +749,16 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
       }
       PlanLayout layout(&query.plans[p], options.enable_semijoin_pruning,
                         bloom_cache_ptr, &per_plan_stats[p]);
+      opt::SubplanCache::SubplanPtr prefix = acquire_prefix(p, layout);
       PlanEvaluator evaluator(&layout, exec_options, options.enable_cache,
                               options.cache_capacity);
-      evaluator.Run(emit);
+      if (prefix != nullptr) {
+        evaluator.RunReplay(*prefix, 0, prefix->num_rows(), emit);
+      } else {
+        evaluator.Run(emit);
+      }
       per_plan_stats[p].Add(evaluator.stats());
+      release_prefix(p);
     };
 
     if (options.num_threads <= 1 || query.plans.size() <= 1) {
@@ -619,6 +778,14 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
   }
   if (stats != nullptr) {
     for (const ExecutionStats& s : per_plan_stats) stats->Add(s);
+    if (subplan_cache != nullptr) {
+      const opt::SubplanCacheStats cs = subplan_cache->stats();
+      stats->subplan_hits += cs.hits;
+      stats->subplan_misses += cs.misses;
+      stats->subplan_bytes =
+          std::max(stats->subplan_bytes, static_cast<uint64_t>(cs.bytes_peak));
+      stats->dedup_saved_rows += cs.dedup_saved_rows;
+    }
     stats->results = results.size();
   }
   return results;

@@ -34,6 +34,9 @@
 
 #include "common/lru_cache.h"
 #include "engine/query_context.h"
+#include "exec/subplan_source.h"
+#include "opt/plan_dag.h"
+#include "opt/subplan_cache.h"
 #include "present/mtton.h"
 
 namespace xk::engine {
@@ -119,6 +122,14 @@ class PlanEvaluator {
   void RunMorsel(std::span<const storage::RowId> driver_rows,
                  const std::function<bool(const std::vector<storage::ObjectId>&)>& emit);
 
+  /// Replays prefix rows [begin, end) of a materialized shared subplan: binds
+  /// the prefix steps from the stored row ids (no probes), then runs the
+  /// nested loops from the first unshared step. Replay order equals the
+  /// producer's enumeration order, so output is byte-identical to evaluating
+  /// the prefix directly. `prefix.arity()` must not exceed the plan's steps.
+  void RunReplay(const exec::MaterializedSubplan& prefix, size_t begin, size_t end,
+                 const std::function<bool(const std::vector<storage::ObjectId>&)>& emit);
+
   const ExecutionStats& stats() const { return stats_; }
 
  private:
@@ -163,6 +174,18 @@ class PlanEvaluator {
 std::vector<storage::RowId> EnumerateDriverMatches(const PlanLayout& layout,
                                                    const exec::ExecOptions& options,
                                                    ExecutionStats* stats);
+
+/// Materializes the join prefix steps [0, depth] of `layout`'s plan into
+/// `out` (one row of per-step base-table row ids per prefix match, serial
+/// nested-loop order). `base` (nullable) is an already-materialized shallower
+/// prefix of the same plan to stack on instead of re-enumerating its steps.
+/// Returns false — with `out` truncated — when cancellation tripped or the
+/// materialization exceeded `max_bytes`; callers must then discard `out` and
+/// fall back to direct execution. Probe counters go to `stats` (nullable).
+bool MaterializePrefixRows(const PlanLayout& layout, int depth,
+                           const exec::ExecOptions& options,
+                           const exec::MaterializedSubplan* base, size_t max_bytes,
+                           ExecutionStats* stats, exec::MaterializedSubplan* out);
 
 /// Runs all plans of a prepared query with the thread pool, collecting up to
 /// per_network_k results per network (and optionally global_k in total).

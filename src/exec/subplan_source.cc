@@ -1,0 +1,42 @@
+#include "exec/subplan_source.h"
+
+namespace xk::exec {
+
+MaterializedSubplan::MaterializedSubplan(int arity, size_t block_capacity)
+    : arity_(arity), block_capacity_(block_capacity == 0
+                                         ? RowBlock::kDefaultCapacity
+                                         : block_capacity) {}
+
+void MaterializedSubplan::Append(const storage::RowId* step_rows) {
+  const size_t in_block = num_rows_ % block_capacity_;
+  if (in_block == 0) {
+    blocks_.emplace_back();
+    RowBlock& b = blocks_.back();
+    b.Reset(arity_, block_capacity_);
+    b.EnsureColumnBuffer();
+    bytes_ += b.row_ids.capacity() * sizeof(storage::RowId) +
+              b.sel.capacity() * sizeof(uint32_t) +
+              b.columns.capacity() * sizeof(storage::ObjectId);
+  }
+  RowBlock& b = blocks_.back();
+  for (int c = 0; c < arity_; ++c) {
+    b.column(c)[in_block] = static_cast<storage::ObjectId>(step_rows[c]);
+  }
+  b.row_ids[in_block] = step_rows[0];
+  b.sel[in_block] = static_cast<uint32_t>(in_block);
+  b.size = in_block + 1;
+  b.num_selected = in_block + 1;
+  ++num_rows_;
+}
+
+bool SubplanReplayIterator::Next(RowBlock* out) {
+  while (next_block_ < subplan_->blocks().size()) {
+    const RowBlock& b = subplan_->blocks()[next_block_++];
+    if (b.num_selected == 0) continue;
+    *out = b;  // copy: the source stays immutable and shareable
+    return true;
+  }
+  return false;
+}
+
+}  // namespace xk::exec

@@ -1,7 +1,9 @@
 #include "keyword/master_index.h"
 
 #include <algorithm>
+#include <map>
 
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace xk::keyword {
@@ -9,7 +11,10 @@ namespace xk::keyword {
 MasterIndex MasterIndex::Build(const xml::XmlGraph& graph,
                                const schema::ValidationResult& validation,
                                const schema::TargetObjectGraph& objects) {
-  MasterIndex index;
+  // Stage 1: collect per-keyword lists into an ordered scratch map (ordered so
+  // the arena and list layout are deterministic across runs).
+  std::map<std::string, std::vector<Posting>> scratch;
+  size_t num_postings = 0;
   for (storage::ObjectId o = 0; o < objects.NumObjects(); ++o) {
     for (xml::NodeId n : objects.MemberNodes(o)) {
       schema::SchemaNodeId sn = validation.node_types[static_cast<size_t>(n)];
@@ -22,29 +27,63 @@ MasterIndex MasterIndex::Build(const xml::XmlGraph& graph,
       std::sort(tokens.begin(), tokens.end());
       tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
       for (std::string& tok : tokens) {
-        index.lists_[std::move(tok)].push_back(Posting{o, n, sn});
-        ++index.num_postings_;
+        scratch[std::move(tok)].push_back(Posting{o, n, sn});
+        ++num_postings;
       }
     }
   }
+
+  // Stage 2: intern the keywords into one arena and move the lists into the
+  // final layout. The arena is sized exactly before any view is taken, so the
+  // views in ids_ stay valid; each list is sorted and shrunk to fit.
+  MasterIndex index;
+  index.num_postings_ = num_postings;
+  size_t arena_size = 0;
+  for (const auto& [keyword, list] : scratch) {
+    (void)list;
+    arena_size += keyword.size();
+  }
+  index.arena_.reserve(arena_size);
+  index.ids_.reserve(scratch.size());
+  index.lists_.reserve(scratch.size());
+  for (auto& [keyword, list] : scratch) {
+    const size_t offset = index.arena_.size();
+    index.arena_.append(keyword);
+    std::string_view view(index.arena_.data() + offset, keyword.size());
+    std::sort(list.begin(), list.end(), [](const Posting& a, const Posting& b) {
+      return std::tie(a.to_id, a.node_id) < std::tie(b.to_id, b.node_id);
+    });
+    list.shrink_to_fit();
+    index.ids_.emplace(view, static_cast<uint32_t>(index.lists_.size()));
+    index.lists_.push_back(std::move(list));
+  }
+  XK_CHECK_EQ(index.arena_.size(), arena_size);
   return index;
 }
 
 const std::vector<Posting>& MasterIndex::ContainingList(
     const std::string& keyword) const {
-  auto it = lists_.find(ToLower(keyword));
-  return it == lists_.end() ? empty_ : it->second;
+  const std::string lowered = ToLower(keyword);
+  auto it = ids_.find(std::string_view(lowered));
+  return it == ids_.end() ? empty_ : lists_[it->second];
 }
 
 bool MasterIndex::Contains(const std::string& keyword) const {
-  return lists_.contains(ToLower(keyword));
+  const std::string lowered = ToLower(keyword);
+  return ids_.contains(std::string_view(lowered));
 }
 
 size_t MasterIndex::MemoryBytes() const {
-  size_t bytes = 0;
-  for (const auto& [k, list] : lists_) {
-    bytes += k.size() + list.capacity() * sizeof(Posting);
+  size_t bytes = arena_.capacity();
+  bytes += lists_.capacity() * sizeof(std::vector<Posting>);
+  for (const std::vector<Posting>& list : lists_) {
+    bytes += list.capacity() * sizeof(Posting);
   }
+  // Hash map: one (view, id) entry plus a chain pointer per keyword, plus the
+  // bucket array.
+  bytes += ids_.size() *
+           (sizeof(std::string_view) + sizeof(uint32_t) + sizeof(void*));
+  bytes += ids_.bucket_count() * sizeof(void*);
   return bytes;
 }
 

@@ -9,11 +9,18 @@
 // Keywords are lower-cased alphanumeric tokens of a node's tag and value.
 // Only nodes belonging to a target object are indexed (dummy nodes carry no
 // presentable information).
+//
+// Layout: keyword strings are interned into one contiguous arena and the
+// lookup map keys are string_views into it, so each distinct keyword is
+// stored once with no per-key heap allocation. Containing lists are sorted by
+// (to_id, node_id) at build and shrunk to fit — deterministic, cache-friendly
+// scans at the exact memory footprint.
 
 #ifndef XK_KEYWORD_MASTER_INDEX_H_
 #define XK_KEYWORD_MASTER_INDEX_H_
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -41,12 +48,13 @@ class MasterIndex {
                            const schema::ValidationResult& validation,
                            const schema::TargetObjectGraph& objects);
 
-  /// L(k): postings of `keyword` (case-insensitive); empty if absent.
+  /// L(k): postings of `keyword` (case-insensitive), sorted by
+  /// (to_id, node_id); empty if absent.
   const std::vector<Posting>& ContainingList(const std::string& keyword) const;
 
   bool Contains(const std::string& keyword) const;
 
-  size_t NumKeywords() const { return lists_.size(); }
+  size_t NumKeywords() const { return ids_.size(); }
   size_t NumPostings() const { return num_postings_; }
   size_t MemoryBytes() const;
 
@@ -56,7 +64,12 @@ class MasterIndex {
       const std::string& keyword) const;
 
  private:
-  std::unordered_map<std::string, std::vector<Posting>> lists_;
+  /// All distinct keywords end to end; sized exactly once before the views in
+  /// ids_ are taken, so data() never moves.
+  std::string arena_;
+  /// Keyword (view into arena_) -> index into lists_.
+  std::unordered_map<std::string_view, uint32_t> ids_;
+  std::vector<std::vector<Posting>> lists_;
   std::vector<Posting> empty_;
   size_t num_postings_ = 0;
 };

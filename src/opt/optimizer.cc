@@ -187,8 +187,21 @@ Result<CtssnPlan> Optimizer::Plan(const cn::Ctssn& ctssn,
     running *= std::max(out_rows, 1e-6);
 
     plan.step_signatures.push_back(StepSignature(*table, piece, filters));
+    // Prefix signature: the previous prefix plus this step's scan signature
+    // and equi-join edges. Edges reference (step, column) positions inside the
+    // prefix, so equal strings across plans mean interchangeable join
+    // prefixes — same relations, filters, and join shape in the same order.
+    std::string prefix =
+        plan.prefix_signatures.empty() ? std::string() : plan.prefix_signatures.back();
+    prefix += "[" + plan.step_signatures.back();
+    for (const auto& [col, ref] : step.eq) {
+      prefix += StrFormat("|e%d=%d.%d", col, ref.step, ref.column);
+    }
+    prefix += "]";
+    plan.prefix_signatures.push_back(std::move(prefix));
     plan.query.steps.push_back(std::move(step));
   }
+  plan.estimated_rows = running;
   plan.joins = static_cast<int>(plan.query.steps.size()) - 1;
   XK_RETURN_NOT_OK(plan.query.Validate());
   return plan;

@@ -34,6 +34,14 @@ struct CtssnPlan {
   /// Per step: a signature of (relation, local filters) for common
   /// subexpression reuse across the plans of one query.
   std::vector<std::string> step_signatures;
+  /// Per step: a canonical signature of the whole join prefix ending at that
+  /// step — relation + local filters + equi-join edges of every step so far.
+  /// Equal strings across plans mean interchangeable subplans (plan-DAG
+  /// sharing, opt/plan_dag.h).
+  std::vector<std::string> prefix_signatures;
+  /// Cost-model estimate of the plan's output cardinality (candidate-network
+  /// scheduling key; ties inside a network-size class break cheapest-first).
+  double estimated_rows = 0.0;
 };
 
 /// Per CTSSN occurrence, the id-set restrictions derived from its keyword

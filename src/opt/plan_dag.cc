@@ -1,0 +1,75 @@
+#include "opt/plan_dag.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace xk::opt {
+
+PlanDag BuildPlanDag(const std::vector<CtssnPlan>& plans,
+                     const std::vector<bool>& active,
+                     const PlanDagOptions& options) {
+  XK_CHECK_EQ(plans.size(), active.size());
+  PlanDag dag;
+  dag.shared_subplan.assign(plans.size(), -1);
+
+  // Schedule: network size is the ranking key (smaller answers rank higher),
+  // output-cardinality estimate breaks ties cheapest-first, plan index makes
+  // it deterministic. Legacy order = stable sort on size alone.
+  dag.schedule.resize(plans.size());
+  std::iota(dag.schedule.begin(), dag.schedule.end(), 0);
+  auto size_of = [&](size_t p) {
+    return plans[p].ctssn != nullptr ? plans[p].ctssn->cn_size : 0;
+  };
+  if (options.cost_ordered) {
+    std::sort(dag.schedule.begin(), dag.schedule.end(), [&](size_t a, size_t b) {
+      if (size_of(a) != size_of(b)) return size_of(a) < size_of(b);
+      if (plans[a].estimated_rows != plans[b].estimated_rows) {
+        return plans[a].estimated_rows < plans[b].estimated_rows;
+      }
+      return a < b;
+    });
+  } else {
+    std::stable_sort(dag.schedule.begin(), dag.schedule.end(),
+                     [&](size_t a, size_t b) { return size_of(a) < size_of(b); });
+  }
+
+  if (!options.share_subplans) return dag;
+
+  // Count how many active plans carry each prefix signature. A signature
+  // encodes the whole prefix (tables, local filters, join edges per step), so
+  // equal strings mean interchangeable subplans.
+  std::unordered_map<std::string_view, int> carriers;
+  for (size_t p = 0; p < plans.size(); ++p) {
+    if (!active[p]) continue;
+    for (const std::string& sig : plans[p].prefix_signatures) ++carriers[sig];
+  }
+
+  // Assign each plan its deepest shared prefix; keep the prefix strictly
+  // inside the plan when possible (a whole-plan "prefix" is still legal when
+  // another network maps to the identical join, and replay then just emits).
+  std::unordered_map<std::string_view, int> node_of;
+  for (size_t p = 0; p < plans.size(); ++p) {
+    if (!active[p]) continue;
+    const std::vector<std::string>& sigs = plans[p].prefix_signatures;
+    for (int d = static_cast<int>(sigs.size()) - 1; d >= 0; --d) {
+      auto it = carriers.find(sigs[static_cast<size_t>(d)]);
+      if (it == carriers.end() || it->second < options.min_consumers) continue;
+      auto [node_it, inserted] =
+          node_of.try_emplace(sigs[static_cast<size_t>(d)],
+                              static_cast<int>(dag.subplans.size()));
+      if (inserted) {
+        dag.subplans.push_back(
+            SharedSubplan{sigs[static_cast<size_t>(d)], d, 0});
+      }
+      dag.shared_subplan[p] = node_it->second;
+      ++dag.subplans[static_cast<size_t>(node_it->second)].consumers;
+      break;
+    }
+  }
+  return dag;
+}
+
+}  // namespace xk::opt

@@ -4,12 +4,13 @@ namespace xk::opt {
 
 const std::vector<storage::Tuple>* MaterializedViewCache::Get(
     const std::string& signature) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = views_.find(signature);
   if (it == views_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second.get();
 }
 
@@ -18,11 +19,17 @@ const std::vector<storage::Tuple>* MaterializedViewCache::Put(
   // Keep an existing materialization: a signature determines its scan, and
   // earlier steps of the current plan may still hold pointers into it (a
   // reuse-disabled executor Puts the same signature once per occurrence).
+  std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = views_.try_emplace(signature);
   if (inserted) {
     it->second = std::make_unique<std::vector<storage::Tuple>>(std::move(rows));
   }
   return it->second.get();
+}
+
+size_t MaterializedViewCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return views_.size();
 }
 
 }  // namespace xk::opt

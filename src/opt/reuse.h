@@ -5,12 +5,15 @@
 // opportunities of common subexpressions among the CN's", inherited from
 // DISCOVER). Different CNs share keyword-filtered relation scans (the same
 // T^{k,S} appears in many networks); the full-results executor materializes
-// each such scan once per query.
+// each such scan once per query. Whole-subplan (join-prefix) reuse lives in
+// opt/subplan_cache.h.
 
 #ifndef XK_OPT_REUSE_H_
 #define XK_OPT_REUSE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -20,7 +23,10 @@
 namespace xk::opt {
 
 /// Query-scoped cache of materialized, filtered relation scans keyed by the
-/// optimizer's step signatures. Single-threaded (the full executor owns one).
+/// optimizer's step signatures. Thread-safe: the map is mutex-guarded and the
+/// hit/miss counters are atomics, so one cache can serve plans running on
+/// several threads. Returned pointers stay valid for the cache's lifetime
+/// (materializations are heap-allocated and never dropped).
 class MaterializedViewCache {
  public:
   /// The materialization under `signature`, or nullptr.
@@ -30,14 +36,15 @@ class MaterializedViewCache {
   const std::vector<storage::Tuple>* Put(const std::string& signature,
                                          std::vector<storage::Tuple> rows);
 
-  size_t size() const { return views_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t size() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, std::unique_ptr<std::vector<storage::Tuple>>> views_;
-  mutable uint64_t hits_ = 0;
-  mutable uint64_t misses_ = 0;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace xk::opt

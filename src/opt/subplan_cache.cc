@@ -1,0 +1,107 @@
+#include "opt/subplan_cache.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+namespace xk::opt {
+
+SubplanCache::SubplanPtr SubplanCache::GetOrCompute(const std::string& signature,
+                                                    int expected_consumers,
+                                                    const Producer& produce) {
+  std::promise<SubplanPtr> promise;  // used only on the leader path
+  std::shared_future<SubplanPtr> future;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(signature);
+    if (it != entries_.end()) {
+      Entry& e = it->second;
+      if (e.ready) {
+        if (e.value != nullptr) {
+          ++stats_.hits;
+          stats_.dedup_saved_rows += e.value->num_rows();
+        }
+        return e.value;
+      }
+      future = e.future;  // follower: wait outside the lock
+    } else {
+      Entry e;
+      e.remaining = expected_consumers;
+      e.seq = next_seq_++;
+      future = promise.get_future().share();
+      e.future = future;
+      entries_.emplace(signature, std::move(e));
+      ++stats_.misses;
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    SubplanPtr value = future.get();
+    if (value != nullptr) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.hits;
+      stats_.dedup_saved_rows += value->num_rows();
+    }
+    return value;
+  }
+
+  SubplanPtr value = produce();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The entry cannot have been evicted: only ready, fully-released entries
+    // are eviction candidates, and this one is not ready yet.
+    Entry& e = entries_.at(signature);
+    e.ready = true;
+    e.value = value;
+    e.bytes = value != nullptr ? value->bytes() : 0;
+    bytes_current_ += e.bytes;
+    stats_.bytes_peak = std::max(stats_.bytes_peak, bytes_current_);
+    if (value == nullptr) ++stats_.failed;
+    EvictLocked();
+  }
+  promise.set_value(value);
+  return value;
+}
+
+SubplanCache::SubplanPtr SubplanCache::Peek(const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(signature);
+  if (it == entries_.end() || !it->second.ready || it->second.value == nullptr) {
+    return nullptr;
+  }
+  ++stats_.hits;
+  stats_.dedup_saved_rows += it->second.value->num_rows();
+  return it->second.value;
+}
+
+void SubplanCache::Release(const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) return;
+  if (it->second.remaining > 0) --it->second.remaining;
+  if (bytes_current_ > budget_bytes_) EvictLocked();
+}
+
+SubplanCacheStats SubplanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SubplanCache::EvictLocked() {
+  while (bytes_current_ > budget_bytes_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      const Entry& e = it->second;
+      if (!e.ready || e.remaining > 0 || e.bytes == 0) continue;
+      if (victim == entries_.end() || e.seq < victim->second.seq) victim = it;
+    }
+    if (victim == entries_.end()) break;  // everything still in use
+    bytes_current_ -= victim->second.bytes;
+    ++stats_.evictions;
+    entries_.erase(victim);
+  }
+}
+
+}  // namespace xk::opt

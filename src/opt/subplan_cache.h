@@ -1,0 +1,93 @@
+// Copyright (c) the XKeyword authors.
+//
+// Query-scoped, thread-safe cache of materialized shared subplans — the
+// plan-DAG generalization of Section 4's common-subexpression reuse: a join
+// prefix appearing in several candidate networks executes exactly once, and
+// every consuming plan replays its materialized rows. Leader/follower
+// protocol: the first plan to request a signature becomes the leader and
+// produces the materialization while concurrent requesters block on the
+// leader's future, so two plans racing on the same subplan do one execution.
+// A per-query byte budget bounds the materializations; entries all of whose
+// expected consumers have released them are evicted first under pressure.
+
+#ifndef XK_OPT_SUBPLAN_CACHE_H_
+#define XK_OPT_SUBPLAN_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "exec/subplan_source.h"
+
+namespace xk::opt {
+
+/// Counters of one query's subplan cache (folded into ExecutionStats by the
+/// executors, and from there into service::Metrics).
+struct SubplanCacheStats {
+  uint64_t hits = 0;    // consumers served from a completed materialization
+  uint64_t misses = 0;  // leader executions (one per materialized subplan)
+  uint64_t failed = 0;  // productions abandoned (cancel / over budget)
+  uint64_t evictions = 0;
+  uint64_t dedup_saved_rows = 0;  // prefix rows consumers did not recompute
+  size_t bytes_peak = 0;          // high-water mark of cached bytes
+};
+
+class SubplanCache {
+ public:
+  using SubplanPtr = std::shared_ptr<const exec::MaterializedSubplan>;
+  /// Produces the materialization, or nullptr when production had to stop
+  /// early (cancellation, byte budget) — a null result is recorded so every
+  /// consumer falls back to direct execution.
+  using Producer = std::function<SubplanPtr()>;
+
+  explicit SubplanCache(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+  SubplanCache(const SubplanCache&) = delete;
+  SubplanCache& operator=(const SubplanCache&) = delete;
+
+  /// The materialization under `signature`; the first caller produces it (and
+  /// is charged a miss), everyone else waits and is charged a hit. Returns
+  /// nullptr when the production failed. `expected_consumers` is the number
+  /// of plans scheduled to consume the entry (eviction accounting).
+  SubplanPtr GetOrCompute(const std::string& signature, int expected_consumers,
+                          const Producer& produce);
+
+  /// A completed materialization under `signature`, or nullptr — never waits
+  /// and never starts a production. Used by producers to stack a deeper
+  /// prefix on top of an already-materialized shallower one (a hit).
+  SubplanPtr Peek(const std::string& signature);
+
+  /// One expected consumer of `signature` is done; fully released entries
+  /// become evictable under budget pressure.
+  void Release(const std::string& signature);
+
+  size_t budget_bytes() const { return budget_bytes_; }
+  SubplanCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_future<SubplanPtr> future;
+    bool ready = false;
+    SubplanPtr value;  // set when ready (null for failed productions)
+    int remaining = 0;
+    uint64_t seq = 0;
+    size_t bytes = 0;
+  };
+
+  /// Evicts fully-released entries (oldest first) while over budget. Caller
+  /// holds mutex_.
+  void EvictLocked();
+
+  const size_t budget_bytes_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t next_seq_ = 0;
+  size_t bytes_current_ = 0;
+  SubplanCacheStats stats_;
+};
+
+}  // namespace xk::opt
+
+#endif  // XK_OPT_SUBPLAN_CACHE_H_

@@ -110,6 +110,13 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.latency_p95_us = latency_.PercentileMicros(95);
   snap.latency_p99_us = latency_.PercentileMicros(99);
   snap.per_decomposition = per_decomposition_;
+  for (const auto& [name, stats] : snap.per_decomposition) {
+    (void)name;
+    snap.subplan_hits += stats.subplan_hits;
+    snap.subplan_misses += stats.subplan_misses;
+    snap.subplan_bytes = std::max(snap.subplan_bytes, stats.subplan_bytes);
+    snap.dedup_saved_rows += stats.dedup_saved_rows;
+  }
   return snap;
 }
 

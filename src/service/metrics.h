@@ -80,6 +80,14 @@ struct MetricsSnapshot {
   /// Engine counters summed over every finished query, keyed by the
   /// decomposition it ran against.
   std::map<std::string, engine::ExecutionStats> per_decomposition;
+
+  /// Plan-DAG shared-subplan cache totals across all decompositions
+  /// (hits/misses/saved rows summed, bytes the per-query high-water maximum) —
+  /// the serving-level view of engine::ExecutionStats::subplan_*.
+  uint64_t subplan_hits = 0;
+  uint64_t subplan_misses = 0;
+  uint64_t subplan_bytes = 0;
+  uint64_t dedup_saved_rows = 0;
 };
 
 /// The registry one QueryService owns. Thread-safe.

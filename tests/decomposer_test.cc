@@ -140,6 +140,19 @@ TEST_F(MasterIndexTest, SchemaNodesContaining) {
   EXPECT_TRUE(index_.SchemaNodesContaining("nosuch").empty());
 }
 
+TEST_F(MasterIndexTest, PostingListsAreSorted) {
+  // Build sorts every containing list by (to_id, node_id) — binary-search and
+  // merge friendly, and deterministic regardless of build traversal order.
+  for (const char* word : {"vcr", "dvd", "lineitem", "quantity", "name"}) {
+    const std::vector<keyword::Posting>& list = index_.ContainingList(word);
+    for (size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LT(std::tie(list[i - 1].to_id, list[i - 1].node_id),
+                std::tie(list[i].to_id, list[i].node_id))
+          << "unsorted postings for " << word;
+    }
+  }
+}
+
 TEST_F(MasterIndexTest, SizesAndMissingKeyword) {
   EXPECT_GT(index_.NumKeywords(), 10u);
   EXPECT_GT(index_.NumPostings(), index_.NumKeywords() / 2);

@@ -234,6 +234,12 @@ TEST_F(ServiceTest, InvalidOptionsRejectedBeforeExecution) {
   request = Cheap({"gray"});
   request.options.intra_plan_threads = -2;
   EXPECT_TRUE(xk_->Run(request).status().IsInvalidArgument());
+  // Shared-subplan execution with a zero byte budget could never materialize
+  // anything; Validate rejects the contradiction up front.
+  request = Cheap({"gray"});
+  request.options.enable_subplan_reuse = true;
+  request.options.subplan_cache_budget_bytes = 0;
+  EXPECT_TRUE(xk_->Run(request).status().IsInvalidArgument());
 }
 
 // --- QueryService --------------------------------------------------------
@@ -294,6 +300,49 @@ TEST_F(ServiceTest, ConcurrentSubmitsFromManyThreadsAreDeterministic) {
   EXPECT_GE(snap.latency_p99_us, snap.latency_p50_us);
   ASSERT_TRUE(snap.per_decomposition.contains("XKeyword"));
   EXPECT_GT(snap.per_decomposition.at("XKeyword").probes.probes, 0u);
+}
+
+TEST_F(ServiceTest, SubplanCacheStatsFlowIntoMetrics) {
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  XK_ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryService> service,
+                          QueryService::Create(xk_, options));
+
+  // Wide enough network space that several candidate networks share a join
+  // prefix; kBypass so each submit actually executes instead of riding the
+  // answer cache.
+  QueryRequest request;
+  request.keywords = {"gray", "codd"};
+  request.decomposition = "XKeyword";
+  request.options.max_size_z = 6;
+  request.options.per_network_k = 100;
+  request.cache_mode = engine::CacheMode::kBypass;
+
+  std::vector<QueryHandle> handles;
+  for (const auto& keywords : std::vector<std::vector<std::string>>{
+           {"gray", "codd"}, {"ullman", "widom"}, {"garcia", "molina"}}) {
+    request.keywords = keywords;
+    XK_ASSERT_OK_AND_ASSIGN(QueryHandle handle, service->Submit(request));
+    handles.push_back(std::move(handle));
+  }
+  for (QueryHandle& handle : handles) {
+    XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, handle.Wait());
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+
+  // The plan-DAG counters surface both in the per-decomposition engine stats
+  // and as serving-level totals.
+  const MetricsSnapshot snap = service->metrics().Snapshot();
+  ASSERT_TRUE(snap.per_decomposition.contains("XKeyword"));
+  const engine::ExecutionStats& stats = snap.per_decomposition.at("XKeyword");
+  EXPECT_GT(stats.subplan_misses, 0u);
+  EXPECT_GT(stats.subplan_hits, 0u);
+  EXPECT_GT(stats.subplan_bytes, 0u);
+  EXPECT_GT(stats.dedup_saved_rows, 0u);
+  EXPECT_EQ(snap.subplan_hits, stats.subplan_hits);
+  EXPECT_EQ(snap.subplan_misses, stats.subplan_misses);
+  EXPECT_EQ(snap.subplan_bytes, stats.subplan_bytes);
+  EXPECT_EQ(snap.dedup_saved_rows, stats.dedup_saved_rows);
 }
 
 TEST_F(ServiceTest, SustainsEightConcurrentInFlightQueries) {

@@ -146,6 +146,110 @@ TEST_F(TopKExecutorTest, PruningComposesWithMorselParallelism) {
   EXPECT_EQ(actual, expected);
 }
 
+// Differential harness over the plan-DAG axes: subplan reuse {on, off} ×
+// vectorized {on, off} × intra-plan threads {1, 4} must all produce the
+// byte-identical result list (replay order equals the serial nested-loop
+// order; the schedule never depends on these knobs), and on queries whose
+// candidate networks share a join prefix the reuse runs must actually dedup
+// work (subplan hits + saved rows).
+TEST_F(TopKExecutorTest, SubplanReuseDifferential) {
+  const std::vector<std::vector<std::string>> queries = {
+      {"ullman", "widom"}, {"gray", "codd"}, {"stonebraker", "author47"}};
+  uint64_t total_saved = 0;
+  for (const std::string& decomposition :
+       {std::string("MinClust"), std::string("XKeyword")}) {
+    for (const auto& q : queries) {
+      QueryOptions baseline;
+      baseline.max_size_z = 6;
+      baseline.per_network_k = 50;
+      baseline.num_threads = 1;
+      baseline.enable_subplan_reuse = false;
+      XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> expected,
+                              xk_->TopK(q, decomposition, baseline));
+      for (bool reuse : {false, true}) {
+        for (bool vectorized : {false, true}) {
+          for (int intra : {1, 4}) {
+            QueryOptions options = baseline;
+            options.enable_subplan_reuse = reuse;
+            options.vectorized = vectorized;
+            options.intra_plan_threads = intra;
+            options.morsel_size = 8;
+            ExecutionStats stats;
+            XK_ASSERT_OK_AND_ASSIGN(
+                std::vector<Mtton> actual,
+                xk_->TopK(q, decomposition, options, &stats));
+            EXPECT_EQ(actual, expected)
+                << decomposition << " reuse=" << reuse << " vec=" << vectorized
+                << " intra=" << intra << " " << q[0] << "," << q[1];
+            if (reuse) {
+              total_saved += stats.dedup_saved_rows;
+            } else {
+              EXPECT_EQ(stats.subplan_hits, 0u);
+              EXPECT_EQ(stats.dedup_saved_rows, 0u);
+            }
+          }
+        }
+      }
+    }
+  }
+  // At least one workload query has candidate networks sharing a join prefix;
+  // reuse must have saved recomputation there.
+  EXPECT_GT(total_saved, 0u);
+}
+
+// The full-result executor's hash-join prefix memo composes with scan reuse
+// and vectorization without changing output.
+TEST_F(TopKExecutorTest, FullExecutorSubplanMemoDifferential) {
+  QueryOptions options;
+  options.max_size_z = 6;
+  FullExecutorOptions baseline;
+  baseline.mode = FullMode::kHashJoin;
+  baseline.enable_subplan_reuse = false;
+  for (const auto& q : std::vector<std::vector<std::string>>{
+           {"ullman", "widom"}, {"gray", "codd"}}) {
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> expected,
+                            xk_->AllResults(q, "MinClust", options, baseline));
+    for (bool reuse : {false, true}) {
+      for (bool scans : {false, true}) {
+        FullExecutorOptions full = baseline;
+        full.enable_reuse = scans;
+        full.enable_subplan_reuse = reuse;
+        ExecutionStats stats;
+        XK_ASSERT_OK_AND_ASSIGN(
+            std::vector<Mtton> actual,
+            xk_->AllResults(q, "MinClust", options, full, &stats));
+        EXPECT_EQ(actual, expected)
+            << "reuse=" << reuse << " scans=" << scans << " " << q[0];
+        if (!(reuse && scans)) {
+          EXPECT_EQ(stats.subplan_hits, 0u);
+        }
+      }
+    }
+  }
+}
+
+// Subplan stats surface through the engine: a reuse run on a shared-prefix
+// query reports misses (leader materializations) and a byte high-water mark.
+TEST_F(TopKExecutorTest, SubplanStatsAreReported) {
+  QueryOptions options;
+  options.max_size_z = 6;
+  options.per_network_k = 50;
+  options.num_threads = 1;
+  uint64_t hits = 0, misses = 0;
+  for (const auto& q : std::vector<std::vector<std::string>>{
+           {"ullman", "widom"}, {"gray", "codd"}, {"stonebraker", "author47"}}) {
+    ExecutionStats stats;
+    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
+                            xk_->TopK(q, "MinClust", options, &stats));
+    (void)results;
+    hits += stats.subplan_hits;
+    misses += stats.subplan_misses;
+    if (stats.subplan_misses > 0) EXPECT_GT(stats.subplan_bytes, 0u);
+  }
+  EXPECT_GT(misses, 0u);
+  EXPECT_GT(hits, 0u);
+}
+
 // Single-object plans (one-keyword queries join nothing) must show up in the
 // stats like every other plan: their scan and emitted results are counted.
 TEST_F(TopKExecutorTest, SingleObjectPlansRecordStats) {
