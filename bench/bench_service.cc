@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "engine/xkeyword.h"
 #include "service/query_service.h"
 
 namespace {
@@ -43,16 +44,21 @@ struct LoopSetup {
   /// Queries cycled per client; 0 = the whole fixture workload.
   size_t distinct_queries = 0;
   xk::engine::CacheMode cache_mode = xk::engine::CacheMode::kBypass;
+  /// Serve from the sharded data plane (ShardedDblpBench) instead of the
+  /// single-instance engine; queries then scatter to `num_shards` groups.
+  bool use_sharded_engine = false;
+  int num_shards = 1;
 };
 
 QueryRequest MakeRequest(const std::vector<std::string>& keywords,
-                         xk::engine::CacheMode cache_mode) {
+                         const LoopSetup& setup) {
   QueryRequest request;
   request.keywords = keywords;
   request.decomposition = "XKeyword";
   request.options.max_size_z = 6;
   request.options.per_network_k = 10;
-  request.cache_mode = cache_mode;
+  request.options.num_shards = setup.num_shards;
+  request.cache_mode = setup.cache_mode;
   return request;
 }
 
@@ -72,15 +78,20 @@ void BM_ServiceClosedLoop(benchmark::State& state, const LoopSetup& setup) {
   uint64_t rejected = 0;
   uint64_t hits = 0, misses = 0, coalesced = 0;
   double p50 = 0, p99 = 0;
+  const xk::engine::QueryEngine* engine =
+      setup.use_sharded_engine
+          ? static_cast<const xk::engine::QueryEngine*>(
+                &xk::bench::ShardedDblpBench::Get().engine())
+          : &fixture.xk();
   for (auto _ : state) {
-    auto service = QueryService::Create(&fixture.xk(), options).MoveValueUnsafe();
+    auto service = QueryService::Create(engine, options).MoveValueUnsafe();
     std::vector<std::thread> clients;
     clients.reserve(static_cast<size_t>(setup.clients));
     for (int c = 0; c < setup.clients; ++c) {
       clients.emplace_back([&, c] {
         for (int i = 0; i < setup.queries_per_client; ++i) {
-          auto handle = service->Submit(
-              MakeRequest(queries[(c + i) % cycle], setup.cache_mode));
+          auto handle =
+              service->Submit(MakeRequest(queries[(c + i) % cycle], setup));
           if (!handle.ok()) continue;  // rejected: counted by the service
           auto response = handle->Wait();
           benchmark::DoNotOptimize(response);
@@ -162,6 +173,26 @@ void RegisterAll() {
     r->Unit(benchmark::kMillisecond);
     r->Iterations(2);
     r->UseRealTime();
+  }
+
+  // Sharded data plane behind the service: the same closed loop served by
+  // engine::ShardedEngine, each query scattering to S shard groups. S:1
+  // delegates to the inner single-instance engine, so the pair isolates the
+  // serving-layer effect of per-query scatter-gather parallelism.
+  for (int shards : {1, 4}) {
+    LoopSetup sharded;
+    sharded.clients = 4;
+    sharded.workers = 4;
+    sharded.use_sharded_engine = true;
+    sharded.num_shards = shards;
+    auto* s = benchmark::RegisterBenchmark(
+        ("ServiceSharded/S:" + std::to_string(shards) + "/C:4/W:4").c_str(),
+        [sharded](benchmark::State& state) {
+          BM_ServiceClosedLoop(state, sharded);
+        });
+    s->Unit(benchmark::kMillisecond);
+    s->Iterations(2);
+    s->UseRealTime();
   }
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/stopwatch.h"
 #include "datagen/dblp_gen.h"
+#include "engine/xkeyword.h"
 #include "service/query_service.h"
 
 int main() {

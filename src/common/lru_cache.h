@@ -185,6 +185,21 @@ class ShardedLruCache {
   size_t num_shards() const { return shards_.size(); }
   size_t shard_budget_bytes() const { return shard_budget_; }
 
+  /// The shard `key` maps to (exposed so tests can assert the distribution).
+  /// The raw Hash value is passed through a 64-bit finalizer before the
+  /// modulo: identity-style hashes (std::hash of integers on common standard
+  /// libraries) put all their entropy wherever the key puts it, and keys
+  /// that differ only in high bits would otherwise pile onto one shard.
+  size_t ShardIndexOf(const K& key) const {
+    uint64_t h = static_cast<uint64_t>(Hash{}(key));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h % shards_.size());
+  }
+
  private:
   struct Entry {
     K key;
@@ -202,9 +217,7 @@ class ShardedLruCache {
     uint64_t evictions = 0;
   };
 
-  Shard& ShardOf(const K& key) {
-    return shards_[Hash{}(key) % shards_.size()];
-  }
+  Shard& ShardOf(const K& key) { return shards_[ShardIndexOf(key)]; }
 
   /// Caller holds the shard lock.
   size_t EvictUntilFit(Shard* shard) {

@@ -81,28 +81,21 @@ struct SubplanMemo {
   size_t budget = 0;
 };
 
-/// Full hash-join evaluation of one plan with reuse of filtered scans.
+/// Hash-join evaluation of one plan over caller-provided filtered scans.
 /// Intermediates are kept as per-step indexes into the filtered scans (one
 /// uint32 per step per row), so joins shuffle indexes, not tuples. With
 /// `exec_options.vectorized` the build side is a flat open-addressing
 /// JoinHashTable probed in key blocks; otherwise the legacy unordered_map.
 /// Either way output order is the scan-order nested enumeration.
-void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
-                 bool enable_reuse, SubplanMemo* memo,
-                 const exec::ExecOptions& exec_options, ExecutionStats* stats,
-                 const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
+void HashJoinOnScans(const opt::CtssnPlan& plan,
+                     const std::vector<const std::vector<storage::Tuple>*>& scans,
+                     SubplanMemo* memo, const exec::ExecOptions& exec_options,
+                     ExecutionStats* stats,
+                     const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
   const std::vector<exec::JoinStep>& steps = plan.query.steps;
   const size_t num_steps = steps.size();
   const CancelToken* cancel = exec_options.cancel;
   auto groups = SameSegmentGroups(*plan.ctssn);
-
-  // Filtered scans stay cancel-free: they are bounded by table size and feed
-  // the per-query reuse cache, which must never hold truncated views.
-  std::vector<const std::vector<storage::Tuple>*> scans(num_steps);
-  for (size_t i = 0; i < num_steps; ++i) {
-    scans[i] = FilteredScan(steps[i], plan.step_signatures[i], cache,
-                            enable_reuse, stats);
-  }
 
   auto stop_requested = [&] {
     return cancel != nullptr && cancel->StopRequested();
@@ -253,6 +246,22 @@ void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
   }
 }
 
+/// Full hash-join evaluation of one plan with reuse of filtered scans.
+void RunHashJoin(const opt::CtssnPlan& plan, opt::MaterializedViewCache* cache,
+                 bool enable_reuse, SubplanMemo* memo,
+                 const exec::ExecOptions& exec_options, ExecutionStats* stats,
+                 const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
+  // Filtered scans stay cancel-free: they are bounded by table size and feed
+  // the per-query reuse cache, which must never hold truncated views.
+  const size_t num_steps = plan.query.steps.size();
+  std::vector<const std::vector<storage::Tuple>*> scans(num_steps);
+  for (size_t i = 0; i < num_steps; ++i) {
+    scans[i] = FilteredScan(plan.query.steps[i], plan.step_signatures[i], cache,
+                            enable_reuse, stats);
+  }
+  HashJoinOnScans(plan, scans, memo, exec_options, stats, emit);
+}
+
 void RunIndexNestedLoop(
     const opt::CtssnPlan& plan, const exec::ExecOptions& exec_options,
     bool enable_semijoin_pruning, BloomCache* bloom_cache, ExecutionStats* stats,
@@ -276,6 +285,29 @@ void RunIndexNestedLoop(
 }
 
 }  // namespace
+
+std::vector<storage::Tuple> FilteredScanTuples(const storage::Table& table,
+                                               const exec::JoinStep& step,
+                                               ExecutionStats* stats) {
+  std::vector<storage::Tuple> rows;
+  exec::ExecOptions no_index{.use_indexes = false};
+  exec::ForEachMatch(table, step.const_filters, step.in_filters, no_index,
+                     [&](storage::RowId r) {
+                       storage::TupleView row = table.Row(r);
+                       rows.emplace_back(row.begin(), row.end());
+                       return true;
+                     },
+                     stats != nullptr ? &stats->probes : nullptr);
+  return rows;
+}
+
+void RunHashJoinOnScans(
+    const opt::CtssnPlan& plan,
+    const std::vector<const std::vector<storage::Tuple>*>& scans,
+    const exec::ExecOptions& exec_options, ExecutionStats* stats,
+    const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
+  HashJoinOnScans(plan, scans, /*memo=*/nullptr, exec_options, stats, emit);
+}
 
 Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query,
                                                       ExecutionStats* stats) {

@@ -87,6 +87,20 @@ struct QueryOptions {
   /// way (kept as a knob so benches can A/B the two engines).
   bool vectorized = true;
 
+  /// Sharded data plane (engine::ShardedEngine only; the single-instance
+  /// XKeyword facade ignores these). Number of shard groups a query scatters
+  /// to: 1 = the degenerate single-shard path (byte-identical to XKeyword by
+  /// construction), N > 1 groups the engine's loaded slices into at most N
+  /// contiguous target-object ID ranges, each evaluated by its own per-shard
+  /// executor. Results are byte-identical to num_shards = 1 for every value.
+  int num_shards = 1;
+  /// Threads of the scatter pool (0 = one thread per shard group).
+  int shard_parallelism = 0;
+  /// Push the gather stage's global k-th-position watermark back down to the
+  /// shards as a monotonically tightening bound for early termination. Never
+  /// changes results; kept as a knob so benches can A/B the savings.
+  bool shard_bound_pushdown = true;
+
   /// Cooperative cancellation/deadline token (not owned, may be null). The
   /// executors poll it at plan, morsel, and probe granularity and return
   /// whatever results were complete when it tripped. Installed by
@@ -113,6 +127,12 @@ struct QueryOptions {
       return Status::InvalidArgument(
           "enable_subplan_reuse requires subplan_cache_budget_bytes > 0");
     }
+    if (num_shards < 1) {
+      return Status::InvalidArgument("num_shards must be >= 1");
+    }
+    if (shard_parallelism < 0) {
+      return Status::InvalidArgument("shard_parallelism must be >= 0");
+    }
     return Status::OK();
   }
 };
@@ -135,6 +155,13 @@ struct ExecutionStats {
   uint64_t subplan_misses = 0;
   uint64_t subplan_bytes = 0;
   uint64_t dedup_saved_rows = 0;
+  /// Sharded scatter-gather (engine::ShardedEngine): shard tasks fanned out /
+  /// step-0 driver rows skipped because the gather watermark proved they
+  /// cannot reach the top-k / shard loops that terminated before exhausting
+  /// their driver slice (bound reached, local cap, or cancellation).
+  uint64_t shard_fanout = 0;
+  uint64_t shard_bound_prunes = 0;
+  uint64_t shard_early_stops = 0;
 
   void Add(const ExecutionStats& o) {
     probes.Add(o.probes);
@@ -148,6 +175,9 @@ struct ExecutionStats {
     subplan_misses += o.subplan_misses;
     subplan_bytes = std::max(subplan_bytes, o.subplan_bytes);
     dedup_saved_rows += o.dedup_saved_rows;
+    shard_fanout += o.shard_fanout;
+    shard_bound_prunes += o.shard_bound_prunes;
+    shard_early_stops += o.shard_early_stops;
   }
 };
 

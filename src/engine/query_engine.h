@@ -1,0 +1,40 @@
+// Copyright (c) the XKeyword authors.
+//
+// QueryEngine: the abstract data-plane contract the serving layer programs
+// against. Both the single-instance XKeyword facade and the sharded
+// scatter-gather engine (ShardedEngine) implement it, so QueryService can
+// front either without caring how many shards answer a query.
+
+#ifndef XK_ENGINE_QUERY_ENGINE_H_
+#define XK_ENGINE_QUERY_ENGINE_H_
+
+#include <cstdint>
+
+#include "common/cancel_token.h"
+#include "common/result.h"
+#include "engine/query_request.h"
+
+namespace xk::engine {
+
+/// A synchronous keyword-query data plane. Implementations must be safe to
+/// call from many threads concurrently once loading is done.
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  /// Serves one request. Semantics follow XKeyword::Run: a tripped
+  /// deadline/cancel yields an OK Result whose response carries
+  /// kDeadlineExceeded/kCancelled plus partial results; hard failures yield
+  /// an error Result.
+  virtual Result<QueryResponse> Run(const QueryRequest& request,
+                                    CancelToken* token = nullptr) const = 0;
+
+  /// Monotonic generation of the queryable state (see
+  /// XKeyword::data_generation); the serving layer uses it to invalidate
+  /// cached answers when the data changes.
+  virtual uint64_t data_generation() const = 0;
+};
+
+}  // namespace xk::engine
+
+#endif  // XK_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,139 @@
+#include "engine/shard_local_engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+#include "engine/full_executor.h"
+#include "exec/operators.h"
+
+namespace xk::engine {
+
+namespace {
+
+/// Shard-owned step-0 matches of a slice table, reported as global row ids.
+/// The slice preserves global row order and the scan has no constant bindings
+/// (the optimizer never produces step-0 const filters), so the scan visits
+/// slice rows ascending and the mapped list comes out ascending too.
+std::vector<storage::RowId> SliceDriverMatches(
+    const storage::Table& slice, const std::vector<storage::RowId>& row_map,
+    const PlanLayout& layout, const exec::ExecOptions& options,
+    ExecutionStats* stats) {
+  const exec::JoinStep& step = layout.plan().query.steps[0];
+  std::vector<storage::RowId> rows;
+  exec::ForEachMatch(slice, step.const_filters, layout.step_filters(0),
+                     layout.step_blooms()[0], options,
+                     [&](storage::RowId r) {
+                       rows.push_back(row_map[r]);
+                       return true;
+                     },
+                     stats != nullptr ? &stats->probes : nullptr);
+  return rows;
+}
+
+}  // namespace
+
+// --- WholeInstanceShard --------------------------------------------------
+
+WholeInstanceShard::WholeInstanceShard(const LoadedData* data) : data_(data) {
+  range_ = ShardRange{0, data_->objects.NumObjects()};
+}
+
+std::vector<storage::RowId> WholeInstanceShard::DriverMatches(
+    const PlanLayout& layout, const exec::ExecOptions& options,
+    ExecutionStats* stats) const {
+  return EnumerateDriverMatches(layout, options, stats);
+}
+
+std::vector<storage::Tuple> WholeInstanceShard::AnchorScan(
+    const exec::JoinStep& step, ExecutionStats* stats) const {
+  return FilteredScanTuples(*step.table, step, stats);
+}
+
+// --- SlicedShard ---------------------------------------------------------
+
+SlicedShard::SlicedShard(const LoadedData* data, ShardRange range)
+    : data_(data), range_(range) {
+  master_slice_ = data_->master_index.Slice(range_.begin, range_.end);
+  const storage::BlobStore& blobs = data_->catalog.blob_store();
+  const storage::ObjectId end =
+      std::min<storage::ObjectId>(range_.end, data_->objects.NumObjects());
+  for (storage::ObjectId o = std::max<storage::ObjectId>(range_.begin, 0);
+       o < end; ++o) {
+    if (!blobs.Contains(o)) continue;
+    auto blob = blobs.Get(o);
+    XK_CHECK(blob.ok());
+    XK_CHECK(blob_slice_.Put(o, std::string(blob.value())).ok());
+  }
+}
+
+Status SlicedShard::AddTableSlice(const storage::Table* global) {
+  if (tables_.contains(global)) return Status::OK();
+  SliceTable entry;
+  entry.table =
+      std::make_unique<storage::Table>(global->name(), global->column_names());
+  const size_t num_rows = global->NumRows();
+  for (storage::RowId r = 0; r < num_rows; ++r) {
+    if (!range_.Contains(global->At(r, 0))) continue;
+    XK_RETURN_NOT_OK(entry.table->Append(global->Row(r)));
+    entry.row_map.push_back(r);
+  }
+  // Replicate the physical design so per-shard access-path selection sees the
+  // same options as the global table (clustering first — secondary indexes
+  // must build over final row positions).
+  if (global->IsClustered()) {
+    XK_RETURN_NOT_OK(entry.table->Cluster(global->clustering_key()));
+  }
+  for (const auto& ci : global->composite_indexes()) {
+    XK_RETURN_NOT_OK(entry.table->BuildCompositeIndex(ci->key_columns()));
+  }
+  for (int c = 0; c < global->arity(); ++c) {
+    if (global->GetHashIndex(c) != nullptr) {
+      XK_RETURN_NOT_OK(entry.table->BuildHashIndex(c));
+    }
+  }
+  entry.table->Freeze();
+  tables_.emplace(global, std::move(entry));
+  return Status::OK();
+}
+
+std::vector<storage::RowId> SlicedShard::DriverMatches(
+    const PlanLayout& layout, const exec::ExecOptions& options,
+    ExecutionStats* stats) const {
+  const storage::Table* global = layout.plan().query.steps[0].table;
+  auto it = tables_.find(global);
+  XK_CHECK(it != tables_.end());  // AddDecomposition slices every new table
+  return SliceDriverMatches(*it->second.table, it->second.row_map, layout,
+                            options, stats);
+}
+
+std::vector<storage::Tuple> SlicedShard::AnchorScan(const exec::JoinStep& step,
+                                                    ExecutionStats* stats) const {
+  auto it = tables_.find(step.table);
+  XK_CHECK(it != tables_.end());  // AddDecomposition slices every new table
+  return FilteredScanTuples(*it->second.table, step, stats);
+}
+
+size_t SlicedShard::MemoryBytes() const {
+  size_t bytes = master_slice_.MemoryBytes() + blob_slice_.MemoryBytes();
+  for (const auto& [global, slice] : tables_) {
+    (void)global;
+    bytes += slice.table->MemoryBytes();
+    bytes += slice.row_map.capacity() * sizeof(storage::RowId);
+  }
+  return bytes;
+}
+
+const storage::Table* SlicedShard::SliceOf(const storage::Table* global) const {
+  auto it = tables_.find(global);
+  return it == tables_.end() ? nullptr : it->second.table.get();
+}
+
+std::span<const storage::RowId> SlicedShard::RowMapOf(
+    const storage::Table* global) const {
+  auto it = tables_.find(global);
+  if (it == tables_.end()) return {};
+  return it->second.row_map;
+}
+
+}  // namespace xk::engine

@@ -1,0 +1,155 @@
+// Copyright (c) the XKeyword authors.
+//
+// ShardLocalEngine: one shard of the sharded data plane. The instance is
+// partitioned by target-object ID range on the anchor column (column 0 — the
+// "from" target object every connection relation leads with), so each shard
+// owns the step-0 driver rows whose anchor falls in its range, plus its slice
+// of the master-index postings and the BLOB store. Continuation probes
+// (steps >= 1) read the shared global catalog: they follow join edges wherever
+// they lead, exactly like the single-instance engine, which is what keeps
+// sharded results byte-identical to the XKeyword oracle.
+//
+// Two implementations:
+//   * WholeInstanceShard — borrows the loaded instance whole; the degenerate
+//     single-shard case (and the fallback when the object space is too small
+//     to split).
+//   * SlicedShard — materializes per-shard slice tables with the global
+//     table's physical design replicated (clustering + secondary indexes) and
+//     a row map from slice row to global row id, so driver enumeration can be
+//     reported in global row coordinates.
+
+#ifndef XK_ENGINE_SHARD_LOCAL_ENGINE_H_
+#define XK_ENGINE_SHARD_LOCAL_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/load_stage.h"
+#include "engine/query_context.h"
+#include "engine/topk_executor.h"
+#include "keyword/master_index.h"
+#include "storage/blob_store.h"
+#include "storage/table.h"
+
+namespace xk::engine {
+
+/// Half-open target-object ID range [begin, end) owned by one shard.
+struct ShardRange {
+  storage::ObjectId begin = 0;
+  storage::ObjectId end = 0;
+
+  bool Contains(storage::ObjectId id) const { return id >= begin && id < end; }
+};
+
+/// One shard's view of the loaded instance. Implementations are immutable
+/// once built and safe for concurrent queries.
+class ShardLocalEngine {
+ public:
+  virtual ~ShardLocalEngine() = default;
+
+  virtual ShardRange range() const = 0;
+
+  /// The step-0 driver matches of `layout`'s plan that this shard owns
+  /// (anchor column 0 inside range()), as ASCENDING row ids of the global
+  /// step-0 relation. Concatenating every shard's list in range order yields
+  /// exactly EnumerateDriverMatches of the whole instance — the invariant
+  /// the gather stage's position merge rests on.
+  virtual std::vector<storage::RowId> DriverMatches(
+      const PlanLayout& layout, const exec::ExecOptions& options,
+      ExecutionStats* stats) const = 0;
+
+  /// The keyword-filtered rows of `step` this shard owns, in slice row order
+  /// (ascending global row order). Feeds the full-result union-merge path as
+  /// the shard-private scans[0] of a hash join.
+  virtual std::vector<storage::Tuple> AnchorScan(const exec::JoinStep& step,
+                                                 ExecutionStats* stats) const = 0;
+
+  /// This shard's slice of the master-index postings (to_id in range()).
+  virtual const keyword::MasterIndex& master_index() const = 0;
+
+  /// This shard's slice of the target-object BLOB store.
+  virtual const storage::BlobStore& blob_store() const = 0;
+
+  /// Footprint of the shard-owned state (0 for a borrowed whole instance).
+  virtual size_t MemoryBytes() const = 0;
+};
+
+/// Degenerate shard: the whole instance, borrowed (no copies).
+class WholeInstanceShard : public ShardLocalEngine {
+ public:
+  /// `data` must outlive the shard.
+  explicit WholeInstanceShard(const LoadedData* data);
+
+  ShardRange range() const override { return range_; }
+  std::vector<storage::RowId> DriverMatches(const PlanLayout& layout,
+                                            const exec::ExecOptions& options,
+                                            ExecutionStats* stats) const override;
+  std::vector<storage::Tuple> AnchorScan(const exec::JoinStep& step,
+                                         ExecutionStats* stats) const override;
+  const keyword::MasterIndex& master_index() const override {
+    return data_->master_index;
+  }
+  const storage::BlobStore& blob_store() const override {
+    return data_->catalog.blob_store();
+  }
+  size_t MemoryBytes() const override { return 0; }
+
+ private:
+  const LoadedData* data_;
+  ShardRange range_;
+};
+
+/// A materialized slice of the instance for one ID range.
+class SlicedShard : public ShardLocalEngine {
+ public:
+  /// Slices the master index and BLOB store of `data` (which must outlive the
+  /// shard) to `range`. Connection-relation slices are added per table as
+  /// decompositions materialize (AddTableSlice).
+  SlicedShard(const LoadedData* data, ShardRange range);
+
+  /// Partitions `global` (a frozen connection relation): keeps the rows whose
+  /// anchor column 0 lies in range(), preserving global row order, records
+  /// the slice-row -> global-row map, and replicates the global physical
+  /// design (clustering key, composite indexes, per-column hash indexes).
+  /// Re-clustering is an identity permutation — the slice is a subsequence of
+  /// a table already sorted by the same key and Table::Cluster sorts stably —
+  /// so the row map stays aligned.
+  Status AddTableSlice(const storage::Table* global);
+
+  ShardRange range() const override { return range_; }
+  std::vector<storage::RowId> DriverMatches(const PlanLayout& layout,
+                                            const exec::ExecOptions& options,
+                                            ExecutionStats* stats) const override;
+  std::vector<storage::Tuple> AnchorScan(const exec::JoinStep& step,
+                                         ExecutionStats* stats) const override;
+  const keyword::MasterIndex& master_index() const override { return master_slice_; }
+  const storage::BlobStore& blob_store() const override { return blob_slice_; }
+  size_t MemoryBytes() const override;
+
+  // --- Introspection (tests) --------------------------------------------
+
+  /// The slice of `global`, or nullptr if never added.
+  const storage::Table* SliceOf(const storage::Table* global) const;
+  /// The slice-row -> global-row map of `global`'s slice (empty if absent).
+  std::span<const storage::RowId> RowMapOf(const storage::Table* global) const;
+
+ private:
+  struct SliceTable {
+    std::unique_ptr<storage::Table> table;
+    std::vector<storage::RowId> row_map;  // slice row -> global row, ascending
+  };
+
+  const LoadedData* data_;
+  ShardRange range_;
+  keyword::MasterIndex master_slice_;
+  storage::BlobStore blob_slice_;
+  /// Keyed by the global table (Catalog hands out stable pointers).
+  std::unordered_map<const storage::Table*, SliceTable> tables_;
+};
+
+}  // namespace xk::engine
+
+#endif  // XK_ENGINE_SHARD_LOCAL_ENGINE_H_

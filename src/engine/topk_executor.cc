@@ -325,6 +325,23 @@ void PlanEvaluator::RunMorsel(
   }
 }
 
+void PlanEvaluator::RunDriverRows(
+    std::span<const storage::RowId> driver_rows,
+    const std::function<bool(size_t)>& gate,
+    const std::function<bool(size_t, const std::vector<storage::ObjectId>&)>& emit) {
+  if (plan_->query.steps.empty()) return;
+  std::vector<storage::TupleView> rows(plan_->query.steps.size());
+  std::vector<storage::ObjectId> objs(plan_->node_source.size(),
+                                      storage::kInvalidId);
+  for (size_t i = 0; i < driver_rows.size(); ++i) {
+    if (gate && !gate(i)) return;
+    auto indexed_emit = [&](const std::vector<storage::ObjectId>& o) {
+      return emit(i, o);
+    };
+    if (!EvalDriverRow(driver_rows[i], &rows, &objs, indexed_emit)) return;
+  }
+}
+
 void PlanEvaluator::RunReplay(
     const exec::MaterializedSubplan& prefix, size_t begin, size_t end,
     const std::function<bool(const std::vector<storage::ObjectId>&)>& emit) {
@@ -470,8 +487,6 @@ void EvaluateSingleObjectPlan(
 
 // --- TopKExecutor --------------------------------------------------------
 
-namespace {
-
 /// Serial-order cap on one plan's output: the first `limit` results in
 /// driver/nested-loop order, matching the single-threaded emit semantics
 /// (per_network_k = 0 behaves like 1: the emit that trips the cap is kept).
@@ -482,6 +497,19 @@ size_t PlanResultCap(const QueryOptions& options, size_t results_so_far) {
   }
   return cap;
 }
+
+void SortMttons(std::vector<present::Mtton>* results) {
+  std::stable_sort(results->begin(), results->end(),
+                   [](const present::Mtton& a, const present::Mtton& b) {
+                     if (a.score != b.score) return a.score < b.score;
+                     if (a.ctssn_index != b.ctssn_index) {
+                       return a.ctssn_index < b.ctssn_index;
+                     }
+                     return a.objects < b.objects;
+                   });
+}
+
+namespace {
 
 /// Morsel-parallel evaluation of one multi-step plan: partitions the driver
 /// matches, fans the continuations out over `pool`, and appends the first
@@ -597,17 +625,6 @@ void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
     }
   }
   for (const auto& shard : shards) plan_stats->Add(shard->stats());
-}
-
-void SortMttons(std::vector<present::Mtton>* results) {
-  std::stable_sort(results->begin(), results->end(),
-                   [](const present::Mtton& a, const present::Mtton& b) {
-                     if (a.score != b.score) return a.score < b.score;
-                     if (a.ctssn_index != b.ctssn_index) {
-                       return a.ctssn_index < b.ctssn_index;
-                     }
-                     return a.objects < b.objects;
-                   });
 }
 
 }  // namespace

@@ -122,6 +122,17 @@ class PlanEvaluator {
   void RunMorsel(std::span<const storage::RowId> driver_rows,
                  const std::function<bool(const std::vector<storage::ObjectId>&)>& emit);
 
+  /// Like RunMorsel, but with per-driver-row hooks for callers that need to
+  /// attribute results to rows or stop between rows: `gate(i)` (may be null)
+  /// is consulted before driver_rows[i] is bound — returning false ends the
+  /// run — and `emit` receives the span index of the driver row that produced
+  /// each result. The sharded scatter stage uses the gate to poll the gather
+  /// watermark and the index to tag results with their global position.
+  void RunDriverRows(
+      std::span<const storage::RowId> driver_rows,
+      const std::function<bool(size_t)>& gate,
+      const std::function<bool(size_t, const std::vector<storage::ObjectId>&)>& emit);
+
   /// Replays prefix rows [begin, end) of a materialized shared subplan: binds
   /// the prefix steps from the stored row ids (no probes), then runs the
   /// nested loops from the first unshared step. Replay order equals the
@@ -208,6 +219,16 @@ void EvaluateSingleObjectPlan(
     const PreparedQuery& query, size_t plan_index,
     const std::function<bool(const std::vector<storage::ObjectId>&)>& emit,
     ExecutionStats* stats = nullptr);
+
+/// Serial-order cap on one plan's output given the results accumulated by the
+/// plans scheduled before it: the first `cap` results in driver/nested-loop
+/// order. Shared by the top-k executor and the sharded scatter-gather stage.
+size_t PlanResultCap(const QueryOptions& options, size_t results_so_far);
+
+/// Final ranking of every executor: stable sort by (score, ctssn_index,
+/// objects) — a total order on distinct values, so any execution order that
+/// produces the correct result multiset sorts to byte-identical output.
+void SortMttons(std::vector<present::Mtton>* results);
 
 }  // namespace xk::engine
 

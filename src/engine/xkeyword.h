@@ -28,12 +28,13 @@
 #include "engine/full_executor.h"
 #include "engine/load_stage.h"
 #include "engine/naive_executor.h"
+#include "engine/query_engine.h"
 #include "engine/query_request.h"
 #include "engine/topk_executor.h"
 
 namespace xk::engine {
 
-class XKeyword {
+class XKeyword : public QueryEngine {
  public:
   /// Loads the database. The graph, schema and TSS graph must outlive the
   /// returned object.
@@ -63,7 +64,7 @@ class XKeyword {
   /// has status kDeadlineExceeded/kCancelled, truncated = true, and partial
   /// mttons/stats; hard failures yield an error Result.
   Result<QueryResponse> Run(const QueryRequest& request,
-                            CancelToken* token = nullptr) const;
+                            CancelToken* token = nullptr) const override;
 
   /// Deprecated: use Run(QueryRequest{.mode = kTopK}). Top-k keyword query
   /// with the optimized (caching, threaded) executor.
@@ -98,7 +99,7 @@ class XKeyword {
   /// state changes (today: AddDecomposition; a future reload path must bump
   /// it too). The serving layer tags every cached answer with the generation
   /// it was computed under, so a bump atomically invalidates stale answers.
-  uint64_t data_generation() const {
+  uint64_t data_generation() const override {
     return generation_.load(std::memory_order_acquire);
   }
 

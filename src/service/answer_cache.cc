@@ -29,8 +29,12 @@ std::string AnswerCache::CanonicalKey(const engine::QueryRequest& request) {
   // partial-result cache, Bloom pruning) are byte-identity-preserving and
   // deadlines/cache_mode describe the serving contract, not the answer.
   const engine::QueryOptions& o = request.options;
-  key += StrFormat("\x1e" "z=%d;n=%d;k=%zu;g=%zu", o.max_size_z,
-                   o.max_network_size, o.per_network_k, o.global_k);
+  // num_shards is fingerprinted defensively: the sharded data plane is
+  // byte-identical by design, but an answer computed under a different
+  // scatter layout must never mask a regression of that very invariant.
+  key += StrFormat("\x1e" "z=%d;n=%d;k=%zu;g=%zu;s=%d", o.max_size_z,
+                   o.max_network_size, o.per_network_k, o.global_k,
+                   o.num_shards);
   if (request.mode == engine::QueryMode::kAll) {
     key += StrFormat(";fn=%d", request.full_options.max_network_size);
   }

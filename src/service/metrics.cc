@@ -20,6 +20,19 @@ void LatencyHistogram::Record(std::chrono::nanoseconds latency) {
   ++count_;
 }
 
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  if (count_ == 0) {
+    min_us_ = other.min_us_;
+    max_us_ = other.max_us_;
+  } else {
+    min_us_ = std::min(min_us_, other.min_us_);
+    max_us_ = std::max(max_us_, other.max_us_);
+  }
+  count_ += other.count_;
+}
+
 double LatencyHistogram::PercentileMicros(double p) const {
   if (count_ == 0) return 0;
   const double target = p / 100.0 * static_cast<double>(count_);
@@ -116,8 +129,48 @@ MetricsSnapshot Metrics::Snapshot() const {
     snap.subplan_misses += stats.subplan_misses;
     snap.subplan_bytes = std::max(snap.subplan_bytes, stats.subplan_bytes);
     snap.dedup_saved_rows += stats.dedup_saved_rows;
+    snap.shard_fanout += stats.shard_fanout;
+    snap.shard_bound_prunes += stats.shard_bound_prunes;
+    snap.shard_early_stops += stats.shard_early_stops;
   }
   return snap;
+}
+
+void Metrics::MergeFrom(const Metrics& other) {
+  const auto fold = [](std::atomic<uint64_t>& into,
+                       const std::atomic<uint64_t>& from) {
+    into.fetch_add(from.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  };
+  fold(submitted_, other.submitted_);
+  fold(rejected_, other.rejected_);
+  fold(completed_ok_, other.completed_ok_);
+  fold(deadline_exceeded_, other.deadline_exceeded_);
+  fold(cancelled_, other.cancelled_);
+  fold(failed_, other.failed_);
+  fold(cache_hits_, other.cache_hits_);
+  fold(cache_misses_, other.cache_misses_);
+  fold(coalesced_, other.coalesced_);
+  fold(cache_stale_, other.cache_stale_);
+  fold(cache_evicted_, other.cache_evicted_);
+  queue_depth_.fetch_add(other.queue_depth_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  in_flight_.fetch_add(other.in_flight_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  const int64_t other_peak =
+      other.peak_in_flight_.load(std::memory_order_relaxed);
+  int64_t peak = peak_in_flight_.load(std::memory_order_relaxed);
+  while (other_peak > peak &&
+         !peak_in_flight_.compare_exchange_weak(peak, other_peak,
+                                                std::memory_order_relaxed)) {
+  }
+  // scoped_lock acquires both mutexes deadlock-free regardless of the order
+  // two concurrent MergeFrom calls name the registries in.
+  std::scoped_lock lock(mutex_, other.mutex_);
+  latency_.Merge(other.latency_);
+  for (const auto& [name, stats] : other.per_decomposition_) {
+    per_decomposition_[name].Add(stats);
+  }
 }
 
 }  // namespace xk::service

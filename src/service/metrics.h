@@ -31,6 +31,13 @@ class LatencyHistogram {
  public:
   void Record(std::chrono::nanoseconds latency);
 
+  /// Folds `other` in: bucket-wise count addition plus min/max widening.
+  /// Exact — merging per-shard histograms yields the same buckets, count and
+  /// extremes (hence the same percentile answers) as one histogram that
+  /// recorded every sample, so per-shard stats combine without
+  /// double-counting and without extra error.
+  void Merge(const LatencyHistogram& other);
+
   uint64_t count() const { return count_; }
   /// Estimated latency (microseconds) at percentile `p` in (0, 100].
   /// Returns 0 with no samples.
@@ -88,6 +95,13 @@ struct MetricsSnapshot {
   uint64_t subplan_misses = 0;
   uint64_t subplan_bytes = 0;
   uint64_t dedup_saved_rows = 0;
+
+  /// Sharded data-plane totals across all decompositions — the serving-level
+  /// view of engine::ExecutionStats::shard_* (scatter tasks fanned out,
+  /// driver rows skipped by the gather watermark, shard loops stopped early).
+  uint64_t shard_fanout = 0;
+  uint64_t shard_bound_prunes = 0;
+  uint64_t shard_early_stops = 0;
 };
 
 /// The registry one QueryService owns. Thread-safe.
@@ -162,6 +176,14 @@ class Metrics {
   }
 
   MetricsSnapshot Snapshot() const;
+
+  /// Folds another registry's totals into this one: counters and gauges sum
+  /// (peak_in_flight takes the maximum — per-shard peaks never overlapped in
+  /// time is the conservative reading), latency histograms merge exactly, and
+  /// per-decomposition engine counters aggregate via ExecutionStats::Add.
+  /// Lets a fleet of per-shard services report one combined registry without
+  /// double-counting any sample.
+  void MergeFrom(const Metrics& other);
 
  private:
   std::atomic<uint64_t> submitted_{0};

@@ -150,15 +150,15 @@ void QueryHandle::Cancel() const {
 // --- QueryService --------------------------------------------------------
 
 Result<std::unique_ptr<QueryService>> QueryService::Create(
-    const engine::XKeyword* xk, QueryServiceOptions options) {
-  if (xk == nullptr) return Status::InvalidArgument("null XKeyword instance");
+    const engine::QueryEngine* engine, QueryServiceOptions options) {
+  if (engine == nullptr) return Status::InvalidArgument("null query engine");
   XK_RETURN_NOT_OK(options.Validate());
-  return std::unique_ptr<QueryService>(new QueryService(xk, options));
+  return std::unique_ptr<QueryService>(new QueryService(engine, options));
 }
 
-QueryService::QueryService(const engine::XKeyword* xk,
+QueryService::QueryService(const engine::QueryEngine* engine,
                            QueryServiceOptions options)
-    : xk_(xk),
+    : engine_(engine),
       options_(options),
       cache_(options.enable_answer_cache
                  ? std::make_unique<AnswerCache>(options.answer_cache)
@@ -184,7 +184,7 @@ Result<QueryHandle> QueryService::Submit(engine::QueryRequest request) {
   const bool coalesce = options_.enable_coalescing && !bypass;
   if (use_cache || coalesce) {
     state->cache_key = AnswerCache::CanonicalKey(req);
-    state->generation = xk_->data_generation();
+    state->generation = engine_->data_generation();
   }
 
   std::shared_ptr<CoalesceGroup> group;
@@ -259,7 +259,7 @@ void QueryService::Execute(const std::shared_ptr<QueryState>& state,
   }
   metrics_->OnStart();
 
-  Result<engine::QueryResponse> result = xk_->Run(state->request, &state->token);
+  Result<engine::QueryResponse> result = engine_->Run(state->request, &state->token);
   const Status outcome = result.ok() ? result.value().status : result.status();
   metrics_->OnFinish(state->request.decomposition, outcome,
                      result.ok() ? &result.value().stats : nullptr,
@@ -269,7 +269,7 @@ void QueryService::Execute(const std::shared_ptr<QueryState>& state,
   // if the data generation is still the one the query was admitted under.
   if (cache_ != nullptr && !state->cache_key.empty() && result.ok() &&
       result.value().status.ok() && !result.value().truncated &&
-      state->generation == xk_->data_generation()) {
+      state->generation == engine_->data_generation()) {
     metrics_->OnCacheEvicted(
         cache_->Put(state->cache_key, state->generation, result.value()));
   }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "datagen/dblp_gen.h"
+#include "engine/xkeyword.h"
 #include "service/answer_cache.h"
 #include "service/query_service.h"
 #include "test_util.h"
@@ -62,6 +63,12 @@ TEST(AnswerCacheKeyTest, ResultShapingOptionsChangeTheKey) {
   other = base;
   other.options.global_k = 7;
   EXPECT_NE(AnswerCache::CanonicalKey(other), key);
+  // num_shards is fingerprinted defensively even though the sharded data
+  // plane is byte-identical by contract: an answer computed under one
+  // scatter layout must never mask a regression of that invariant.
+  other = base;
+  other.options.num_shards = 4;
+  EXPECT_NE(AnswerCache::CanonicalKey(other), key);
 }
 
 TEST(AnswerCacheKeyTest, PerformanceKnobsAndServingContractDoNot) {
@@ -74,6 +81,8 @@ TEST(AnswerCacheKeyTest, PerformanceKnobsAndServingContractDoNot) {
   other.options.morsel_size = 7;
   other.options.enable_cache = false;
   other.options.enable_semijoin_pruning = false;
+  other.options.shard_parallelism = 8;
+  other.options.shard_bound_pushdown = false;
   EXPECT_EQ(AnswerCache::CanonicalKey(other), key);
   other = base;
   other.deadline = milliseconds(5);

@@ -282,6 +282,26 @@ TEST(ShardedLruCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.GetStats().evictions, 1u);
 }
 
+TEST(ShardedLruCacheTest, ShardSelectionMixesIdentityHashes) {
+  // Regression: shard selection used to mask the raw std::hash value. For
+  // integer keys std::hash is the identity on most standard libraries, so
+  // any key stream with a common power-of-two stride (aligned pointers,
+  // sequence numbers tagged in the high bits) collapsed onto shard 0 —
+  // turning the sharded cache into one contended LRU with 1/N the budget.
+  // The finalizer mix must spread such keys across every shard.
+  ShardedLruCache<uint64_t, int> cache(/*num_shards=*/8, /*max_bytes=*/4096);
+  std::vector<size_t> per_shard(cache.num_shards(), 0);
+  constexpr int kKeys = 1024;
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    ++per_shard[cache.ShardIndexOf(i << 32)];  // low 32 bits all zero
+  }
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    // Expected 128 per shard; a loose 2x band suffices to catch collapse.
+    EXPECT_GT(per_shard[s], kKeys / 16u) << "shard " << s;
+    EXPECT_LT(per_shard[s], kKeys / 4u) << "shard " << s;
+  }
+}
+
 TEST(ShardedLruCacheTest, OversizedEntryIsNotStored) {
   ShardedLruCache<int, int> cache(/*num_shards=*/1, /*max_bytes=*/100);
   cache.Put(1, std::make_shared<int>(1), 10);
