@@ -14,12 +14,12 @@
 
 namespace {
 
-void BM_AllResults(benchmark::State& state, const std::string& decomposition) {
+void BM_CompleteEnumeration(benchmark::State& state, const std::string& decomposition) {
   auto& fixture = xk::bench::DblpBench::Get();
   const int max_size = static_cast<int>(state.range(0));
   const auto& prepared = fixture.Prepared(decomposition, /*z=*/8);
 
-  xk::engine::FullExecutorOptions options;
+  xk::engine::QueryOptions options;
   options.max_network_size = max_size;
 
   uint64_t results = 0;
@@ -53,7 +53,7 @@ void RegisterAll() {
     auto* b = benchmark::RegisterBenchmark(
         (std::string("Fig15b/") + decomposition).c_str(),
         [decomposition](benchmark::State& state) {
-          BM_AllResults(state, decomposition);
+          BM_CompleteEnumeration(state, decomposition);
         });
     b->ArgName("maxCTSSN");
     // Size 6 is omitted: complete enumeration there yields ~4M results per

@@ -13,9 +13,9 @@ void BM_FullResults(benchmark::State& state, bool reuse) {
   auto& fixture = xk::bench::DblpBench::Get();
   const auto& prepared = fixture.Prepared("MinNClustNIndx", /*z=*/8);
 
-  xk::engine::FullExecutorOptions options;
-  options.mode = xk::engine::FullMode::kHashJoin;
-  options.enable_reuse = reuse;
+  xk::engine::QueryOptions options;
+  options.full_mode = xk::engine::FullMode::kHashJoin;
+  options.enable_scan_reuse = reuse;
   options.max_network_size = static_cast<int>(state.range(0));
 
   uint64_t reuse_hits = 0;

@@ -20,6 +20,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +49,12 @@ struct LoopSetup {
   /// single-instance engine; queries then scatter to `num_shards` groups.
   bool use_sharded_engine = false;
   int num_shards = 1;
+  /// Per-query deadline (0 = unbounded). Armed at admission, so queue wait
+  /// counts against it — the overload-degradation series relies on that.
+  std::chrono::milliseconds deadline{0};
+  /// Anytime CN budgeting under the deadline (QueryOptions::enable_anytime);
+  /// off = the legacy truncate-mid-CN behaviour, for the A/B.
+  bool anytime = true;
 };
 
 QueryRequest MakeRequest(const std::vector<std::string>& keywords,
@@ -58,7 +65,9 @@ QueryRequest MakeRequest(const std::vector<std::string>& keywords,
   request.options.max_size_z = 6;
   request.options.per_network_k = 10;
   request.options.num_shards = setup.num_shards;
+  request.options.enable_anytime = setup.anytime;
   request.cache_mode = setup.cache_mode;
+  if (setup.deadline.count() > 0) request.deadline = setup.deadline;
   return request;
 }
 
@@ -76,6 +85,7 @@ void BM_ServiceClosedLoop(benchmark::State& state, const LoopSetup& setup) {
 
   uint64_t completed = 0;
   uint64_t rejected = 0;
+  uint64_t degraded = 0, deadline_exceeded = 0;
   uint64_t hits = 0, misses = 0, coalesced = 0;
   double p50 = 0, p99 = 0;
   const xk::engine::QueryEngine* engine =
@@ -102,6 +112,8 @@ void BM_ServiceClosedLoop(benchmark::State& state, const LoopSetup& setup) {
     const MetricsSnapshot snap = service->metrics().Snapshot();
     completed += snap.completed_ok;
     rejected += snap.rejected;
+    degraded += snap.degraded;
+    deadline_exceeded += snap.deadline_exceeded;
     hits += snap.cache_hits;
     misses += snap.cache_misses;
     coalesced += snap.coalesced;
@@ -115,6 +127,14 @@ void BM_ServiceClosedLoop(benchmark::State& state, const LoopSetup& setup) {
   state.counters["p50_us"] = benchmark::Counter(p50);
   state.counters["p99_us"] = benchmark::Counter(p99);
   state.counters["rejected"] = benchmark::Counter(static_cast<double>(rejected));
+  if (setup.deadline.count() > 0) {
+    // The overload story: how many deadline-bound queries still delivered a
+    // usable (degraded) answer vs. how many tripped at all.
+    state.counters["degraded"] =
+        benchmark::Counter(static_cast<double>(degraded));
+    state.counters["deadline_exceeded"] =
+        benchmark::Counter(static_cast<double>(deadline_exceeded));
+  }
   if (setup.cache_mode != xk::engine::CacheMode::kBypass) {
     const uint64_t eligible = hits + misses + coalesced;
     state.counters["hit_rate"] = benchmark::Counter(
@@ -152,6 +172,28 @@ void RegisterAll() {
   b->Unit(benchmark::kMillisecond);
   b->Iterations(2);
   b->UseRealTime();
+
+  // Deadline overload: the same saturated one-worker setup, but every query
+  // carries a deadline armed at admission. Queue wait eats most of the
+  // budget, so late queries degrade; anytime:on spends the remaining budget
+  // on whole CNs (structured degraded answers with a coverage bound), while
+  // anytime:off is the legacy truncate-mid-CN behaviour. The rejected
+  // counter stays comparable to ServiceOverload — degradation converts
+  // would-be bare timeouts, not admission rejections.
+  for (bool anytime : {true, false}) {
+    LoopSetup deadline = overload;
+    deadline.deadline = std::chrono::milliseconds(7);
+    deadline.anytime = anytime;
+    auto* d = benchmark::RegisterBenchmark(
+        anytime ? "ServiceDeadlineOverload/anytime:on"
+                : "ServiceDeadlineOverload/anytime:off",
+        [deadline](benchmark::State& state) {
+          BM_ServiceClosedLoop(state, deadline);
+        });
+    d->Unit(benchmark::kMillisecond);
+    d->Iterations(2);
+    d->UseRealTime();
+  }
 
   // Repeated workload: 4 clients replay the same 8 queries 100 times each.
   // cache:on serves all but the first occurrence of each query from the

@@ -81,16 +81,25 @@ int main() {
   engine::QueryOptions options;
   options.max_size_z = 8;  // maximum result size Z
   options.per_network_k = 3;
-  auto results = xk.TopK({"john", "vcr"}, "MinClust", options);
-  if (!results.ok()) {
-    std::fprintf(stderr, "query error: %s\n", results.status().ToString().c_str());
+  engine::QueryRequest request;
+  request.keywords = {"john", "vcr"};
+  request.decomposition = "MinClust";
+  request.mode = engine::QueryMode::kTopK;
+  request.options = options;
+  auto response = xk.Run(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "query error: %s\n", response.status().ToString().c_str());
     return 1;
+  }
+  if (response->completeness != engine::Completeness::kComplete) {
+    std::fprintf(stderr, "degraded answer: %s\n",
+                 response->status.ToString().c_str());
   }
 
   std::printf("\nquery: john, vcr  ->  %zu results (top 3 per network)\n\n",
-              results->size());
+              response->mttons.size());
   auto prepared = xk.Prepare({"john", "vcr"}, "MinClust", options);
-  for (const present::Mtton& m : *results) {
+  for (const present::Mtton& m : response->mttons) {
     std::printf("%s\n",
                 present::RenderMtton(
                     m, prepared->ctssns[static_cast<size_t>(m.ctssn_index)],

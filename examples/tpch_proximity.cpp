@@ -57,25 +57,33 @@ int main() {
   for (const auto& q : queries) {
     std::printf("=== query: %s, %s ===\n", q[0].c_str(), q[1].c_str());
     for (const char* decomposition : {"MinClust", "XKeyword"}) {
-      engine::ExecutionStats stats;
+      engine::QueryRequest request;
+      request.keywords = q;
+      request.decomposition = decomposition;
+      request.mode = engine::QueryMode::kTopK;
+      request.options = options;
       Stopwatch sw;
-      auto results = xk.TopK(q, decomposition, options, &stats);
-      if (!results.ok()) return 1;
+      auto response = xk.Run(request);
+      if (!response.ok()) return 1;
       std::printf(
           "  %-9s %5zu results in %7.2f ms   (probes %llu, cache hits %llu)\n",
-          decomposition, results->size(), sw.ElapsedMillis(),
-          static_cast<unsigned long long>(stats.probes.probes),
-          static_cast<unsigned long long>(stats.cache_hits));
+          decomposition, response->mttons.size(), sw.ElapsedMillis(),
+          static_cast<unsigned long long>(response->stats.probes.probes),
+          static_cast<unsigned long long>(response->stats.cache_hits));
     }
     // Naive baseline on the minimal decomposition.
     {
-      engine::ExecutionStats stats;
+      engine::QueryRequest request;
+      request.keywords = q;
+      request.decomposition = "MinClust";
+      request.mode = engine::QueryMode::kNaive;
+      request.options = options;
       Stopwatch sw;
-      auto results = xk.TopKNaive(q, "MinClust", options, &stats);
-      if (!results.ok()) return 1;
+      auto response = xk.Run(request);
+      if (!response.ok()) return 1;
       std::printf("  %-9s %5zu results in %7.2f ms   (probes %llu, no cache)\n",
-                  "naive", results->size(), sw.ElapsedMillis(),
-                  static_cast<unsigned long long>(stats.probes.probes));
+                  "naive", response->mttons.size(), sw.ElapsedMillis(),
+                  static_cast<unsigned long long>(response->stats.probes.probes));
     }
   }
 

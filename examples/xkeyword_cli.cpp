@@ -41,9 +41,9 @@ void RunQuery(xk::engine::XKeyword& xk, const xk::schema::TssGraph& tss,
   request.mode = xk::engine::QueryMode::kTopK;
   request.options.max_size_z = 6;
   request.options.per_network_k = 3;
-  // Interactive budget: a runaway query returns what it found so far
-  // (response.status = kDeadlineExceeded, truncated = true) instead of
-  // hanging the prompt.
+  // Interactive budget: a runaway query returns the guaranteed prefix it
+  // could afford (response.status = kDeadlineExceeded, completeness
+  // kDegraded, coverage says how far it got) instead of hanging the prompt.
   request.deadline = std::chrono::seconds(10);
 
   xk::Stopwatch sw;
@@ -62,7 +62,9 @@ void RunQuery(xk::engine::XKeyword& xk, const xk::schema::TssGraph& tss,
   std::printf("%zu results across %zu candidate networks (%.2f ms)%s\n",
               response->mttons.size(), prepared->ctssns.size(),
               sw.ElapsedMillis(),
-              response->truncated ? " [truncated: deadline]" : "");
+              response->completeness != xk::engine::Completeness::kComplete
+                  ? " [degraded: deadline]"
+                  : "");
   int shown = 0;
   for (const xk::present::Mtton& m : response->mttons) {
     if (++shown > 5) {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "engine/progress_budget.h"
 #include "engine/topk_executor.h"
 #include "exec/join_hash_table.h"
 #include "exec/plan.h"
@@ -310,7 +311,8 @@ void RunHashJoinOnScans(
 }
 
 Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query,
-                                                      ExecutionStats* stats) {
+                                                      ExecutionStats* stats,
+                                                      Coverage* coverage) {
   std::vector<present::Mtton> results;
   opt::MaterializedViewCache cache;
   BloomCache bloom_cache;
@@ -320,18 +322,27 @@ Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query
   exec::ExecOptions exec_options = query.exec_options;
   exec_options.cancel = options_.cancel;
 
+  std::vector<bool> active(query.plans.size(), false);
+  for (size_t p = 0; p < query.plans.size(); ++p) {
+    active[p] = options_.max_network_size <= 0 ||
+                query.ctssns[p].tree.size() <=
+                    static_cast<size_t>(options_.max_network_size);
+  }
+  // Outcome ledger only: kAll is never budgeted (its contract is the complete
+  // list), but a deadline/cancel trip still yields an honest coverage report.
+  QueryOptions ledger_options = options_;
+  ledger_options.enable_anytime = false;
+  ProgressBudget ledger(query, active, ledger_options);
+
   // Prefix-intermediate memo for the hash-join path: count how many runnable
   // plans carry each prefix signature, so only genuinely shared prefixes are
   // stored. Requires scan reuse (the memo indexes the shared scans).
   SubplanMemo memo;
   SubplanMemo* memo_ptr = nullptr;
-  if (options_.enable_reuse && options_.enable_subplan_reuse) {
+  if (options_.enable_scan_reuse && options_.enable_subplan_reuse) {
     memo.budget = options_.subplan_cache_budget_bytes;
     for (size_t p = 0; p < query.plans.size(); ++p) {
-      if (options_.max_network_size > 0 &&
-          query.ctssns[p].tree.size() > options_.max_network_size) {
-        continue;
-      }
+      if (!active[p]) continue;
       for (const std::string& sig : query.plans[p].prefix_signatures) {
         ++memo.shared_count[sig];
       }
@@ -339,13 +350,13 @@ Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query
     memo_ptr = &memo;
   }
 
+  auto stop_requested = [&] {
+    return options_.cancel != nullptr && options_.cancel->StopRequested();
+  };
   for (size_t p = 0; p < query.plans.size(); ++p) {
-    if (options_.cancel != nullptr && options_.cancel->StopRequested()) break;
+    if (stop_requested()) break;  // unvisited plans stay "skipped"
     const opt::CtssnPlan& plan = query.plans[p];
-    if (options_.max_network_size > 0 &&
-        query.ctssns[p].tree.size() > options_.max_network_size) {
-      continue;
-    }
+    if (!active[p]) continue;
     auto emit = [&](const std::vector<storage::ObjectId>& objs) {
       results.push_back(
           present::Mtton{static_cast<int>(p), objs, query.ctssns[p].cn_size});
@@ -353,9 +364,10 @@ Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query
     };
     if (plan.query.steps.empty()) {
       EvaluateSingleObjectPlan(query, p, emit, stats);
+      ledger.OnPlanComplete(p, 0, 0);
       continue;
     }
-    FullMode mode = options_.mode;
+    FullMode mode = options_.full_mode;
     if (mode == FullMode::kAuto) {
       bool indexed = query.exec_options.use_indexes;
       if (indexed) {
@@ -373,10 +385,18 @@ Result<std::vector<present::Mtton>> FullExecutor::Run(const PreparedQuery& query
       RunIndexNestedLoop(plan, exec_options, options_.enable_semijoin_pruning,
                          bloom_cache_ptr, stats, emit);
     } else {
-      RunHashJoin(plan, &cache, options_.enable_reuse, memo_ptr, exec_options,
-                  stats, emit);
+      RunHashJoin(plan, &cache, options_.enable_scan_reuse, memo_ptr,
+                  exec_options, stats, emit);
+    }
+    // A stop observed right after a plan may have landed mid-plan: report it
+    // as interrupted, never as complete.
+    if (stop_requested()) {
+      ledger.OnPlanInterrupted(p);
+    } else {
+      ledger.OnPlanComplete(p, 0, 0);
     }
   }
+  if (coverage != nullptr) *coverage = ledger.Finish();
 
   std::stable_sort(results.begin(), results.end(),
                    [](const present::Mtton& a, const present::Mtton& b) {

@@ -20,46 +20,26 @@
 
 namespace xk::engine {
 
-/// Join strategy for full-result runs.
-enum class FullMode {
-  /// Hash joins on indexed decompositions, INLJ otherwise — mirrors what the
-  /// backing DBMS's optimizer would pick.
-  kAuto,
-  kIndexNestedLoop,
-  kHashJoin,
-};
-
-struct FullExecutorOptions {
-  FullMode mode = FullMode::kAuto;
-  /// Reuse keyword-filtered scans across networks.
-  bool enable_reuse = true;
-  /// Memoize hash-join intermediates of join prefixes shared by several
-  /// candidate networks (equal optimizer prefix signatures), so each shared
-  /// prefix joins once per query. Requires `enable_reuse` (the memo stores
-  /// indexes into the shared filtered scans). Never changes results.
-  bool enable_subplan_reuse = true;
-  /// Byte budget of the per-query prefix-intermediate memo; prefixes that
-  /// would exceed it are simply not memoized.
-  size_t subplan_cache_budget_bytes = 64ull << 20;
-  /// When > 0, skip networks with more CTSSN edges than this.
-  int max_network_size = 0;
-  /// Semi-join keyword pruning of index-nested-loop probes (see
-  /// QueryOptions::enable_semijoin_pruning). Never changes results.
-  bool enable_semijoin_pruning = true;
-  /// Cooperative cancellation/deadline token (not owned, may be null),
-  /// polled between plans, between join steps, and inside probe scans.
-  const CancelToken* cancel = nullptr;
-};
-
+/// Full-result executor over the merged QueryOptions knobs: `full_mode`
+/// picks the join strategy, `enable_scan_reuse` shares keyword-filtered
+/// scans across networks, `enable_subplan_reuse` + `subplan_cache_budget_bytes`
+/// memoize shared join-prefix intermediates (requires scan reuse — the memo
+/// stores indexes into the shared scans), and `cancel` is polled between
+/// plans, between join steps, and inside probe scans.
 class FullExecutor {
  public:
-  explicit FullExecutor(FullExecutorOptions options = {}) : options_(options) {}
+  explicit FullExecutor(QueryOptions options = {}) : options_(options) {}
 
+  /// When `coverage` is non-null, records per-plan completion so the caller
+  /// can derive a Completeness statement (kAll runs are not budgeted — the
+  /// mode's contract is the complete list — but a deadline/cancel trip still
+  /// yields an honest partial-coverage report).
   Result<std::vector<present::Mtton>> Run(const PreparedQuery& query,
-                                          ExecutionStats* stats = nullptr);
+                                          ExecutionStats* stats = nullptr,
+                                          Coverage* coverage = nullptr);
 
  private:
-  FullExecutorOptions options_;
+  QueryOptions options_;
 };
 
 /// Keyword-filtered scan of `table` under `step`'s local filters, in row

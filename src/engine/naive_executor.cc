@@ -9,7 +9,8 @@ namespace xk::engine {
 
 Result<std::vector<present::Mtton>> NaiveExecutor::Run(const PreparedQuery& query,
                                                        const QueryOptions& options,
-                                                       ExecutionStats* stats) {
+                                                       ExecutionStats* stats,
+                                                       Coverage* coverage) {
   // The naive algorithm is exactly the optimized one with the partial-result
   // cache disabled and a single thread — every inner loop re-probes the
   // relations ("it may send the same queries multiple times", Section 6).
@@ -17,7 +18,7 @@ Result<std::vector<present::Mtton>> NaiveExecutor::Run(const PreparedQuery& quer
   naive.enable_cache = false;
   naive.num_threads = 1;
   TopKExecutor executor;
-  return executor.Run(query, naive, stats);
+  return executor.Run(query, naive, stats, coverage);
 }
 
 }  // namespace xk::engine

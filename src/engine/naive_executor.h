@@ -18,10 +18,12 @@ class NaiveExecutor {
  public:
   NaiveExecutor() = default;
 
-  /// Same contract as TopKExecutor::Run, single-threaded, cacheless.
+  /// Same contract as TopKExecutor::Run (anytime budgeting and the coverage
+  /// report included), single-threaded, cacheless.
   Result<std::vector<present::Mtton>> Run(const PreparedQuery& query,
                                           const QueryOptions& options,
-                                          ExecutionStats* stats = nullptr);
+                                          ExecutionStats* stats = nullptr,
+                                          Coverage* coverage = nullptr);
 };
 
 }  // namespace xk::engine

@@ -20,6 +20,15 @@
 
 namespace xk::engine {
 
+/// Join strategy for full-result (QueryMode::kAll) runs.
+enum class FullMode {
+  /// Hash joins on indexed decompositions, INLJ otherwise — mirrors what the
+  /// backing DBMS's optimizer would pick.
+  kAuto,
+  kIndexNestedLoop,
+  kHashJoin,
+};
+
 /// Knobs of one keyword query.
 struct QueryOptions {
   /// Maximum MTNN size Z (Section 3.1: "the user specifies the maximum size
@@ -101,6 +110,38 @@ struct QueryOptions {
   /// changes results; kept as a knob so benches can A/B the savings.
   bool shard_bound_pushdown = true;
 
+  /// Full-result mode (QueryMode::kAll) only: join strategy.
+  FullMode full_mode = FullMode::kAuto;
+  /// Full-result mode only: reuse keyword-filtered scans across networks
+  /// (Section 4's common-subexpression reuse). The kAll prefix-intermediate
+  /// memo additionally requires this (it stores indexes into the shared
+  /// scans) on top of enable_subplan_reuse. Never changes results.
+  bool enable_scan_reuse = true;
+
+  /// Anytime execution: budget whole candidate networks against the
+  /// remaining deadline (or against `anytime_cost_budget`) instead of letting
+  /// a tripped deadline truncate mid-CN. The executor runs the cost-ordered
+  /// schedule, skips CNs the budget cannot afford, and the response reports a
+  /// structured quality bound (QueryResponse::coverage). With no deadline and
+  /// no cost budget this knob is inert: results are byte-identical to the
+  /// pre-anytime engine.
+  bool enable_anytime = true;
+  /// Deterministic anytime budget in cost-model units (the optimizer's
+  /// estimated_cost): every admitted plan charges its estimate; a plan whose
+  /// charge would exceed the budget is skipped whole (the first plan is
+  /// always admitted). 0 = disabled. Unlike the wall-clock deadline this is
+  /// reproducible, which the soundness/monotonicity tests rely on.
+  double anytime_cost_budget = 0;
+  /// Safety factor on the wall-clock admission estimate: a plan is admitted
+  /// only if its predicted time, scaled by this factor, fits the remaining
+  /// deadline. Larger = more conservative (more skips, fewer mid-plan
+  /// deadline trips).
+  double anytime_headroom = 1.25;
+  /// Floor of the per-plan scan-row allowance derived from the remaining
+  /// deadline in wall-clock anytime mode, so calibration noise can never
+  /// starve a plan outright.
+  uint64_t anytime_min_plan_rows = 4096;
+
   /// Cooperative cancellation/deadline token (not owned, may be null). The
   /// executors poll it at plan, morsel, and probe granularity and return
   /// whatever results were complete when it tripped. Installed by
@@ -133,8 +174,42 @@ struct QueryOptions {
     if (shard_parallelism < 0) {
       return Status::InvalidArgument("shard_parallelism must be >= 0");
     }
+    if (anytime_cost_budget < 0) {
+      return Status::InvalidArgument("anytime_cost_budget must be >= 0");
+    }
+    if (anytime_headroom < 1.0) {
+      return Status::InvalidArgument("anytime_headroom must be >= 1");
+    }
+    if (anytime_min_plan_rows == 0) {
+      return Status::InvalidArgument("anytime_min_plan_rows must be >= 1");
+    }
     return Status::OK();
   }
+};
+
+/// Structured quality bound of one executed query: how much of the candidate-
+/// network space the answer covers. Sound by construction — the executors run
+/// the plan-DAG schedule, which is nondecreasing in CN size class, so up to
+/// the first deviation (a budget skip or a mid-plan interruption) execution is
+/// byte-identical to an unbounded run; every class at or below
+/// `exhausted_class` lies entirely inside that identical prefix.
+struct Coverage {
+  /// Candidate networks the executor ran (a per-network-k or global-k emit
+  /// stop counts as complete: the answer needs nothing more from them; a plan
+  /// stopped mid-flight also counts here, with `interrupted` set).
+  uint32_t cns_executed = 0;
+  /// Active candidate networks that never ran: skipped whole by the anytime
+  /// budget, or never reached after a deadline/cancel stop.
+  uint32_t cns_skipped = 0;
+  /// Largest CN size class C such that every active plan of class <= C ran to
+  /// completion; the result prefix with score <= C provably matches the
+  /// unbounded run. -1 = no class fully exhausted.
+  int exhausted_class = -1;
+  /// True iff some plan stopped mid-execution (deadline, cancellation, or a
+  /// row-budget trip) — its partial results may be present but incomplete.
+  bool interrupted = false;
+
+  bool complete() const { return cns_skipped == 0 && !interrupted; }
 };
 
 /// Aggregated execution counters, reported by the benches next to wall time.

@@ -2,15 +2,15 @@
 //
 // The unified query API: one QueryRequest describes everything about a
 // keyword query — keywords, target decomposition, execution mode, per-query
-// wall-clock deadline, and knobs — and one QueryResponse carries everything
-// back: the MTTON list, execution statistics, and whether the result list
-// was truncated by a deadline or cancellation.
+// wall-clock deadline, and one knob struct — and one QueryResponse carries
+// everything back: the MTTON list, execution statistics, and a structured
+// quality statement (Completeness + Coverage) saying exactly how much of the
+// answer space the result covers when a deadline or anytime budget stopped
+// execution early.
 //
 // XKeyword::Run serves a request synchronously; service::QueryService
 // serves them concurrently with admission control (Submit returning a
-// joinable QueryHandle). The legacy per-mode entry points
-// (TopK/TopKNaive/AllResults) are thin wrappers over this API and are kept
-// for source compatibility only.
+// joinable QueryHandle).
 
 #ifndef XK_ENGINE_QUERY_REQUEST_H_
 #define XK_ENGINE_QUERY_REQUEST_H_
@@ -19,7 +19,6 @@
 #include <string>
 #include <vector>
 
-#include "engine/full_executor.h"
 #include "engine/query_context.h"
 #include "present/mtton.h"
 
@@ -77,30 +76,73 @@ struct QueryRequest {
   /// or negative = unbounded. When it runs out the query stops cooperatively
   /// and the response carries kDeadlineExceeded plus whatever results and
   /// statistics were complete. Under QueryService the budget starts at
-  /// admission, so queue wait counts against it.
+  /// admission, so queue wait counts against it. With
+  /// options.enable_anytime the deadline additionally drives whole-CN budget
+  /// decisions (see QueryOptions) instead of only truncating.
   std::chrono::nanoseconds deadline{0};
 
+  /// Every knob of the request — execution, sharding, full-result mode, and
+  /// the anytime budget — in one struct (QueryOptions::Validate covers it).
   QueryOptions options;
-  /// Extra knobs of the kAll mode (ignored otherwise).
-  FullExecutorOptions full_options;
 
   /// Answer-cache interaction under service::QueryService (see CacheMode).
   CacheMode cache_mode = CacheMode::kDefault;
 };
 
+/// How much of the full answer a response represents.
+enum class Completeness {
+  /// Every active candidate network ran to completion: the answer is exactly
+  /// what an unbounded run would return.
+  kComplete = 0,
+  /// Execution stopped early (deadline, cancel, or anytime budget) but the
+  /// response carries usable partial coverage; `coverage` bounds the quality
+  /// (the result prefix up to coverage.exhausted_class is provably correct).
+  kDegraded = 1,
+  /// Nothing usable was produced before the stop (e.g. the budget ran out
+  /// during preparation).
+  kFailed = 2,
+};
+
+inline const char* CompletenessToString(Completeness c) {
+  switch (c) {
+    case Completeness::kComplete: return "complete";
+    case Completeness::kDegraded: return "degraded";
+    case Completeness::kFailed: return "failed";
+  }
+  return "?";
+}
+
+/// The completeness a coverage summary implies for a response that carries
+/// `has_results` MTTONs. Shared by every engine front-end.
+inline Completeness DeriveCompleteness(const Coverage& coverage,
+                                       bool has_results) {
+  if (coverage.complete()) return Completeness::kComplete;
+  if (has_results || coverage.cns_executed > 0) return Completeness::kDegraded;
+  return Completeness::kFailed;
+}
+
 /// The outcome of a served request.
 struct QueryResponse {
-  /// OK for a complete answer; kDeadlineExceeded / kCancelled when execution
-  /// stopped early (results and stats are then partial). Hard failures —
-  /// unknown decomposition, invalid options — surface as the error of the
-  /// surrounding Result instead, with no response at all.
+  /// OK for a complete answer (and for answers degraded only by the
+  /// deterministic anytime cost budget); kDeadlineExceeded / kCancelled when
+  /// the wall-clock stop tripped (results and stats are then partial). Hard
+  /// failures — unknown decomposition, invalid options — surface as the
+  /// error of the surrounding Result instead, with no response at all.
   Status status;
   std::vector<present::Mtton> mttons;
   /// Probe/cache/bloom counters of this query; partial counts survive a
   /// deadline or cancellation.
   ExecutionStats stats;
-  /// True iff execution stopped before the full answer was enumerated.
-  bool truncated = false;
+  /// Quality statement: branch on this, not on status, to decide whether the
+  /// answer is the full answer.
+  Completeness completeness = Completeness::kComplete;
+  /// Structured quality bound backing `completeness` (CNs executed/skipped,
+  /// the largest fully exhausted size class).
+  Coverage coverage;
+
+  /// Deprecated (one release): pre-anytime truncation flag. True iff the
+  /// answer is not complete; prefer branching on `completeness`.
+  bool truncated() const { return completeness != Completeness::kComplete; }
 };
 
 }  // namespace xk::engine

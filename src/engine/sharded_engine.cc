@@ -11,7 +11,9 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "engine/full_executor.h"
+#include "engine/progress_budget.h"
 #include "engine/thread_pool.h"
 #include "engine/topk_executor.h"
 #include "opt/plan_dag.h"
@@ -90,6 +92,10 @@ struct ShardTaskOut {
   ExecutionStats stats;
   uint64_t prunes = 0;       // driver rows skipped via the watermark
   bool early_stop = false;   // stopped before exhausting the driver slice
+  /// Distinguishes a deadline/cancel/row-gate stop (the task's results are
+  /// incomplete) from the benign early stops above (local cap or watermark
+  /// prune — subsets the serial run discards anyway).
+  bool interrupted = false;
 };
 
 /// Evaluates one plan's continuations for the driver rows owned by the slice
@@ -100,7 +106,7 @@ void RunShardTask(const std::vector<std::unique_ptr<ShardLocalEngine>>& shards,
                   std::pair<size_t, size_t> group, const PlanLayout& layout,
                   const QueryOptions& options,
                   const exec::ExecOptions& exec_options, size_t limit,
-                  bool pushdown, ShardBoundWatermark* watermark,
+                  bool pushdown, ShardBoundWatermark* watermark, RowGate* gate,
                   ShardTaskOut* out) {
   // This group's driver rows, ascending in global row coordinates. Each
   // member list is ascending, but members interleave in row order when the
@@ -121,12 +127,14 @@ void RunShardTask(const std::vector<std::unique_ptr<ShardLocalEngine>>& shards,
   const CancelToken* cancel = exec_options.cancel;
   PlanEvaluator evaluator(&layout, exec_options, options.enable_cache,
                           options.cache_capacity);
+  evaluator.set_row_gate(gate);  // shared across this plan's shard tasks
   size_t taken = 0;
   evaluator.RunDriverRows(
       driver,
       [&](size_t i) {
         if (cancel != nullptr && cancel->StopRequested()) {
           out->early_stop = true;
+          out->interrupted = true;
           return false;
         }
         if (taken >= limit) {
@@ -154,6 +162,12 @@ void RunShardTask(const std::vector<std::unique_ptr<ShardLocalEngine>>& shards,
         return true;
       });
   out->stats.Add(evaluator.stats());
+  // A cancel or dry row gate can also unwind inside the evaluator, where the
+  // gate lambda never sees it.
+  if ((cancel != nullptr && cancel->StopRequested()) ||
+      (gate != nullptr && gate->Exhausted())) {
+    out->interrupted = true;
+  }
 }
 
 }  // namespace
@@ -244,8 +258,11 @@ Result<QueryResponse> ShardedEngine::Run(const QueryRequest& request,
 
   QueryResponse response;
   if (tok->StopRequested()) {
+    // The budget ran out during preparation: nothing was covered at all.
     response.status = tok->ToStatus();
-    response.truncated = true;
+    response.completeness = Completeness::kFailed;
+    response.coverage.cns_skipped = static_cast<uint32_t>(q.plans.size());
+    response.coverage.interrupted = true;
     return response;
   }
 
@@ -255,20 +272,21 @@ Result<QueryResponse> ShardedEngine::Run(const QueryRequest& request,
     case QueryMode::kTopK:
       RunShardedTopK(q, options, groups, &response);
       break;
-    case QueryMode::kAll: {
-      FullExecutorOptions full_options = request.full_options;
-      full_options.cancel = tok;
-      RunShardedAll(q, options, full_options, groups, &response);
+    case QueryMode::kAll:
+      RunShardedAll(q, options, groups, &response);
       break;
-    }
     case QueryMode::kNaive:
       XK_CHECK(false);  // delegated above
       break;
   }
   if (tok->StopRequested()) {
     response.status = tok->ToStatus();
-    response.truncated = true;
+    // Conservative: the trip may have landed after the coordinator's last
+    // poll — never report kComplete alongside a non-OK status.
+    response.coverage.interrupted = true;
   }
+  response.completeness =
+      DeriveCompleteness(response.coverage, !response.mttons.empty());
   return response;
 }
 
@@ -305,6 +323,14 @@ void ShardedEngine::RunShardedTopK(const PreparedQuery& query,
   dag_options.share_subplans = options.enable_subplan_reuse;
   const opt::PlanDag dag = opt::BuildPlanDag(query.plans, active, dag_options);
 
+  // Anytime budget: admission runs on the gather coordinator in schedule
+  // order — serially, exactly like the single-engine executor — so the
+  // admitted plan set (and thus the coverage bound) matches num_shards = 1.
+  // In wall-clock mode the per-plan row allowance is one gate shared by the
+  // plan's shard tasks.
+  ProgressBudget budget(query, active, options);
+  budget.PreAdmit(dag.schedule);
+
   const std::vector<std::pair<size_t, size_t>> slice_groups =
       SliceGroups(shards_.size(), groups);
   const int pool_threads = options.shard_parallelism > 0
@@ -313,9 +339,21 @@ void ShardedEngine::RunShardedTopK(const PreparedQuery& query,
   std::unique_ptr<ThreadPool> pool;
 
   for (size_t p : dag.schedule) {
-    if (stop_requested()) break;
+    if (stop_requested()) break;  // unvisited plans stay "skipped"
     if (skip_plan(p)) continue;
-    if (options.global_k != 0 && results.size() >= options.global_k) break;
+    if (options.global_k != 0 && results.size() >= options.global_k) {
+      budget.MarkUnreachedComplete();
+      break;
+    }
+    if (!budget.AdmitPlan(p)) continue;  // skip whole CN, try the next
+    Stopwatch plan_timer;
+    const uint64_t rows_before = per_plan_stats[p].probes.rows_scanned;
+    auto rows_scanned = [&] {
+      return per_plan_stats[p].probes.rows_scanned - rows_before;
+    };
+    auto elapsed_ns = [&] {
+      return static_cast<uint64_t>(plan_timer.ElapsedMicros()) * 1000;
+    };
     const size_t limit = PlanResultCap(options, results.size());
     const int score = query.ctssns[p].cn_size;
 
@@ -331,23 +369,26 @@ void ShardedEngine::RunShardedTopK(const PreparedQuery& query,
             return ++taken < limit;
           },
           &per_plan_stats[p]);
+      budget.OnPlanComplete(p, rows_scanned(), elapsed_ns());
       continue;
     }
 
     PlanLayout layout(&query.plans[p], options.enable_semijoin_pruning,
                       bloom_cache_ptr, &per_plan_stats[p]);
     ShardBoundWatermark watermark(limit);
+    std::shared_ptr<RowGate> gate = budget.MakeRowGate();
     std::vector<ShardTaskOut> outs(slice_groups.size());
     if (slice_groups.size() == 1) {
       RunShardTask(shards_, slice_groups[0], layout, options, exec_options,
-                   limit, options.shard_bound_pushdown, &watermark, &outs[0]);
+                   limit, options.shard_bound_pushdown, &watermark, gate.get(),
+                   &outs[0]);
     } else {
       if (pool == nullptr) pool = std::make_unique<ThreadPool>(pool_threads);
       for (size_t g = 0; g < slice_groups.size(); ++g) {
         pool->Submit([&, g] {
           RunShardTask(shards_, slice_groups[g], layout, options, exec_options,
                        limit, options.shard_bound_pushdown, &watermark,
-                       &outs[g]);
+                       gate.get(), &outs[g]);
         });
       }
       pool->WaitIdle();
@@ -358,6 +399,7 @@ void ShardedEngine::RunShardedTopK(const PreparedQuery& query,
     // task and stay in emission order); the first `limit` results are the
     // serial prefix the single engine would keep.
     per_plan_stats[p].shard_fanout += slice_groups.size();
+    bool interrupted = false;
     size_t total = 0;
     for (const ShardTaskOut& o : outs) total += o.rows.size();
     std::vector<std::pair<storage::RowId, std::vector<storage::ObjectId>>>
@@ -368,6 +410,7 @@ void ShardedEngine::RunShardedTopK(const PreparedQuery& query,
       per_plan_stats[p].Add(o.stats);
       per_plan_stats[p].shard_bound_prunes += o.prunes;
       if (o.early_stop) ++per_plan_stats[p].shard_early_stops;
+      if (o.interrupted) interrupted = true;
     }
     std::stable_sort(collected.begin(), collected.end(),
                      [](const auto& a, const auto& b) {
@@ -378,6 +421,12 @@ void ShardedEngine::RunShardedTopK(const PreparedQuery& query,
       results.push_back(present::Mtton{static_cast<int>(p),
                                        std::move(collected[i].second), score});
     }
+    // The plan is only as complete as its weakest shard task.
+    if (interrupted || stop_requested()) {
+      budget.OnPlanInterrupted(p);
+    } else {
+      budget.OnPlanComplete(p, rows_scanned(), elapsed_ns());
+    }
   }
 
   SortMttons(&results);
@@ -387,21 +436,33 @@ void ShardedEngine::RunShardedTopK(const PreparedQuery& query,
   for (const ExecutionStats& s : per_plan_stats) response->stats.Add(s);
   response->stats.results = results.size();
   response->mttons = std::move(results);
+  response->coverage = budget.Finish();
 }
 
 void ShardedEngine::RunShardedAll(const PreparedQuery& query,
-                                  const QueryOptions& options,
-                                  const FullExecutorOptions& full_options,
-                                  int groups, QueryResponse* response) const {
+                                  const QueryOptions& options, int groups,
+                                  QueryResponse* response) const {
   std::vector<present::Mtton> results;
   ExecutionStats* stats = &response->stats;
-  const CancelToken* cancel = full_options.cancel;
+  const CancelToken* cancel = options.cancel;
   exec::ExecOptions exec_options = query.exec_options;
   exec_options.cancel = cancel;
 
   auto stop_requested = [&] {
     return cancel != nullptr && cancel->StopRequested();
   };
+
+  // Outcome ledger only, like FullExecutor: kAll is never budgeted, but a
+  // deadline/cancel trip still yields an honest coverage report.
+  std::vector<bool> active(query.plans.size(), false);
+  for (size_t p = 0; p < query.plans.size(); ++p) {
+    active[p] = options.max_network_size <= 0 ||
+                query.ctssns[p].tree.size() <=
+                    static_cast<size_t>(options.max_network_size);
+  }
+  QueryOptions ledger_options = options;
+  ledger_options.enable_anytime = false;
+  ProgressBudget ledger(query, active, ledger_options);
 
   // Keyword-filtered scans of the probe steps (>= 1) are whole-instance state
   // shared by every shard task, computed once per distinct step signature
@@ -420,12 +481,9 @@ void ShardedEngine::RunShardedAll(const PreparedQuery& query,
   std::unique_ptr<ThreadPool> pool;
 
   for (size_t p = 0; p < query.plans.size(); ++p) {
-    if (stop_requested()) break;
+    if (stop_requested()) break;  // unvisited plans stay "skipped"
     const opt::CtssnPlan& plan = query.plans[p];
-    if (full_options.max_network_size > 0 &&
-        query.ctssns[p].tree.size() > full_options.max_network_size) {
-      continue;
-    }
+    if (!active[p]) continue;
     const int score = query.ctssns[p].cn_size;
 
     if (plan.query.steps.empty()) {
@@ -437,6 +495,7 @@ void ShardedEngine::RunShardedAll(const PreparedQuery& query,
             return true;
           },
           stats);
+      ledger.OnPlanComplete(p, 0, 0);
       continue;
     }
 
@@ -493,6 +552,13 @@ void ShardedEngine::RunShardedAll(const PreparedQuery& query,
                      std::make_move_iterator(outs[g].begin()),
                      std::make_move_iterator(outs[g].end()));
     }
+    // A stop observed right after the scatter may have landed mid-task:
+    // report the plan as interrupted, never as complete.
+    if (stop_requested()) {
+      ledger.OnPlanInterrupted(p);
+    } else {
+      ledger.OnPlanComplete(p, 0, 0);
+    }
   }
 
   SortMttons(&results);
@@ -500,6 +566,7 @@ void ShardedEngine::RunShardedAll(const PreparedQuery& query,
   stats->reuse_hits += view_cache.hits();
   stats->reuse_misses += view_cache.misses();
   response->mttons = std::move(results);
+  response->coverage = ledger.Finish();
 }
 
 }  // namespace xk::engine

@@ -87,8 +87,7 @@ class ShardedEngine : public QueryEngine {
   void RunShardedTopK(const PreparedQuery& query, const QueryOptions& options,
                       int groups, QueryResponse* response) const;
   void RunShardedAll(const PreparedQuery& query, const QueryOptions& options,
-                     const FullExecutorOptions& full_options, int groups,
-                     QueryResponse* response) const;
+                     int groups, QueryResponse* response) const;
 
   std::unique_ptr<XKeyword> inner_;
   std::vector<std::unique_ptr<ShardLocalEngine>> shards_;

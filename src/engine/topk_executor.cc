@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "engine/thread_pool.h"
 
 namespace xk::engine {
@@ -209,6 +210,16 @@ bool PlanEvaluator::Eval(
   // enumeration is ever cached (the keep_going guard below skips the Put).
   if (exec_options_.cancel != nullptr && exec_options_.cancel->StopRequested()) {
     return false;
+  }
+  // Anytime scan-row allowance, same unwind semantics. Consumption is
+  // reported in batches to keep the shared atomic off the hot path.
+  if (row_gate_ != nullptr) {
+    const uint64_t scanned = stats_.probes.rows_scanned;
+    if (scanned - gate_reported_rows_ >= 1024) {
+      row_gate_->Consume(scanned - gate_reported_rows_);
+      gate_reported_rows_ = scanned;
+    }
+    if (row_gate_->Exhausted()) return false;
   }
   const std::vector<exec::JoinStep>& steps = plan_->query.steps;
   if (i == steps.size()) {
@@ -522,7 +533,7 @@ void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
                     size_t limit, ThreadPool* pool,
                     std::vector<present::Mtton>* out,
                     ExecutionStats* plan_stats,
-                    const exec::MaterializedSubplan* prefix) {
+                    const exec::MaterializedSubplan* prefix, RowGate* gate) {
   const CancelToken* cancel = options.cancel;
   // The morsel-partitioned work items: materialized prefix rows when a shared
   // subplan is available (its step-0.. bindings replay instead of probing),
@@ -548,6 +559,7 @@ void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
   if (num_morsels <= 1 || pool == nullptr || pool->num_threads() <= 1) {
     PlanEvaluator evaluator(&layout, exec_options, options.enable_cache,
                             options.cache_capacity);
+    evaluator.set_row_gate(gate);
     size_t taken = 0;
     auto sink = [&](const std::vector<storage::ObjectId>& objs) {
       append(objs);
@@ -568,6 +580,7 @@ void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
     shard = std::make_unique<PlanEvaluator>(&layout, exec_options,
                                             options.enable_cache,
                                             options.cache_capacity);
+    shard->set_row_gate(gate);
   }
 
   // Per-morsel output slots, merged in morsel order afterwards. `cancelled`
@@ -631,7 +644,8 @@ void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
 
 Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query,
                                                       const QueryOptions& options,
-                                                      ExecutionStats* stats) {
+                                                      ExecutionStats* stats,
+                                                      Coverage* coverage) {
   std::vector<present::Mtton> results;
   std::vector<ExecutionStats> per_plan_stats(query.plans.size());
   BloomCache bloom_cache;
@@ -664,6 +678,13 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
   dag_options.share_subplans = options.enable_subplan_reuse;
   const opt::PlanDag dag = opt::BuildPlanDag(query.plans, active, dag_options);
   const std::vector<size_t>& order = dag.schedule;
+
+  // Anytime budget + per-plan outcome ledger. With no cost budget and no
+  // armed deadline (or enable_anytime off) every plan is admitted and the
+  // run is byte-identical to the pre-anytime engine; the ledger then only
+  // backs the coverage report.
+  ProgressBudget budget(query, active, options);
+  budget.PreAdmit(order);
 
   std::unique_ptr<opt::SubplanCache> subplan_cache;
   if (options.enable_subplan_reuse && !dag.subplans.empty()) {
@@ -710,9 +731,21 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
     // semantics are byte-identical to the single-threaded path.
     std::unique_ptr<ThreadPool> pool;
     for (size_t p : order) {
-      if (stop_requested()) break;
+      if (stop_requested()) break;  // unvisited plans stay "skipped"
       if (skip_plan(p)) continue;
-      if (options.global_k != 0 && results.size() >= options.global_k) break;
+      if (options.global_k != 0 && results.size() >= options.global_k) {
+        budget.MarkUnreachedComplete();
+        break;
+      }
+      if (!budget.AdmitPlan(p)) continue;  // skip whole CN, try the next
+      Stopwatch plan_timer;
+      const uint64_t rows_before = per_plan_stats[p].probes.rows_scanned;
+      auto rows_scanned = [&] {
+        return per_plan_stats[p].probes.rows_scanned - rows_before;
+      };
+      auto elapsed_ns = [&] {
+        return static_cast<uint64_t>(plan_timer.ElapsedMicros()) * 1000;
+      };
       const size_t limit = PlanResultCap(options, results.size());
 
       if (query.plans[p].query.steps.empty()) {
@@ -725,6 +758,7 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
               return ++taken < limit;
             },
             &per_plan_stats[p]);
+        budget.OnPlanComplete(p, rows_scanned(), elapsed_ns());
         continue;
       }
 
@@ -734,18 +768,36 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
       if (pool == nullptr) {
         pool = std::make_unique<ThreadPool>(options.intra_plan_threads);
       }
+      std::shared_ptr<RowGate> gate = budget.MakeRowGate();
       RunPlanMorsels(layout, query, options, exec_options, p, limit, pool.get(),
-                     &results, &per_plan_stats[p], prefix.get());
+                     &results, &per_plan_stats[p], prefix.get(), gate.get());
       release_prefix(p);
+      if (stop_requested() || (gate != nullptr && gate->Exhausted())) {
+        budget.OnPlanInterrupted(p);
+      } else {
+        budget.OnPlanComplete(p, rows_scanned(), elapsed_ns());
+      }
     }
   } else {
     std::mutex mutex;
     std::atomic<bool> global_stop{false};
 
     auto run_plan = [&](size_t p) {
+      // Order matters for the coverage ledger: a global-k stop leaves the
+      // plan to MarkUnreachedComplete below (the answer needs nothing from
+      // it); a deadline/cancel stop leaves it "skipped".
       if (global_stop.load(std::memory_order_relaxed)) return;
       if (stop_requested()) return;
       if (skip_plan(p)) return;
+      if (!budget.AdmitPlan(p)) return;  // skip whole CN, try the next
+      Stopwatch plan_timer;
+      const uint64_t rows_before = per_plan_stats[p].probes.rows_scanned;
+      auto rows_scanned = [&] {
+        return per_plan_stats[p].probes.rows_scanned - rows_before;
+      };
+      auto elapsed_ns = [&] {
+        return static_cast<uint64_t>(plan_timer.ElapsedMicros()) * 1000;
+      };
       size_t local_count = 0;
       auto emit = [&](const std::vector<storage::ObjectId>& objs) {
         std::lock_guard<std::mutex> lock(mutex);
@@ -762,13 +814,16 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
 
       if (query.plans[p].query.steps.empty()) {
         EvaluateSingleObjectPlan(query, p, emit, &per_plan_stats[p]);
+        budget.OnPlanComplete(p, rows_scanned(), elapsed_ns());
         return;
       }
       PlanLayout layout(&query.plans[p], options.enable_semijoin_pruning,
                         bloom_cache_ptr, &per_plan_stats[p]);
       opt::SubplanCache::SubplanPtr prefix = acquire_prefix(p, layout);
+      std::shared_ptr<RowGate> gate = budget.MakeRowGate();
       PlanEvaluator evaluator(&layout, exec_options, options.enable_cache,
                               options.cache_capacity);
+      evaluator.set_row_gate(gate.get());
       if (prefix != nullptr) {
         evaluator.RunReplay(*prefix, 0, prefix->num_rows(), emit);
       } else {
@@ -776,6 +831,13 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
       }
       per_plan_stats[p].Add(evaluator.stats());
       release_prefix(p);
+      // A sink decline (per-network-k / global-k) is a complete outcome; only
+      // a deadline/cancel trip or a dry row gate marks the plan interrupted.
+      if (stop_requested() || (gate != nullptr && gate->Exhausted())) {
+        budget.OnPlanInterrupted(p);
+      } else {
+        budget.OnPlanComplete(p, rows_scanned(), elapsed_ns());
+      }
     };
 
     if (options.num_threads <= 1 || query.plans.size() <= 1) {
@@ -787,12 +849,16 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
       }
       pool.Wait();
     }
+    if (global_stop.load(std::memory_order_relaxed) && !stop_requested()) {
+      budget.MarkUnreachedComplete();
+    }
   }
 
   SortMttons(&results);
   if (options.global_k != 0 && results.size() > options.global_k) {
     results.resize(options.global_k);
   }
+  if (coverage != nullptr) *coverage = budget.Finish();
   if (stats != nullptr) {
     for (const ExecutionStats& s : per_plan_stats) stats->Add(s);
     if (subplan_cache != nullptr) {

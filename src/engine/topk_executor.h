@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/lru_cache.h"
+#include "engine/progress_budget.h"
 #include "engine/query_context.h"
 #include "exec/subplan_source.h"
 #include "opt/plan_dag.h"
@@ -143,6 +144,12 @@ class PlanEvaluator {
 
   const ExecutionStats& stats() const { return stats_; }
 
+  /// Installs a shared scan-row allowance (not owned, may be null). When it
+  /// runs dry the evaluator unwinds exactly like a cancellation — as if the
+  /// sink declined — so no truncated suffix enumeration is ever cached.
+  /// Consumption is reported in batches, so the gate may overrun slightly.
+  void set_row_gate(RowGate* gate) { row_gate_ = gate; }
+
  private:
   struct Collector {
     size_t level;
@@ -174,6 +181,10 @@ class PlanEvaluator {
       LruCache<std::string, std::vector<std::vector<storage::ObjectId>>>>>
       caches_;
   std::vector<Collector*> active_collectors_;
+  /// Anytime scan-row allowance; checked (and consumption reported) at every
+  /// Eval entry. Null = unlimited.
+  RowGate* row_gate_ = nullptr;
+  uint64_t gate_reported_rows_ = 0;
   ExecutionStats stats_;
   /// Per-depth probe bindings, reused across outer rows (Eval runs once per
   /// outer row — rebuilding this vector there was a hot-loop allocation).
@@ -203,13 +214,19 @@ bool MaterializePrefixRows(const PlanLayout& layout, int depth,
 /// With options.intra_plan_threads > 1, plans run smallest-first one at a
 /// time, each parallelized across morsels of its driver matches; the result
 /// list is byte-identical to a single-threaded run.
+/// With options.enable_anytime and a cost budget or armed deadline, whole
+/// plans the budget cannot afford are skipped (cheapest-first schedule order)
+/// and `coverage` (nullable) reports the structured quality bound; with no
+/// budget the knob is inert and results are byte-identical to the pre-anytime
+/// engine.
 class TopKExecutor {
  public:
   TopKExecutor() = default;
 
   Result<std::vector<present::Mtton>> Run(const PreparedQuery& query,
                                           const QueryOptions& options,
-                                          ExecutionStats* stats = nullptr);
+                                          ExecutionStats* stats = nullptr,
+                                          Coverage* coverage = nullptr);
 };
 
 /// Evaluates a single-object network (no joins): intersects the occurrence's

@@ -113,20 +113,6 @@ Result<PreparedQuery> XKeyword::Prepare(const std::vector<std::string>& keywords
   return q;
 }
 
-namespace {
-
-/// Replicates the stats contract of the legacy entry points: counters
-/// accumulate into *stats, but `results` is assigned (the executors set it to
-/// the final result count rather than adding).
-void MergeLegacyStats(const ExecutionStats& from, ExecutionStats* stats) {
-  if (stats == nullptr) return;
-  const uint64_t results = from.results;
-  stats->Add(from);
-  stats->results = results;
-}
-
-}  // namespace
-
 Result<QueryResponse> XKeyword::Run(const QueryRequest& request,
                                     CancelToken* token) const {
   CancelToken local_token;
@@ -144,9 +130,11 @@ Result<QueryResponse> XKeyword::Run(const QueryRequest& request,
 
   QueryResponse response;
   if (tok->StopRequested()) {
-    // The budget ran out during preparation: report with empty results.
+    // The budget ran out during preparation: nothing was covered at all.
     response.status = tok->ToStatus();
-    response.truncated = true;
+    response.completeness = Completeness::kFailed;
+    response.coverage.cns_skipped = static_cast<uint32_t>(q.plans.size());
+    response.coverage.interrupted = true;
     return response;
   }
 
@@ -154,19 +142,17 @@ Result<QueryResponse> XKeyword::Run(const QueryRequest& request,
   switch (request.mode) {
     case QueryMode::kTopK: {
       TopKExecutor executor;
-      results = executor.Run(q, options, &response.stats);
+      results = executor.Run(q, options, &response.stats, &response.coverage);
       break;
     }
     case QueryMode::kNaive: {
       NaiveExecutor executor;
-      results = executor.Run(q, options, &response.stats);
+      results = executor.Run(q, options, &response.stats, &response.coverage);
       break;
     }
     case QueryMode::kAll: {
-      FullExecutorOptions full_options = request.full_options;
-      full_options.cancel = tok;
-      FullExecutor executor(full_options);
-      results = executor.Run(q, &response.stats);
+      FullExecutor executor(options);
+      results = executor.Run(q, &response.stats, &response.coverage);
       break;
     }
   }
@@ -174,50 +160,14 @@ Result<QueryResponse> XKeyword::Run(const QueryRequest& request,
   response.mttons = results.MoveValueUnsafe();
   if (tok->StopRequested()) {
     response.status = tok->ToStatus();
-    response.truncated = true;
+    // Conservative: a tripped token may have landed between the executor's
+    // last poll and here, so never report kComplete alongside a non-OK
+    // status even if the ledger saw every plan finish.
+    response.coverage.interrupted = true;
   }
+  response.completeness =
+      DeriveCompleteness(response.coverage, !response.mttons.empty());
   return response;
-}
-
-Result<std::vector<present::Mtton>> XKeyword::TopK(
-    const std::vector<std::string>& keywords, const std::string& decomposition,
-    const QueryOptions& options, ExecutionStats* stats) const {
-  QueryRequest request;
-  request.keywords = keywords;
-  request.decomposition = decomposition;
-  request.mode = QueryMode::kTopK;
-  request.options = options;
-  XK_ASSIGN_OR_RETURN(QueryResponse response, Run(request));
-  MergeLegacyStats(response.stats, stats);
-  return std::move(response.mttons);
-}
-
-Result<std::vector<present::Mtton>> XKeyword::TopKNaive(
-    const std::vector<std::string>& keywords, const std::string& decomposition,
-    const QueryOptions& options, ExecutionStats* stats) const {
-  QueryRequest request;
-  request.keywords = keywords;
-  request.decomposition = decomposition;
-  request.mode = QueryMode::kNaive;
-  request.options = options;
-  XK_ASSIGN_OR_RETURN(QueryResponse response, Run(request));
-  MergeLegacyStats(response.stats, stats);
-  return std::move(response.mttons);
-}
-
-Result<std::vector<present::Mtton>> XKeyword::AllResults(
-    const std::vector<std::string>& keywords, const std::string& decomposition,
-    const QueryOptions& options, FullExecutorOptions full_options,
-    ExecutionStats* stats) const {
-  QueryRequest request;
-  request.keywords = keywords;
-  request.decomposition = decomposition;
-  request.mode = QueryMode::kAll;
-  request.options = options;
-  request.full_options = full_options;
-  XK_ASSIGN_OR_RETURN(QueryResponse response, Run(request));
-  MergeLegacyStats(response.stats, stats);
-  return std::move(response.mttons);
 }
 
 Result<present::PresentationGraph> XKeyword::MakePresentationGraph(

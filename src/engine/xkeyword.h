@@ -61,30 +61,14 @@ class XKeyword : public QueryEngine {
   /// deadline. The request deadline is armed on the token unless one is
   /// already set (the serving layer arms it at admission so queue wait
   /// counts). A tripped deadline/cancel yields an OK Result whose response
-  /// has status kDeadlineExceeded/kCancelled, truncated = true, and partial
-  /// mttons/stats; hard failures yield an error Result.
+  /// has status kDeadlineExceeded/kCancelled, completeness kDegraded (or
+  /// kFailed when nothing was covered), a Coverage quality bound, and
+  /// whatever mttons/stats were complete; with options.enable_anytime the
+  /// executor additionally budgets whole candidate networks against the
+  /// remaining deadline instead of truncating mid-CN. Hard failures yield an
+  /// error Result.
   Result<QueryResponse> Run(const QueryRequest& request,
                             CancelToken* token = nullptr) const override;
-
-  /// Deprecated: use Run(QueryRequest{.mode = kTopK}). Top-k keyword query
-  /// with the optimized (caching, threaded) executor.
-  Result<std::vector<present::Mtton>> TopK(const std::vector<std::string>& keywords,
-                                           const std::string& decomposition,
-                                           const QueryOptions& options,
-                                           ExecutionStats* stats = nullptr) const;
-
-  /// Deprecated: use Run(QueryRequest{.mode = kNaive}). Same query through
-  /// the naive (DISCOVER/DBXplorer-style) executor.
-  Result<std::vector<present::Mtton>> TopKNaive(
-      const std::vector<std::string>& keywords, const std::string& decomposition,
-      const QueryOptions& options, ExecutionStats* stats = nullptr) const;
-
-  /// Deprecated: use Run(QueryRequest{.mode = kAll}). The complete result
-  /// list (Figure 4(b) presentation).
-  Result<std::vector<present::Mtton>> AllResults(
-      const std::vector<std::string>& keywords, const std::string& decomposition,
-      const QueryOptions& options, FullExecutorOptions full_options = {},
-      ExecutionStats* stats = nullptr) const;
 
   /// Presentation graph of network `ctssn_index` of a prepared query, seeded
   /// with the given results of that network.

@@ -32,12 +32,13 @@ std::string AnswerCache::CanonicalKey(const engine::QueryRequest& request) {
   // num_shards is fingerprinted defensively: the sharded data plane is
   // byte-identical by design, but an answer computed under a different
   // scatter layout must never mask a regression of that very invariant.
+  // The anytime knobs (enable_anytime, anytime_cost_budget, headroom,
+  // min_plan_rows) are deliberately absent: only kComplete answers are ever
+  // stored, and a complete answer is byte-identical across every anytime
+  // setting.
   key += StrFormat("\x1e" "z=%d;n=%d;k=%zu;g=%zu;s=%d", o.max_size_z,
                    o.max_network_size, o.per_network_k, o.global_k,
                    o.num_shards);
-  if (request.mode == engine::QueryMode::kAll) {
-    key += StrFormat(";fn=%d", request.full_options.max_network_size);
-  }
   return key;
 }
 

@@ -11,12 +11,12 @@
 // logical question. The key is built from the sorted keyword bag (keyword
 // order never affects results; duplicate keywords do), the decomposition,
 // the execution mode, and every option that shapes the result list (Z,
-// network-size bound, per-network and global k, kAll presentation knobs).
+// network-size bound, per-network and global k).
 // Performance knobs (threads, morsel size, partial-result caching, Bloom
 // pruning) are excluded: PR 1 made results byte-identical across them.
-// Deadlines and cache_mode are excluded too — a budget changes whether an
-// answer completes, not what the complete answer is (only complete,
-// untruncated answers are cached).
+// Deadlines, cache_mode and the anytime budget knobs are excluded too — a
+// budget changes whether an answer completes, not what the complete answer
+// is (only Completeness::kComplete answers are cached).
 //
 // Epoch invalidation: every entry is tagged with the data generation
 // (XKeyword::data_generation()) it was computed under. The cache never

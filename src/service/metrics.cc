@@ -83,20 +83,37 @@ void Metrics::CountOutcome(const Status& status) {
   }
 }
 
+void Metrics::CountCompleteness(const engine::QueryResponse* response) {
+  if (response == nullptr ||
+      response->completeness != engine::Completeness::kDegraded) {
+    return;
+  }
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++coverage_class_[response->coverage.exhausted_class];
+}
+
 void Metrics::OnFinish(const std::string& decomposition, const Status& status,
-                       const engine::ExecutionStats* stats,
+                       const engine::QueryResponse* response,
                        std::chrono::nanoseconds latency) {
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
   CountOutcome(status);
+  CountCompleteness(response);
   std::lock_guard<std::mutex> lock(mutex_);
   latency_.Record(latency);
-  if (stats != nullptr) per_decomposition_[decomposition].Add(*stats);
+  if (response != nullptr) {
+    per_decomposition_[decomposition].Add(response->stats);
+  }
 }
 
 void Metrics::OnServed(const std::string& decomposition, const Status& status,
+                       const engine::QueryResponse* response,
                        std::chrono::nanoseconds latency) {
   (void)decomposition;  // kept for a future per-decomposition hit breakdown
   CountOutcome(status);
+  // A coalesced follower handed a degraded leader answer is itself a
+  // degraded query (per-query counting, like the outcome counters above).
+  CountCompleteness(response);
   std::lock_guard<std::mutex> lock(mutex_);
   latency_.Record(latency);
 }
@@ -109,6 +126,7 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   snap.cancelled = cancelled_.load(std::memory_order_relaxed);
   snap.failed = failed_.load(std::memory_order_relaxed);
+  snap.degraded = degraded_.load(std::memory_order_relaxed);
   snap.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   snap.in_flight = in_flight_.load(std::memory_order_relaxed);
   snap.peak_in_flight = peak_in_flight_.load(std::memory_order_relaxed);
@@ -123,6 +141,7 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.latency_p95_us = latency_.PercentileMicros(95);
   snap.latency_p99_us = latency_.PercentileMicros(99);
   snap.per_decomposition = per_decomposition_;
+  snap.coverage_exhausted_class = coverage_class_;
   for (const auto& [name, stats] : snap.per_decomposition) {
     (void)name;
     snap.subplan_hits += stats.subplan_hits;
@@ -148,6 +167,7 @@ void Metrics::MergeFrom(const Metrics& other) {
   fold(deadline_exceeded_, other.deadline_exceeded_);
   fold(cancelled_, other.cancelled_);
   fold(failed_, other.failed_);
+  fold(degraded_, other.degraded_);
   fold(cache_hits_, other.cache_hits_);
   fold(cache_misses_, other.cache_misses_);
   fold(coalesced_, other.coalesced_);
@@ -170,6 +190,9 @@ void Metrics::MergeFrom(const Metrics& other) {
   latency_.Merge(other.latency_);
   for (const auto& [name, stats] : other.per_decomposition_) {
     per_decomposition_[name].Add(stats);
+  }
+  for (const auto& [cls, n] : other.coverage_class_) {
+    coverage_class_[cls] += n;
   }
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "engine/query_context.h"
+#include "engine/query_request.h"
 
 namespace xk::service {
 
@@ -63,6 +64,15 @@ struct MetricsSnapshot {
   uint64_t deadline_exceeded = 0;
   uint64_t cancelled = 0;
   uint64_t failed = 0;
+  /// Queries whose response carried Completeness::kDegraded — the anytime
+  /// engine returned a usable partial answer instead of a bare timeout.
+  /// Orthogonal to the status-outcome counters above (a degraded answer
+  /// counts once there too, under its status).
+  uint64_t degraded = 0;
+  /// Of the degraded responses: how many reported each exhausted CN size
+  /// class (Coverage::exhausted_class; -1 = no class fully exhausted). Shows
+  /// how much provably-correct prefix overloaded queries still deliver.
+  std::map<int, uint64_t> coverage_exhausted_class;
 
   int64_t queue_depth = 0;
   int64_t in_flight = 0;
@@ -120,18 +130,21 @@ class Metrics {
   /// A worker dequeued the query and starts executing it.
   void OnStart();
   /// The query finished with `status` (the response status for soft stops,
-  /// the Result status for hard failures). `stats` may be null (hard
-  /// failure, or a cache hit / coalesced follower whose engine work already
-  /// counted under the leader); otherwise it is aggregated under
-  /// `decomposition`.
+  /// the Result status for hard failures). `response` may be null (hard
+  /// failure with no response at all); otherwise its engine counters are
+  /// aggregated under `decomposition` and its completeness/coverage feed the
+  /// degraded counter and the exhausted-class histogram.
   void OnFinish(const std::string& decomposition, const Status& status,
-                const engine::ExecutionStats* stats,
+                const engine::QueryResponse* response,
                 std::chrono::nanoseconds latency);
 
   /// A query served without ever occupying a worker — a cache hit completed
   /// at submit, or a coalesced follower woken by its leader. Counts the
-  /// outcome and the latency but no in-flight/engine accounting.
+  /// outcome, the latency and (for a non-null `response`) completeness, but
+  /// no in-flight or engine-counter accounting: the engine work already
+  /// counted under the leader's OnFinish.
   void OnServed(const std::string& decomposition, const Status& status,
+                const engine::QueryResponse* response,
                 std::chrono::nanoseconds latency);
 
   /// Answer-cache outcomes, recorded by QueryService at submit/store time.
@@ -204,10 +217,15 @@ class Metrics {
   std::atomic<uint64_t> cache_evicted_{0};
 
   void CountOutcome(const Status& status);
+  /// Degraded counter + exhausted-class histogram for one served response.
+  void CountCompleteness(const engine::QueryResponse* response);
 
-  mutable std::mutex mutex_;  // guards latency_ and per_decomposition_
+  std::atomic<uint64_t> degraded_{0};
+
+  mutable std::mutex mutex_;  // guards latency_, per_decomposition_, coverage_class_
   LatencyHistogram latency_;
   std::map<std::string, engine::ExecutionStats> per_decomposition_;
+  std::map<int, uint64_t> coverage_class_;
 };
 
 }  // namespace xk::service

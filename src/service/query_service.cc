@@ -66,12 +66,14 @@ std::chrono::nanoseconds LatencySince(
       std::chrono::steady_clock::now() - start);
 }
 
-/// Records a follower's outcome. Engine stats stay null: the leader's
-/// execution already aggregated them, and a follower ran nothing.
+/// Records a follower's outcome. Goes through OnServed, which skips the
+/// engine-counter aggregation: the leader's execution already counted it,
+/// and a follower ran nothing.
 void RecordFollowerFinish(const std::shared_ptr<QueryState>& state,
-                          const Status& outcome) {
+                          const Status& outcome,
+                          const engine::QueryResponse* response) {
   if (state->metrics == nullptr) return;
-  state->metrics->OnServed(state->request.decomposition, outcome,
+  state->metrics->OnServed(state->request.decomposition, outcome, response,
                            LatencySince(state->submit_time));
 }
 
@@ -92,8 +94,11 @@ void DetachFollower(const std::shared_ptr<QueryState>& state) {
   if (stop.ok()) stop = Status::Cancelled("query cancelled");
   engine::QueryResponse response;
   response.status = stop;
-  response.truncated = true;
-  RecordFollowerFinish(state, stop);
+  // A detached follower ran nothing and carries no results: kFailed with an
+  // interrupted, zero-coverage bound (it cannot know the leader's coverage).
+  response.completeness = engine::Completeness::kFailed;
+  response.coverage.interrupted = true;
+  RecordFollowerFinish(state, stop, &response);
   CompleteState(state, std::move(response));
 }
 
@@ -204,7 +209,7 @@ Result<QueryHandle> QueryService::Submit(engine::QueryRequest request) {
       if (found.kind == AnswerCache::Lookup::kHit) {
         metrics_->OnCacheHit();
         engine::QueryResponse response = *found.response;
-        metrics_->OnServed(req.decomposition, response.status,
+        metrics_->OnServed(req.decomposition, response.status, &response,
                            LatencySince(state->submit_time));
         CompleteState(state, std::move(response));
         return QueryHandle(state);
@@ -262,13 +267,16 @@ void QueryService::Execute(const std::shared_ptr<QueryState>& state,
   Result<engine::QueryResponse> result = engine_->Run(state->request, &state->token);
   const Status outcome = result.ok() ? result.value().status : result.status();
   metrics_->OnFinish(state->request.decomposition, outcome,
-                     result.ok() ? &result.value().stats : nullptr,
+                     result.ok() ? &result.value() : nullptr,
                      LatencySince(state->submit_time));
 
-  // Store complete answers only — never truncated or failed ones — and only
-  // if the data generation is still the one the query was admitted under.
+  // Store complete answers only — never degraded or failed ones (a degraded
+  // answer is valid for its deadline but wrong to replay for a caller with a
+  // roomier one) — and only if the data generation is still the one the
+  // query was admitted under.
   if (cache_ != nullptr && !state->cache_key.empty() && result.ok() &&
-      result.value().status.ok() && !result.value().truncated &&
+      result.value().status.ok() &&
+      result.value().completeness == engine::Completeness::kComplete &&
       state->generation == engine_->data_generation()) {
     metrics_->OnCacheEvicted(
         cache_->Put(state->cache_key, state->generation, result.value()));
@@ -294,7 +302,8 @@ void QueryService::Execute(const std::shared_ptr<QueryState>& state,
     followers.swap(group->followers);
   }
   for (const std::shared_ptr<QueryState>& follower : followers) {
-    RecordFollowerFinish(follower, outcome);
+    RecordFollowerFinish(follower, outcome,
+                         result.ok() ? &result.value() : nullptr);
     CompleteState(follower, result);
   }
   CompleteState(state, std::move(result));

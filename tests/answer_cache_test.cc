@@ -20,6 +20,7 @@ namespace xk::service {
 namespace {
 
 using engine::CacheMode;
+using engine::Completeness;
 using engine::QueryMode;
 using engine::QueryRequest;
 using engine::QueryResponse;
@@ -92,16 +93,24 @@ TEST(AnswerCacheKeyTest, PerformanceKnobsAndServingContractDoNot) {
   EXPECT_EQ(AnswerCache::CanonicalKey(other), key);
 }
 
-TEST(AnswerCacheKeyTest, FullModeNetworkBoundOnlyAppliesToAllMode) {
+TEST(AnswerCacheKeyTest, NetworkBoundChangesKeyAnytimeKnobsDoNot) {
   QueryRequest all = Request({"gray"});
   all.mode = QueryMode::kAll;
   const std::string key = AnswerCache::CanonicalKey(all);
-  all.full_options.max_network_size = 3;
+  all.options.max_network_size = 3;
   EXPECT_NE(AnswerCache::CanonicalKey(all), key);
 
+  // Anytime budgets shape when a query degrades, never what the complete
+  // answer is — and only complete answers are stored, so the key must not
+  // fragment across budget settings.
   QueryRequest topk = Request({"gray"});
   const std::string topk_key = AnswerCache::CanonicalKey(topk);
-  topk.full_options.max_network_size = 3;  // ignored by kTopK
+  topk.options.enable_anytime = false;
+  EXPECT_EQ(AnswerCache::CanonicalKey(topk), topk_key);
+  topk.options.enable_anytime = true;
+  topk.options.anytime_cost_budget = 42;
+  topk.options.anytime_headroom = 2.0;
+  topk.options.anytime_min_plan_rows = 1;
   EXPECT_EQ(AnswerCache::CanonicalKey(topk), topk_key);
 }
 
@@ -373,7 +382,7 @@ TEST_F(AnswerCacheServiceTest, FollowerCancelDetachesOnlyThatFollower) {
   follower.Cancel();
   XK_ASSERT_OK_AND_ASSIGN(QueryResponse cancelled, follower.Wait());
   EXPECT_TRUE(cancelled.status.IsCancelled()) << cancelled.status.ToString();
-  EXPECT_TRUE(cancelled.truncated);
+  EXPECT_EQ(cancelled.completeness, Completeness::kFailed);
 
   // The shared execution and the other follower are unaffected.
   XK_ASSERT_OK_AND_ASSIGN(QueryResponse leader_response, leader.Wait());

@@ -11,6 +11,8 @@
 namespace xk::schema {
 namespace {
 
+using xk::testing::RunTopK;
+
 constexpr const char* kDblpConfig = R"(
 # The Figure-14 DBLP configuration.
 node conference conference
@@ -168,7 +170,7 @@ TEST(ConfigParserTest, ParsedConfigRunsEndToEnd) {
   options.max_size_z = 4;
   XK_ASSERT_OK_AND_ASSIGN(
       std::vector<present::Mtton> results,
-      xk->TopK({"hristidis", "balmin"}, "MinClust", options));
+      RunTopK(*xk, {"hristidis", "balmin"}, "MinClust", options));
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results.front().score, 2);  // author <- paper -> author
 }

@@ -15,6 +15,10 @@ namespace xk::engine {
 namespace {
 
 using present::Mtton;
+using testing::RunAll;
+using testing::RunMode;
+using testing::RunNaive;
+using testing::RunTopK;
 
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
@@ -105,9 +109,9 @@ TEST_F(EngineTest, CachedEqualsNaiveAcrossQueries) {
     ExecutionStats cached_stats;
     ExecutionStats naive_stats;
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> cached,
-                            xk_->TopK(q, "MinClust", options, &cached_stats));
+                            RunTopK(*xk_, q, "MinClust", options, &cached_stats));
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> naive,
-                            xk_->TopKNaive(q, "MinClust", options, &naive_stats));
+                            RunNaive(*xk_, q, "MinClust", options, &naive_stats));
     EXPECT_EQ(cached, naive) << q[0] << "," << q[1];
     // The cache trades probes for hits.
     if (cached_stats.cache_hits > 0) {
@@ -122,13 +126,13 @@ TEST_F(EngineTest, AllDecompositionsProduceSameResults) {
   options.per_network_k = 100000;
   options.num_threads = 1;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> a,
-                          xk_->TopK({"john", "tv"}, "MinClust", options));
+                          RunTopK(*xk_, {"john", "tv"}, "MinClust", options));
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> b,
-                          xk_->TopK({"john", "tv"}, "MinNClustIndx", options));
+                          RunTopK(*xk_, {"john", "tv"}, "MinNClustIndx", options));
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> c,
-                          xk_->TopK({"john", "tv"}, "MinNClustNIndx", options));
+                          RunTopK(*xk_, {"john", "tv"}, "MinNClustNIndx", options));
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> d,
-                          xk_->TopK({"john", "tv"}, "XKeyword", options));
+                          RunTopK(*xk_, {"john", "tv"}, "XKeyword", options));
   EXPECT_EQ(Shapes(a), Shapes(b));
   EXPECT_EQ(Shapes(a), Shapes(c));
   // XKeyword uses different (wider) relations, so plan indexes match but
@@ -137,35 +141,32 @@ TEST_F(EngineTest, AllDecompositionsProduceSameResults) {
 }
 
 TEST_F(EngineTest, FullExecutorModesAgree) {
-  QueryOptions options;
-  options.max_size_z = 6;
-  FullExecutorOptions hash;
-  hash.mode = FullMode::kHashJoin;
-  FullExecutorOptions inlj;
-  inlj.mode = FullMode::kIndexNestedLoop;
+  QueryOptions hash;
+  hash.max_size_z = 6;
+  hash.full_mode = FullMode::kHashJoin;
+  QueryOptions inlj = hash;
+  inlj.full_mode = FullMode::kIndexNestedLoop;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> h,
-                          xk_->AllResults({"vcr", "dvd"}, "MinClust", options, hash));
+                          RunAll(*xk_, {"vcr", "dvd"}, "MinClust", hash));
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> n,
-                          xk_->AllResults({"vcr", "dvd"}, "MinClust", options, inlj));
+                          RunAll(*xk_, {"vcr", "dvd"}, "MinClust", inlj));
   EXPECT_EQ(Shapes(h), Shapes(n));
 }
 
 TEST_F(EngineTest, ReuseReducesWork) {
-  QueryOptions options;
-  options.max_size_z = 6;
-  FullExecutorOptions with;
-  with.mode = FullMode::kHashJoin;
-  with.enable_reuse = true;
-  FullExecutorOptions without;
-  without.mode = FullMode::kHashJoin;
-  without.enable_reuse = false;
+  QueryOptions with;
+  with.max_size_z = 6;
+  with.full_mode = FullMode::kHashJoin;
+  with.enable_scan_reuse = true;
+  QueryOptions without = with;
+  without.enable_scan_reuse = false;
   ExecutionStats with_stats, without_stats;
   XK_ASSERT_OK_AND_ASSIGN(
       std::vector<Mtton> a,
-      xk_->AllResults({"john", "tv"}, "MinClust", options, with, &with_stats));
+      RunAll(*xk_, {"john", "tv"}, "MinClust", with, &with_stats));
   XK_ASSERT_OK_AND_ASSIGN(
       std::vector<Mtton> b,
-      xk_->AllResults({"john", "tv"}, "MinClust", options, without, &without_stats));
+      RunAll(*xk_, {"john", "tv"}, "MinClust", without, &without_stats));
   EXPECT_EQ(Shapes(a), Shapes(b));
   EXPECT_GT(with_stats.reuse_hits, 0u);
   EXPECT_LT(with_stats.probes.probes, without_stats.probes.probes);
@@ -177,7 +178,7 @@ TEST_F(EngineTest, PerNetworkKLimitsEachNetwork) {
   options.per_network_k = 2;
   options.num_threads = 1;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
-                          xk_->TopK({"tv", "vcr"}, "MinClust", options));
+                          RunTopK(*xk_, {"tv", "vcr"}, "MinClust", options));
   std::map<int, int> per_network;
   for (const Mtton& m : results) ++per_network[m.ctssn_index];
   for (const auto& [net, count] : per_network) {
@@ -191,7 +192,7 @@ TEST_F(EngineTest, GlobalKCapsTotal) {
   options.per_network_k = 100000;
   options.global_k = 5;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
-                          xk_->TopK({"tv", "vcr"}, "MinClust", options));
+                          RunTopK(*xk_, {"tv", "vcr"}, "MinClust", options));
   EXPECT_LE(results.size(), 5u);
 }
 
@@ -203,9 +204,9 @@ TEST_F(EngineTest, MultiThreadedMatchesSingleThreaded) {
   QueryOptions multi = single;
   multi.num_threads = 4;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> a,
-                          xk_->TopK({"vcr", "tv"}, "MinClust", single));
+                          RunTopK(*xk_, {"vcr", "tv"}, "MinClust", single));
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> b,
-                          xk_->TopK({"vcr", "tv"}, "MinClust", multi));
+                          RunTopK(*xk_, {"vcr", "tv"}, "MinClust", multi));
   EXPECT_EQ(Shapes(a), Shapes(b));
 }
 
@@ -274,7 +275,7 @@ TEST_F(EngineTest, ResultsAreRealTreesInTheTargetObjectGraph) {
 
 TEST_F(EngineTest, UnknownDecompositionRejected) {
   QueryOptions options;
-  EXPECT_TRUE(xk_->TopK({"a"}, "nosuch", options).status().IsNotFound());
+  EXPECT_TRUE(RunTopK(*xk_, {"a"}, "nosuch", options).status().IsNotFound());
   EXPECT_TRUE(xk_->Prepare({}, "MinClust", options).status().IsInvalidArgument());
 }
 
@@ -284,10 +285,11 @@ TEST_F(EngineTest, AddDecompositionTwiceRejected) {
                   .IsAlreadyExists());
 }
 
-// The deprecated entry points are thin wrappers over Run(QueryRequest); for
-// every mode the two must return byte-identical Mtton lists and the same
-// counters, so existing call sites can migrate without any result drift.
-TEST_F(EngineTest, RunMatchesDeprecatedWrappersInAllModes) {
+// An unbounded query (no deadline, no cost budget) must come back complete
+// in every mode: full coverage, kComplete, and the deprecated truncated()
+// accessor false — the contract the answer cache and the migration of the
+// retired per-mode wrappers both rely on.
+TEST_F(EngineTest, RunReportsCompleteForUnboundedQueries) {
   QueryOptions options;
   options.max_size_z = 6;
   options.per_network_k = 100000;
@@ -299,42 +301,21 @@ TEST_F(EngineTest, RunMatchesDeprecatedWrappersInAllModes) {
   request.decomposition = "MinClust";
   request.options = options;
 
-  {  // kTopK vs TopK
-    request.mode = QueryMode::kTopK;
-    ExecutionStats legacy_stats;
-    XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> legacy,
-                            xk_->TopK(keywords, "MinClust", options, &legacy_stats));
+  for (QueryMode mode : {QueryMode::kTopK, QueryMode::kNaive, QueryMode::kAll}) {
+    request.mode = mode;
     XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, xk_->Run(request));
     EXPECT_TRUE(response.status.ok());
-    EXPECT_FALSE(response.truncated);
-    EXPECT_EQ(response.mttons, legacy);
-    EXPECT_EQ(response.stats.probes.probes, legacy_stats.probes.probes);
-    EXPECT_EQ(response.stats.results, legacy_stats.results);
-  }
-  {  // kNaive vs TopKNaive
-    request.mode = QueryMode::kNaive;
-    ExecutionStats legacy_stats;
+    EXPECT_EQ(response.completeness, Completeness::kComplete);
+    EXPECT_FALSE(response.truncated());
+    EXPECT_TRUE(response.coverage.complete());
+    EXPECT_EQ(response.coverage.cns_skipped, 0u);
+    EXPECT_GT(response.coverage.cns_executed, 0u);
+    EXPECT_GE(response.coverage.exhausted_class, 1);
+    // The helper wrapper must be a faithful view of the same response.
     XK_ASSERT_OK_AND_ASSIGN(
-        std::vector<Mtton> legacy,
-        xk_->TopKNaive(keywords, "MinClust", options, &legacy_stats));
-    XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, xk_->Run(request));
-    EXPECT_TRUE(response.status.ok());
-    EXPECT_EQ(response.mttons, legacy);
-    EXPECT_EQ(response.stats.probes.probes, legacy_stats.probes.probes);
-  }
-  {  // kAll vs AllResults, both full-executor modes
-    request.mode = QueryMode::kAll;
-    for (FullMode mode : {FullMode::kHashJoin, FullMode::kIndexNestedLoop}) {
-      request.full_options.mode = mode;
-      FullExecutorOptions full;
-      full.mode = mode;
-      XK_ASSERT_OK_AND_ASSIGN(
-          std::vector<Mtton> legacy,
-          xk_->AllResults(keywords, "MinClust", options, full));
-      XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, xk_->Run(request));
-      EXPECT_TRUE(response.status.ok());
-      EXPECT_EQ(response.mttons, legacy);
-    }
+        std::vector<Mtton> via_helper,
+        RunMode(*xk_, mode, keywords, "MinClust", options));
+    EXPECT_EQ(response.mttons, via_helper);
   }
 }
 
@@ -356,7 +337,7 @@ TEST_F(EngineTest, PrepareValidatesQueryOptions) {
   options = QueryOptions();
   options.intra_plan_threads = -3;
   EXPECT_TRUE(
-      xk_->TopK({"john"}, "MinClust", options).status().IsInvalidArgument());
+      RunTopK(*xk_, {"john"}, "MinClust", options).status().IsInvalidArgument());
 }
 
 }  // namespace

@@ -14,6 +14,9 @@ using engine::XKeyword;
 using present::Mtton;
 using testing::Figure1Database;
 using testing::MakeFigure1Database;
+using testing::RunAll;
+using testing::RunNaive;
+using testing::RunTopK;
 
 class Figure1Test : public ::testing::Test {
  protected:
@@ -47,7 +50,7 @@ TEST_F(Figure1Test, JohnVcrFindsBothPaperResults) {
   options.per_network_k = 100;
   engine::ExecutionStats stats;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
-                          xk_->TopK({"john", "vcr"}, "MinClust", options, &stats));
+                          RunTopK(*xk_, {"john", "vcr"}, "MinClust", options, &stats));
   ASSERT_FALSE(results.empty());
 
   // The best result (size 6) connects John to the "set of VCR and DVD"
@@ -81,7 +84,7 @@ TEST_F(Figure1Test, ResultsSortedByScore) {
   options.max_size_z = 8;
   options.per_network_k = 50;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
-                          xk_->TopK({"john", "vcr"}, "MinClust", options));
+                          RunTopK(*xk_, {"john", "vcr"}, "MinClust", options));
   for (size_t i = 1; i < results.size(); ++i) {
     EXPECT_LE(results[i - 1].score, results[i].score);
   }
@@ -93,9 +96,9 @@ TEST_F(Figure1Test, NaiveAndCachedAgree) {
   options.per_network_k = 1000;
   options.num_threads = 1;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> cached,
-                          xk_->TopK({"john", "vcr"}, "MinClust", options));
+                          RunTopK(*xk_, {"john", "vcr"}, "MinClust", options));
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> naive,
-                          xk_->TopKNaive({"john", "vcr"}, "MinClust", options));
+                          RunNaive(*xk_, {"john", "vcr"}, "MinClust", options));
   EXPECT_EQ(cached, naive);
 }
 
@@ -105,9 +108,9 @@ TEST_F(Figure1Test, FullExecutorMatchesTopKWithLargeK) {
   options.per_network_k = 1000000;
   options.num_threads = 1;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> topk,
-                          xk_->TopK({"us", "vcr"}, "MinClust", options));
+                          RunTopK(*xk_, {"us", "vcr"}, "MinClust", options));
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> full,
-                          xk_->AllResults({"us", "vcr"}, "MinClust", options));
+                          RunAll(*xk_, {"us", "vcr"}, "MinClust", options));
   EXPECT_EQ(topk, full);
 }
 
@@ -115,7 +118,7 @@ TEST_F(Figure1Test, MissingKeywordYieldsNoResults) {
   QueryOptions options;
   options.max_size_z = 6;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
-                          xk_->TopK({"john", "nosuchword"}, "MinClust", options));
+                          RunTopK(*xk_, {"john", "nosuchword"}, "MinClust", options));
   EXPECT_TRUE(results.empty());
 }
 
@@ -123,7 +126,7 @@ TEST_F(Figure1Test, SingleKeywordSingleObjectResults) {
   QueryOptions options;
   options.max_size_z = 4;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
-                          xk_->TopK({"mike"}, "MinClust", options));
+                          RunTopK(*xk_, {"mike"}, "MinClust", options));
   ASSERT_FALSE(results.empty());
   EXPECT_EQ(results.front().score, 0);
   EXPECT_EQ(results.front().objects.size(), 1u);
@@ -138,7 +141,7 @@ TEST_F(Figure1Test, UsVcrHasMultivaluedFamilyOfResults) {
   options.per_network_k = 1000;
   options.num_threads = 1;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
-                          xk_->TopK({"us", "vcr"}, "MinClust", options));
+                          RunTopK(*xk_, {"us", "vcr"}, "MinClust", options));
   storage::ObjectId tv = xk_->objects().ObjectOfNode(db_->tv_part);
   storage::ObjectId john_obj = xk_->objects().ObjectOfNode(db_->john);
   int family = 0;

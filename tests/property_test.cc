@@ -20,6 +20,9 @@ using engine::ExecutionStats;
 using engine::QueryOptions;
 using engine::XKeyword;
 using present::Mtton;
+using testing::RunAll;
+using testing::RunNaive;
+using testing::RunTopK;
 
 class QueryProperties : public ::testing::TestWithParam<int> {
  protected:
@@ -79,11 +82,11 @@ TEST_P(QueryProperties, ExecutorsAgree) {
   options.num_threads = 1;
   for (const auto& q : queries_) {
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> cached,
-                            xk_->TopK(q, "MinClust", options));
+                            RunTopK(*xk_, q, "MinClust", options));
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> naive,
-                            xk_->TopKNaive(q, "MinClust", options));
+                            RunNaive(*xk_, q, "MinClust", options));
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> full,
-                            xk_->AllResults(q, "MinClust", options));
+                            RunAll(*xk_, q, "MinClust", options));
     EXPECT_EQ(Shapes(cached), Shapes(naive)) << q[0] << " " << q[1];
     EXPECT_EQ(Shapes(cached), Shapes(full)) << q[0] << " " << q[1];
   }
@@ -96,11 +99,11 @@ TEST_P(QueryProperties, DecompositionsAgree) {
   options.num_threads = 1;
   for (const auto& q : queries_) {
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> minimal,
-                            xk_->TopK(q, "MinClust", options));
+                            RunTopK(*xk_, q, "MinClust", options));
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> xkeyword,
-                            xk_->TopK(q, "XKeyword", options));
+                            RunTopK(*xk_, q, "XKeyword", options));
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> complete,
-                            xk_->TopK(q, "Complete", options));
+                            RunTopK(*xk_, q, "Complete", options));
     EXPECT_EQ(Shapes(minimal), Shapes(xkeyword)) << q[0] << " " << q[1];
     EXPECT_EQ(Shapes(minimal), Shapes(complete)) << q[0] << " " << q[1];
   }
@@ -155,7 +158,7 @@ TEST_P(QueryProperties, NoDuplicateResultsWithinANetwork) {
   options.num_threads = 1;
   for (const auto& q : queries_) {
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
-                            xk_->TopK(q, "MinClust", options));
+                            RunTopK(*xk_, q, "MinClust", options));
     std::set<std::pair<int, std::vector<storage::ObjectId>>> seen;
     for (const Mtton& m : results) {
       EXPECT_TRUE(seen.insert({m.ctssn_index, m.objects}).second)
@@ -170,7 +173,7 @@ TEST_P(QueryProperties, ScoresNondecreasingAndBounded) {
   options.per_network_k = 50;
   for (const auto& q : queries_) {
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
-                            xk_->TopK(q, "MinClust", options));
+                            RunTopK(*xk_, q, "MinClust", options));
     for (size_t i = 1; i < results.size(); ++i) {
       EXPECT_LE(results[i - 1].score, results[i].score);
     }

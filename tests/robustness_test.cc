@@ -16,6 +16,9 @@
 namespace xk {
 namespace {
 
+using testing::RunNaive;
+using testing::RunTopK;
+
 class ParserFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParserFuzz, MutatedDocumentsNeverCrash) {
@@ -74,7 +77,7 @@ TEST(ThreeKeywordTest, QueriesWork) {
   options.per_network_k = 100;
   options.num_threads = 1;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<present::Mtton> results,
-                          xk->TopK({"john", "tv", "dvd"}, "MinClust", options));
+                          RunTopK(*xk, {"john", "tv", "dvd"}, "MinClust", options));
   ASSERT_FALSE(results.empty());
   // Every result's keyword occurrences check out.
   XK_ASSERT_OK_AND_ASSIGN(engine::PreparedQuery q,
@@ -89,7 +92,7 @@ TEST(ThreeKeywordTest, QueriesWork) {
   }
   // Naive agrees.
   XK_ASSERT_OK_AND_ASSIGN(std::vector<present::Mtton> naive,
-                          xk->TopKNaive({"john", "tv", "dvd"}, "MinClust", options));
+                          RunNaive(*xk, {"john", "tv", "dvd"}, "MinClust", options));
   EXPECT_EQ(results, naive);
 }
 

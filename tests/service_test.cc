@@ -21,9 +21,12 @@
 namespace xk::service {
 namespace {
 
+using engine::Completeness;
 using engine::QueryMode;
 using engine::QueryRequest;
 using engine::QueryResponse;
+using testing::RunNaive;
+using testing::RunTopK;
 using std::chrono::milliseconds;
 
 // --- LatencyHistogram ----------------------------------------------------
@@ -145,22 +148,26 @@ TEST(MetricsTest, MergeFromAggregatesWithoutDoubleCounting) {
   a.OnSubmitted();
   a.OnAdmitted();
   a.OnStart();
-  engine::ExecutionStats stats_a;
-  stats_a.results = 3;
-  stats_a.shard_fanout = 4;
-  stats_a.shard_bound_prunes = 10;
-  a.OnFinish("XKeyword", Status::OK(), &stats_a, milliseconds(2));
+  engine::QueryResponse response_a;
+  response_a.stats.results = 3;
+  response_a.stats.shard_fanout = 4;
+  response_a.stats.shard_bound_prunes = 10;
+  a.OnFinish("XKeyword", Status::OK(), &response_a, milliseconds(2));
 
   b.OnSubmitted();
   b.OnSubmitted();
   b.OnRejected();
   b.OnAdmitted();
   b.OnStart();
-  engine::ExecutionStats stats_b;
-  stats_b.results = 5;
-  stats_b.shard_fanout = 8;
-  stats_b.shard_early_stops = 2;
-  b.OnFinish("XKeyword", Status::OK(), &stats_b, milliseconds(4));
+  engine::QueryResponse response_b;
+  response_b.stats.results = 5;
+  response_b.stats.shard_fanout = 8;
+  response_b.stats.shard_early_stops = 2;
+  response_b.completeness = Completeness::kDegraded;
+  response_b.coverage.cns_executed = 2;
+  response_b.coverage.cns_skipped = 1;
+  response_b.coverage.exhausted_class = 2;
+  b.OnFinish("XKeyword", Status::OK(), &response_b, milliseconds(4));
   b.OnCacheHit();
 
   a.MergeFrom(b);
@@ -176,6 +183,10 @@ TEST(MetricsTest, MergeFromAggregatesWithoutDoubleCounting) {
   EXPECT_EQ(snap.shard_fanout, 12u);
   EXPECT_EQ(snap.shard_bound_prunes, 10u);
   EXPECT_EQ(snap.shard_early_stops, 2u);
+  // Degraded count and the per-class coverage histogram merge too.
+  EXPECT_EQ(snap.degraded, 1u);
+  ASSERT_TRUE(snap.coverage_exhausted_class.contains(2));
+  EXPECT_EQ(snap.coverage_exhausted_class.at(2), 1u);
 }
 
 // --- Service fixture -----------------------------------------------------
@@ -253,16 +264,16 @@ engine::XKeyword* ServiceTest::xk_ = nullptr;
 
 // --- Unified Run API -----------------------------------------------------
 
-TEST_F(ServiceTest, RunMatchesLegacyWrappers) {
+TEST_F(ServiceTest, RunMatchesHelperWrapper) {
   QueryRequest request = Cheap({"gray", "codd"});
   XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, xk_->Run(request));
   EXPECT_TRUE(response.status.ok());
-  EXPECT_FALSE(response.truncated);
+  EXPECT_EQ(response.completeness, Completeness::kComplete);
 
   engine::ExecutionStats legacy_stats;
   XK_ASSERT_OK_AND_ASSIGN(
       std::vector<present::Mtton> legacy,
-      xk_->TopK(request.keywords, request.decomposition, request.options,
+      RunTopK(*xk_, request.keywords, request.decomposition, request.options,
                 &legacy_stats));
   ASSERT_EQ(response.mttons.size(), legacy.size());
   for (size_t i = 0; i < legacy.size(); ++i) {
@@ -278,12 +289,12 @@ TEST_F(ServiceTest, TinyDeadlineReturnsDeadlineExceededWithPartialStats) {
   request.deadline = milliseconds(1);
   XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, xk_->Run(request));
   EXPECT_TRUE(response.status.IsDeadlineExceeded()) << response.status.ToString();
-  EXPECT_TRUE(response.truncated);
+  EXPECT_NE(response.completeness, Completeness::kComplete);
   // Partial statistics survive the stop; the full query does far more work.
   engine::ExecutionStats full_stats;
   XK_ASSERT_OK_AND_ASSIGN(
       std::vector<present::Mtton> full,
-      xk_->TopKNaive(request.keywords, request.decomposition, request.options,
+      RunNaive(*xk_, request.keywords, request.decomposition, request.options,
                      &full_stats));
   EXPECT_LT(response.stats.probes.rows_scanned, full_stats.probes.rows_scanned);
   EXPECT_LE(response.mttons.size(), full.size());
@@ -295,7 +306,7 @@ TEST_F(ServiceTest, ExternalTokenCancelsSynchronousRun) {
   XK_ASSERT_OK_AND_ASSIGN(QueryResponse response,
                           xk_->Run(Expensive(), &token));
   EXPECT_TRUE(response.status.IsCancelled());
-  EXPECT_TRUE(response.truncated);
+  EXPECT_NE(response.completeness, Completeness::kComplete);
 }
 
 TEST_F(ServiceTest, InvalidOptionsRejectedBeforeExecution) {
@@ -467,7 +478,7 @@ TEST_F(ServiceTest, DeadlineExceededThroughServiceKeepsPartialStats) {
   XK_ASSERT_OK_AND_ASSIGN(QueryHandle handle, service->Submit(request));
   XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, handle.Wait());
   EXPECT_TRUE(response.status.IsDeadlineExceeded()) << response.status.ToString();
-  EXPECT_TRUE(response.truncated);
+  EXPECT_NE(response.completeness, Completeness::kComplete);
   const MetricsSnapshot snap = service->metrics().Snapshot();
   EXPECT_EQ(snap.deadline_exceeded, 1u);
   EXPECT_EQ(snap.completed_ok, 0u);
@@ -485,7 +496,7 @@ TEST_F(ServiceTest, CancelMidQueryReturnsCancelled) {
   handle.Cancel();
   XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, handle.Wait());
   EXPECT_TRUE(response.status.IsCancelled()) << response.status.ToString();
-  EXPECT_TRUE(response.truncated);
+  EXPECT_NE(response.completeness, Completeness::kComplete);
   EXPECT_EQ(service->metrics().Snapshot().cancelled, 1u);
 }
 

@@ -4,6 +4,24 @@
 
 namespace xk::testing {
 
+Result<std::vector<present::Mtton>> RunMode(
+    const engine::QueryEngine& engine, engine::QueryMode mode,
+    const std::vector<std::string>& keywords, const std::string& decomposition,
+    const engine::QueryOptions& options, engine::ExecutionStats* stats) {
+  engine::QueryRequest request;
+  request.keywords = keywords;
+  request.decomposition = decomposition;
+  request.mode = mode;
+  request.options = options;
+  XK_ASSIGN_OR_RETURN(engine::QueryResponse response, engine.Run(request));
+  if (stats != nullptr) {
+    const uint64_t results = response.stats.results;
+    stats->Add(response.stats);
+    stats->results = results;
+  }
+  return std::move(response.mttons);
+}
+
 namespace {
 xml::NodeId Leaf(xml::XmlGraph* g, xml::NodeId parent, const char* tag,
                  const std::string& value) {

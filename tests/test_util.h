@@ -10,9 +10,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "datagen/tpch_gen.h"
+#include "engine/query_engine.h"
 #include "schema/tss_graph.h"
 #include "xml/xml_graph.h"
 
@@ -55,6 +57,42 @@ struct Figure1Database {
 
 /// Builds the Figure-1 database. Dies on internal errors (test-only).
 std::unique_ptr<Figure1Database> MakeFigure1Database();
+
+/// One-call query helper over QueryEngine::Run for tests that only care
+/// about the result list: builds the QueryRequest, runs it, and returns the
+/// mttons. Engine counters accumulate (ExecutionStats::Add) into *stats
+/// across calls, except `results`, which is assigned per call. The
+/// response's own status is discarded — a soft stop (deadline/cancel)
+/// surfaces as a shorter result list, exactly like the response it wraps.
+Result<std::vector<present::Mtton>> RunMode(
+    const engine::QueryEngine& engine, engine::QueryMode mode,
+    const std::vector<std::string>& keywords, const std::string& decomposition,
+    const engine::QueryOptions& options,
+    engine::ExecutionStats* stats = nullptr);
+
+inline Result<std::vector<present::Mtton>> RunTopK(
+    const engine::QueryEngine& engine, const std::vector<std::string>& keywords,
+    const std::string& decomposition, const engine::QueryOptions& options,
+    engine::ExecutionStats* stats = nullptr) {
+  return RunMode(engine, engine::QueryMode::kTopK, keywords, decomposition,
+                 options, stats);
+}
+
+inline Result<std::vector<present::Mtton>> RunNaive(
+    const engine::QueryEngine& engine, const std::vector<std::string>& keywords,
+    const std::string& decomposition, const engine::QueryOptions& options,
+    engine::ExecutionStats* stats = nullptr) {
+  return RunMode(engine, engine::QueryMode::kNaive, keywords, decomposition,
+                 options, stats);
+}
+
+inline Result<std::vector<present::Mtton>> RunAll(
+    const engine::QueryEngine& engine, const std::vector<std::string>& keywords,
+    const std::string& decomposition, const engine::QueryOptions& options,
+    engine::ExecutionStats* stats = nullptr) {
+  return RunMode(engine, engine::QueryMode::kAll, keywords, decomposition,
+                 options, stats);
+}
 
 }  // namespace xk::testing
 

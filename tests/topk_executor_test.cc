@@ -13,6 +13,8 @@ namespace xk::engine {
 namespace {
 
 using present::Mtton;
+using testing::RunAll;
+using testing::RunTopK;
 
 class TopKExecutorTest : public ::testing::Test {
  protected:
@@ -66,9 +68,9 @@ TEST_F(TopKExecutorTest, ParallelMorselPathIsByteIdentical) {
       parallel.morsel_size = 8;  // small: forces many morsels per plan
       for (const auto& q : queries) {
         XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> expected,
-                                xk_->TopK(q, decomposition, serial));
+                                RunTopK(*xk_, q, decomposition, serial));
         XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> actual,
-                                xk_->TopK(q, decomposition, parallel));
+                                RunTopK(*xk_, q, decomposition, parallel));
         EXPECT_EQ(actual, expected)
             << decomposition << " global_k=" << global_k << " " << q[0] << ","
             << q[1];
@@ -89,9 +91,9 @@ TEST_F(TopKExecutorTest, ParallelMatchesSerialWithoutCache) {
   parallel.intra_plan_threads = 4;
   parallel.morsel_size = 8;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> expected,
-                          xk_->TopK({"ullman", "widom"}, "MinClust", serial));
+                          RunTopK(*xk_, {"ullman", "widom"}, "MinClust", serial));
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> actual,
-                          xk_->TopK({"ullman", "widom"}, "MinClust", parallel));
+                          RunTopK(*xk_, {"ullman", "widom"}, "MinClust", parallel));
   EXPECT_EQ(actual, expected);
 }
 
@@ -112,9 +114,9 @@ TEST_F(TopKExecutorTest, PruningPreservesResultsAndSkipsWork) {
            {"ullman", "widom"}, {"stonebraker", "author47"}}) {
     ExecutionStats pruned_stats, unpruned_stats;
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> with,
-                            xk_->TopK(q, "MinClust", pruned, &pruned_stats));
+                            RunTopK(*xk_, q, "MinClust", pruned, &pruned_stats));
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> without,
-                            xk_->TopK(q, "MinClust", unpruned, &unpruned_stats));
+                            RunTopK(*xk_, q, "MinClust", unpruned, &unpruned_stats));
     EXPECT_EQ(with, without) << q[0] << "," << q[1];
     EXPECT_EQ(unpruned_stats.probes.bloom_skips, 0u);
     if (pruned_stats.probes.bloom_skips > 0) {
@@ -140,9 +142,9 @@ TEST_F(TopKExecutorTest, PruningComposesWithMorselParallelism) {
   both.intra_plan_threads = 4;
   both.morsel_size = 8;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> expected,
-                          xk_->TopK({"gray", "codd"}, "MinClust", base));
+                          RunTopK(*xk_, {"gray", "codd"}, "MinClust", base));
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> actual,
-                          xk_->TopK({"gray", "codd"}, "MinClust", both));
+                          RunTopK(*xk_, {"gray", "codd"}, "MinClust", both));
   EXPECT_EQ(actual, expected);
 }
 
@@ -165,7 +167,7 @@ TEST_F(TopKExecutorTest, SubplanReuseDifferential) {
       baseline.num_threads = 1;
       baseline.enable_subplan_reuse = false;
       XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> expected,
-                              xk_->TopK(q, decomposition, baseline));
+                              RunTopK(*xk_, q, decomposition, baseline));
       for (bool reuse : {false, true}) {
         for (bool vectorized : {false, true}) {
           for (int intra : {1, 4}) {
@@ -177,7 +179,7 @@ TEST_F(TopKExecutorTest, SubplanReuseDifferential) {
             ExecutionStats stats;
             XK_ASSERT_OK_AND_ASSIGN(
                 std::vector<Mtton> actual,
-                xk_->TopK(q, decomposition, options, &stats));
+                RunTopK(*xk_, q, decomposition, options, &stats));
             EXPECT_EQ(actual, expected)
                 << decomposition << " reuse=" << reuse << " vec=" << vectorized
                 << " intra=" << intra << " " << q[0] << "," << q[1];
@@ -200,24 +202,23 @@ TEST_F(TopKExecutorTest, SubplanReuseDifferential) {
 // The full-result executor's hash-join prefix memo composes with scan reuse
 // and vectorization without changing output.
 TEST_F(TopKExecutorTest, FullExecutorSubplanMemoDifferential) {
-  QueryOptions options;
-  options.max_size_z = 6;
-  FullExecutorOptions baseline;
-  baseline.mode = FullMode::kHashJoin;
+  QueryOptions baseline;
+  baseline.max_size_z = 6;
+  baseline.full_mode = FullMode::kHashJoin;
   baseline.enable_subplan_reuse = false;
   for (const auto& q : std::vector<std::vector<std::string>>{
            {"ullman", "widom"}, {"gray", "codd"}}) {
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> expected,
-                            xk_->AllResults(q, "MinClust", options, baseline));
+                            RunAll(*xk_, q, "MinClust", baseline));
     for (bool reuse : {false, true}) {
       for (bool scans : {false, true}) {
-        FullExecutorOptions full = baseline;
-        full.enable_reuse = scans;
+        QueryOptions full = baseline;
+        full.enable_scan_reuse = scans;
         full.enable_subplan_reuse = reuse;
         ExecutionStats stats;
         XK_ASSERT_OK_AND_ASSIGN(
             std::vector<Mtton> actual,
-            xk_->AllResults(q, "MinClust", options, full, &stats));
+            RunAll(*xk_, q, "MinClust", full, &stats));
         EXPECT_EQ(actual, expected)
             << "reuse=" << reuse << " scans=" << scans << " " << q[0];
         if (!(reuse && scans)) {
@@ -240,7 +241,7 @@ TEST_F(TopKExecutorTest, SubplanStatsAreReported) {
            {"ullman", "widom"}, {"gray", "codd"}, {"stonebraker", "author47"}}) {
     ExecutionStats stats;
     XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
-                            xk_->TopK(q, "MinClust", options, &stats));
+                            RunTopK(*xk_, q, "MinClust", options, &stats));
     (void)results;
     hits += stats.subplan_hits;
     misses += stats.subplan_misses;
@@ -259,7 +260,7 @@ TEST_F(TopKExecutorTest, SingleObjectPlansRecordStats) {
   options.num_threads = 1;
   ExecutionStats stats;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> results,
-                          xk_->TopK({"ullman"}, "MinClust", options, &stats));
+                          RunTopK(*xk_, {"ullman"}, "MinClust", options, &stats));
   ASSERT_FALSE(results.empty());
   for (const Mtton& m : results) EXPECT_EQ(m.objects.size(), 1u);
   EXPECT_EQ(stats.results, results.size());
@@ -271,7 +272,7 @@ TEST_F(TopKExecutorTest, SingleObjectPlansRecordStats) {
   parallel.intra_plan_threads = 4;
   ExecutionStats parallel_stats;
   XK_ASSERT_OK_AND_ASSIGN(std::vector<Mtton> parallel_results,
-                          xk_->TopK({"ullman"}, "MinClust", parallel, &parallel_stats));
+                          RunTopK(*xk_, {"ullman"}, "MinClust", parallel, &parallel_stats));
   EXPECT_EQ(parallel_results, results);
   EXPECT_EQ(parallel_stats.results, results.size());
   EXPECT_GT(parallel_stats.probes.rows_scanned, 0u);
