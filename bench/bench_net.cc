@@ -1,0 +1,259 @@
+// Closed-loop throughput bench for the socket serving front-end: C loopback
+// connections each submit a query over the wire, read streamed batches until
+// the final frame, and immediately submit the next one, against one
+// xk::net::Server wrapping a QueryService on the shared DBLP engine.
+// Reported per series point (and in BENCH_net.json):
+//
+//   qps        — completed queries per wall-clock second across all clients
+//   p50_us     — median end-to-end latency (send → final frame), microseconds
+//   p99_us     — tail latency, microseconds
+//   rejected   — queries shed by the admission queue (kResourceExhausted)
+//   streamed_batches / streamed_bytes — incremental kBatch traffic
+//
+// Series: Net/C:<connections>/W:4 scales concurrent connections against a
+// fixed worker pool (the C:64 point is the headline ≥64-connection run);
+// NetOverload drives 64 connections into a one-worker, two-slot queue so the
+// per-connection error path is exercised under load; NetSlowClient/slow:{on,
+// off} is the backpressure A/B — a deliberately slow reader streams a large
+// top-k result through a small outbox while fast clients run the closed loop,
+// and its presence must not move the fast clients' throughput (the stall is
+// confined to the slow connection's own query).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/query_service.h"
+
+namespace {
+
+using xk::bench::DblpBench;
+using xk::engine::QueryRequest;
+using xk::net::Client;
+using xk::net::Server;
+using xk::net::ServerOptions;
+using xk::service::MetricsSnapshot;
+using xk::service::QueryService;
+using xk::service::QueryServiceOptions;
+
+struct NetLoopSetup {
+  int connections = 4;
+  int workers = 4;
+  size_t queue_capacity = 256;
+  int queries_per_connection = 20;
+  /// Adds one extra connection running a large streaming query whose reader
+  /// sleeps between frames, against a small outbox: the backpressure path.
+  bool slow_client = false;
+  size_t outbox_capacity_bytes = 4u << 20;
+};
+
+QueryRequest MakeRequest(const std::vector<std::string>& keywords) {
+  QueryRequest request;
+  request.keywords = keywords;
+  request.decomposition = "XKeyword";
+  request.options.max_size_z = 6;
+  request.options.per_network_k = 10;
+  // Closed loop: every query must actually execute (and stream).
+  request.cache_mode = xk::engine::CacheMode::kBypass;
+  return request;
+}
+
+/// The slow reader's query: unbounded top-k over the full network space, so
+/// the server has many batches to stream into the throttled connection.
+QueryRequest MakeStreamingRequest() {
+  QueryRequest request;
+  request.keywords = {"gray", "codd"};
+  request.decomposition = "XKeyword";
+  request.mode = xk::engine::QueryMode::kTopK;
+  request.options.max_size_z = 6;
+  request.options.per_network_k = 1000000;
+  request.cache_mode = xk::engine::CacheMode::kBypass;
+  return request;
+}
+
+double Percentile(std::vector<double>* latencies_us, double p) {
+  if (latencies_us->empty()) return 0;
+  const size_t rank = static_cast<size_t>(
+      std::min<double>(static_cast<double>(latencies_us->size()) - 1,
+                       std::ceil(p * static_cast<double>(latencies_us->size())) - 1));
+  std::nth_element(latencies_us->begin(), latencies_us->begin() + static_cast<long>(rank),
+                   latencies_us->end());
+  return (*latencies_us)[rank];
+}
+
+void BM_NetClosedLoop(benchmark::State& state, const NetLoopSetup& setup) {
+  auto& fixture = DblpBench::Get();
+  const auto& queries = fixture.queries();
+
+  QueryServiceOptions service_options;
+  service_options.num_workers = setup.workers;
+  service_options.queue_capacity = setup.queue_capacity;
+  ServerOptions server_options;
+  server_options.outbox_capacity_bytes = setup.outbox_capacity_bytes;
+
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t streamed_batches = 0, streamed_bytes = 0;
+  uint64_t slow_batches = 0;
+  std::vector<double> latencies_us;
+
+  for (auto _ : state) {
+    auto service =
+        QueryService::Create(&fixture.xk(), service_options).MoveValueUnsafe();
+    auto server = Server::Start(service.get(), server_options).MoveValueUnsafe();
+    const uint16_t port = server->port();
+
+    std::mutex merge_mutex;
+    std::atomic<uint64_t> ok_count{0};
+    std::atomic<uint64_t> rejected_count{0};
+
+    // The slow reader starts first and keeps draining (throttled) for the
+    // whole measurement window: its stalled outbox must not leak into the
+    // fast clients' closed loop below.
+    std::atomic<bool> stop_slow{false};
+    std::thread slow;
+    if (setup.slow_client) {
+      slow = std::thread([&] {
+        auto client = Client::Connect(port);
+        if (!client.ok()) return;
+        while (!stop_slow.load(std::memory_order_relaxed)) {
+          auto id = client.value().SendQuery(MakeStreamingRequest());
+          if (!id.ok()) return;
+          while (true) {
+            auto event = client.value().ReadEvent();
+            if (!event.ok()) return;
+            if (event.value().kind == Client::Event::Kind::kBatch) {
+              slow_batches += event.value().batch.size() > 0 ? 1 : 0;
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+              continue;
+            }
+            break;  // final or error: issue the next streaming query
+          }
+        }
+      });
+    }
+
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(setup.connections));
+    for (int c = 0; c < setup.connections; ++c) {
+      clients.emplace_back([&, c] {
+        auto client = Client::Connect(port);
+        if (!client.ok()) return;
+        std::vector<double> local_us;
+        local_us.reserve(static_cast<size_t>(setup.queries_per_connection));
+        for (int i = 0; i < setup.queries_per_connection; ++i) {
+          const auto start = std::chrono::steady_clock::now();
+          auto response = client.value().Run(
+              MakeRequest(queries[static_cast<size_t>(c + i) % queries.size()]));
+          const auto elapsed = std::chrono::steady_clock::now() - start;
+          if (response.ok() && response.value().status.ok()) {
+            ok_count.fetch_add(1, std::memory_order_relaxed);
+            local_us.push_back(
+                std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                    .count());
+          } else {
+            // Admission shed (kError frame) — the connection survives and
+            // the loop presses on, as a real client would under overload.
+            rejected_count.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        latencies_us.insert(latencies_us.end(), local_us.begin(),
+                            local_us.end());
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    stop_slow.store(true, std::memory_order_relaxed);
+    if (slow.joinable()) slow.join();
+
+    completed += ok_count.load();
+    rejected += rejected_count.load();
+    const MetricsSnapshot snap = service->metrics().Snapshot();
+    streamed_batches += snap.streamed_batches;
+    streamed_bytes += snap.streamed_bytes;
+    server->Stop();
+  }
+
+  state.counters["qps"] = benchmark::Counter(static_cast<double>(completed),
+                                             benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = benchmark::Counter(Percentile(&latencies_us, 0.50));
+  state.counters["p99_us"] = benchmark::Counter(Percentile(&latencies_us, 0.99));
+  state.counters["rejected"] = benchmark::Counter(static_cast<double>(rejected));
+  state.counters["streamed_batches"] =
+      benchmark::Counter(static_cast<double>(streamed_batches));
+  state.counters["streamed_bytes"] =
+      benchmark::Counter(static_cast<double>(streamed_bytes));
+  if (setup.slow_client) {
+    state.counters["slow_batches"] =
+        benchmark::Counter(static_cast<double>(slow_batches));
+  }
+  state.SetLabel(std::to_string(setup.connections) + " connections / " +
+                 std::to_string(setup.workers) + " workers" +
+                 (setup.slow_client ? " + 1 slow reader" : ""));
+}
+
+void RegisterAll() {
+  // Connection scaling against a fixed pool; C:64 is the headline
+  // concurrent-loopback-connection run.
+  for (int connections : {8, 64, 128}) {
+    NetLoopSetup setup;
+    setup.connections = connections;
+    setup.queries_per_connection = connections >= 64 ? 10 : 20;
+    auto* b = benchmark::RegisterBenchmark(
+        ("Net/C:" + std::to_string(connections) + "/W:4").c_str(),
+        [setup](benchmark::State& state) { BM_NetClosedLoop(state, setup); });
+    b->Unit(benchmark::kMillisecond);
+    b->Iterations(2);
+    b->UseRealTime();
+  }
+
+  // Overload: 64 connections into one worker and two queue slots; admission
+  // rejections surface as per-connection kError frames, and the connections
+  // must survive them.
+  NetLoopSetup overload;
+  overload.connections = 64;
+  overload.workers = 1;
+  overload.queue_capacity = 2;
+  overload.queries_per_connection = 5;
+  auto* b = benchmark::RegisterBenchmark(
+      "NetOverload/C:64/W:1", [overload](benchmark::State& state) {
+        BM_NetClosedLoop(state, overload);
+      });
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(2);
+  b->UseRealTime();
+
+  // Backpressure A/B: slow:on adds one throttled reader streaming a large
+  // top-k result through a 64 KiB outbox. Its qps against slow:off is the
+  // isolation check — a stalled outbox blocks only its own query.
+  for (bool slow : {false, true}) {
+    NetLoopSetup ab;
+    ab.connections = 8;
+    ab.queries_per_connection = 20;
+    ab.slow_client = slow;
+    ab.outbox_capacity_bytes = 64u << 10;
+    auto* s = benchmark::RegisterBenchmark(
+        slow ? "NetSlowClient/slow:on" : "NetSlowClient/slow:off",
+        [ab](benchmark::State& state) { BM_NetClosedLoop(state, ab); });
+    s->Unit(benchmark::kMillisecond);
+    s->Iterations(2);
+    s->UseRealTime();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  return xk::bench::RunBenchMain("net", argc, argv);
+}

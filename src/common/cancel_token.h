@@ -7,8 +7,13 @@
 // reads ToStatus() to classify the stop as kCancelled or kDeadlineExceeded.
 //
 // The token itself is passive — nothing fires when the deadline passes; the
-// next poll observes it. Polls are cheap: one relaxed atomic load, plus a
+// next poll observes it. Polls are cheap: one acquire atomic load, plus a
 // clock read only when a deadline is armed.
+//
+// Memory ordering: RequestCancel/SetDeadline store with release; every poll
+// (cancel_requested, has_deadline, deadline_time, deadline_exceeded) loads
+// with acquire, so an observer of the flag also observes whatever the
+// requesting thread published before tripping it.
 
 #ifndef XK_COMMON_CANCEL_TOKEN_H_
 #define XK_COMMON_CANCEL_TOKEN_H_
@@ -31,9 +36,15 @@ class CancelToken {
   void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
 
   /// Arms an absolute deadline. Passing a time point in the past makes every
-  /// subsequent poll observe the deadline as exceeded.
+  /// subsequent poll observe the deadline as exceeded. A time point whose
+  /// steady_clock nanos-since-epoch is exactly 0 would collide with the
+  /// "no deadline armed" sentinel and silently disarm the deadline, so it is
+  /// clamped to 1 ns — one poll later every observer still sees it as an
+  /// (immediately exceeded) armed deadline.
   void SetDeadline(std::chrono::steady_clock::time_point deadline) {
-    deadline_ns_.store(NanosSinceEpoch(deadline), std::memory_order_release);
+    int64_t ns = NanosSinceEpoch(deadline);
+    if (ns == 0) ns = 1;
+    deadline_ns_.store(ns, std::memory_order_release);
   }
 
   /// Arms a deadline `budget` from now. Non-positive budgets are ignored.
@@ -58,7 +69,13 @@ class CancelToken {
   }
 
   bool deadline_exceeded() const {
-    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    // Acquire, like every other deadline_ns_ poll: it pairs with the release
+    // in SetDeadline so a thread that observes the armed deadline also
+    // observes everything the arming thread published before it (the request
+    // state a QueryService worker reads after polling the token). A relaxed
+    // load here was inconsistent with has_deadline()/deadline_time() and
+    // provided no such guarantee.
+    const int64_t d = deadline_ns_.load(std::memory_order_acquire);
     return d != 0 &&
            NanosSinceEpoch(std::chrono::steady_clock::now()) >= d;
   }

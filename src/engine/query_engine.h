@@ -13,6 +13,7 @@
 #include "common/cancel_token.h"
 #include "common/result.h"
 #include "engine/query_request.h"
+#include "engine/result_sink.h"
 
 namespace xk::engine {
 
@@ -26,8 +27,15 @@ class QueryEngine {
   /// deadline/cancel yields an OK Result whose response carries
   /// kDeadlineExceeded/kCancelled plus partial results; hard failures yield
   /// an error Result.
+  ///
+  /// `sink` (borrowed, may be null) receives finalized result prefixes while
+  /// the query runs (see engine/result_sink.h). Streaming is best-effort:
+  /// engines or modes that cannot prove finalized prefixes never call it and
+  /// the whole answer arrives in the returned response either way — the
+  /// response is identical with and without a sink.
   virtual Result<QueryResponse> Run(const QueryRequest& request,
-                                    CancelToken* token = nullptr) const = 0;
+                                    CancelToken* token = nullptr,
+                                    ResultSink* sink = nullptr) const = 0;
 
   /// Monotonic generation of the queryable state (see
   /// XKeyword::data_generation); the serving layer uses it to invalidate

@@ -139,10 +139,6 @@ struct QueryResponse {
   /// Structured quality bound backing `completeness` (CNs executed/skipped,
   /// the largest fully exhausted size class).
   Coverage coverage;
-
-  /// Deprecated (one release): pre-anytime truncation flag. True iff the
-  /// answer is not complete; prefer branching on `completeness`.
-  bool truncated() const { return completeness != Completeness::kComplete; }
 };
 
 }  // namespace xk::engine

@@ -236,13 +236,18 @@ size_t ShardedEngine::ShardMemoryBytes() const {
 }
 
 Result<QueryResponse> ShardedEngine::Run(const QueryRequest& request,
-                                         CancelToken* token) const {
+                                         CancelToken* token,
+                                         ResultSink* sink) const {
   // Degenerate cases run the inner engine unchanged: a single shard group is
   // by definition the whole instance, and the naive executor exists to model
   // the unoptimized baseline, which sharding would misrepresent.
   if (request.options.num_shards <= 1 || request.mode == QueryMode::kNaive) {
-    return inner_->Run(request, token);
+    return inner_->Run(request, token, sink);
   }
+  // The scattered paths merge per-shard streams in the gather stage and
+  // cannot prove finalized prefixes mid-flight; the sink stays unused and
+  // the whole answer rides the response.
+  (void)sink;
 
   CancelToken local_token;
   CancelToken* tok = token != nullptr ? token : &local_token;

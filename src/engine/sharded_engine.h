@@ -61,8 +61,13 @@ class ShardedEngine : public QueryEngine {
   /// newly created connection relation across the slices.
   Status AddDecomposition(decomp::Decomposition d);
 
+  /// `sink` streams finalized prefixes only on the delegated single-shard /
+  /// kNaive path (the inner engine's streaming); the scattered paths cannot
+  /// prove finalized prefixes before the gather merge and ignore it — the
+  /// response is identical either way.
   Result<QueryResponse> Run(const QueryRequest& request,
-                            CancelToken* token = nullptr) const override;
+                            CancelToken* token = nullptr,
+                            ResultSink* sink = nullptr) const override;
 
   uint64_t data_generation() const override { return inner_->data_generation(); }
 

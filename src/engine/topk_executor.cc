@@ -645,7 +645,8 @@ void RunPlanMorsels(const PlanLayout& layout, const PreparedQuery& query,
 Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query,
                                                       const QueryOptions& options,
                                                       ExecutionStats* stats,
-                                                      Coverage* coverage) {
+                                                      Coverage* coverage,
+                                                      ResultSink* sink) {
   std::vector<present::Mtton> results;
   std::vector<ExecutionStats> per_plan_stats(query.plans.size());
   BloomCache bloom_cache;
@@ -685,6 +686,45 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
   // backs the coverage report.
   ProgressBudget budget(query, active, options);
   budget.PreAdmit(order);
+
+  // Finalized-prefix streaming (engine/result_sink.h): per CN size class, the
+  // number of scheduled plans that can still append results. When a plan is
+  // done for good — completed, capped, budget-skipped, or interrupted — its
+  // class count drops; once every class <= W has drained, all results with
+  // score <= W are final and their sorted form is the prefix of the eventual
+  // response, so the delta past what was already streamed goes to the sink.
+  // Plans left unvisited by a global stop never decrement: the watermark
+  // simply stalls and the tail rides the final response. Callers must hold
+  // the results lock on the concurrent path.
+  std::map<int, size_t> stream_pending;
+  size_t streamed = 0;
+  if (sink != nullptr) {
+    for (size_t p = 0; p < query.plans.size(); ++p) {
+      if (active[p]) ++stream_pending[query.ctssns[p].cn_size];
+    }
+  }
+  auto stream_plan_done = [&](size_t p) {
+    if (sink == nullptr) return;
+    auto it = stream_pending.find(query.ctssns[p].cn_size);
+    XK_CHECK(it != stream_pending.end() && it->second > 0);
+    if (--it->second == 0) stream_pending.erase(it);
+    const int watermark = stream_pending.empty()
+                              ? std::numeric_limits<int>::max()
+                              : stream_pending.begin()->first - 1;
+    std::vector<present::Mtton> finalized;
+    for (const present::Mtton& m : results) {
+      if (m.score <= watermark) finalized.push_back(m);
+    }
+    SortMttons(&finalized);
+    if (options.global_k != 0 && finalized.size() > options.global_k) {
+      finalized.resize(options.global_k);
+    }
+    if (finalized.size() > streamed) {
+      sink->OnBatch(
+          std::span<const present::Mtton>(finalized).subspan(streamed));
+      streamed = finalized.size();
+    }
+  };
 
   std::unique_ptr<opt::SubplanCache> subplan_cache;
   if (options.enable_subplan_reuse && !dag.subplans.empty()) {
@@ -737,7 +777,10 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
         budget.MarkUnreachedComplete();
         break;
       }
-      if (!budget.AdmitPlan(p)) continue;  // skip whole CN, try the next
+      if (!budget.AdmitPlan(p)) {  // skip whole CN, try the next
+        stream_plan_done(p);
+        continue;
+      }
       Stopwatch plan_timer;
       const uint64_t rows_before = per_plan_stats[p].probes.rows_scanned;
       auto rows_scanned = [&] {
@@ -759,6 +802,7 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
             },
             &per_plan_stats[p]);
         budget.OnPlanComplete(p, rows_scanned(), elapsed_ns());
+        stream_plan_done(p);
         continue;
       }
 
@@ -777,6 +821,7 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
       } else {
         budget.OnPlanComplete(p, rows_scanned(), elapsed_ns());
       }
+      stream_plan_done(p);
     }
   } else {
     std::mutex mutex;
@@ -789,7 +834,11 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
       if (global_stop.load(std::memory_order_relaxed)) return;
       if (stop_requested()) return;
       if (skip_plan(p)) return;
-      if (!budget.AdmitPlan(p)) return;  // skip whole CN, try the next
+      if (!budget.AdmitPlan(p)) {  // skip whole CN, try the next
+        std::lock_guard<std::mutex> lock(mutex);
+        stream_plan_done(p);
+        return;
+      }
       Stopwatch plan_timer;
       const uint64_t rows_before = per_plan_stats[p].probes.rows_scanned;
       auto rows_scanned = [&] {
@@ -815,6 +864,8 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
       if (query.plans[p].query.steps.empty()) {
         EvaluateSingleObjectPlan(query, p, emit, &per_plan_stats[p]);
         budget.OnPlanComplete(p, rows_scanned(), elapsed_ns());
+        std::lock_guard<std::mutex> lock(mutex);
+        stream_plan_done(p);
         return;
       }
       PlanLayout layout(&query.plans[p], options.enable_semijoin_pruning,
@@ -838,6 +889,8 @@ Result<std::vector<present::Mtton>> TopKExecutor::Run(const PreparedQuery& query
       } else {
         budget.OnPlanComplete(p, rows_scanned(), elapsed_ns());
       }
+      std::lock_guard<std::mutex> lock(mutex);
+      stream_plan_done(p);
     };
 
     if (options.num_threads <= 1 || query.plans.size() <= 1) {

@@ -35,6 +35,7 @@
 #include "common/lru_cache.h"
 #include "engine/progress_budget.h"
 #include "engine/query_context.h"
+#include "engine/result_sink.h"
 #include "exec/subplan_source.h"
 #include "opt/plan_dag.h"
 #include "opt/subplan_cache.h"
@@ -219,6 +220,9 @@ bool MaterializePrefixRows(const PlanLayout& layout, int depth,
 /// and `coverage` (nullable) reports the structured quality bound; with no
 /// budget the knob is inert and results are byte-identical to the pre-anytime
 /// engine.
+/// With a non-null `sink`, finalized result prefixes stream out as size
+/// classes exhaust (see engine/result_sink.h); the returned list is the same
+/// either way.
 class TopKExecutor {
  public:
   TopKExecutor() = default;
@@ -226,7 +230,8 @@ class TopKExecutor {
   Result<std::vector<present::Mtton>> Run(const PreparedQuery& query,
                                           const QueryOptions& options,
                                           ExecutionStats* stats = nullptr,
-                                          Coverage* coverage = nullptr);
+                                          Coverage* coverage = nullptr,
+                                          ResultSink* sink = nullptr);
 };
 
 /// Evaluates a single-object network (no joins): intersects the occurrence's

@@ -114,7 +114,7 @@ Result<PreparedQuery> XKeyword::Prepare(const std::vector<std::string>& keywords
 }
 
 Result<QueryResponse> XKeyword::Run(const QueryRequest& request,
-                                    CancelToken* token) const {
+                                    CancelToken* token, ResultSink* sink) const {
   CancelToken local_token;
   CancelToken* tok = token != nullptr ? token : &local_token;
   // The serving layer arms the deadline at admission (queue wait counts);
@@ -125,6 +125,7 @@ Result<QueryResponse> XKeyword::Run(const QueryRequest& request,
 
   QueryOptions options = request.options;
   options.cancel = tok;
+  if (sink != nullptr) sink->BindCancelToken(tok);
   XK_ASSIGN_OR_RETURN(
       PreparedQuery q, Prepare(request.keywords, request.decomposition, options));
 
@@ -142,7 +143,8 @@ Result<QueryResponse> XKeyword::Run(const QueryRequest& request,
   switch (request.mode) {
     case QueryMode::kTopK: {
       TopKExecutor executor;
-      results = executor.Run(q, options, &response.stats, &response.coverage);
+      results = executor.Run(q, options, &response.stats, &response.coverage,
+                             sink);
       break;
     }
     case QueryMode::kNaive: {

@@ -66,9 +66,12 @@ class XKeyword : public QueryEngine {
   /// whatever mttons/stats were complete; with options.enable_anytime the
   /// executor additionally budgets whole candidate networks against the
   /// remaining deadline instead of truncating mid-CN. Hard failures yield an
-  /// error Result.
+  /// error Result. `sink` (borrowed, may be null) streams finalized result
+  /// prefixes for kTopK queries (engine/result_sink.h); kNaive/kAll deliver
+  /// everything in the response.
   Result<QueryResponse> Run(const QueryRequest& request,
-                            CancelToken* token = nullptr) const override;
+                            CancelToken* token = nullptr,
+                            ResultSink* sink = nullptr) const override;
 
   /// Presentation graph of network `ctssn_index` of a prepared query, seeded
   /// with the given results of that network.

@@ -1,0 +1,145 @@
+#include "net/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iterator>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace xk::net {
+
+Result<Client> Client::Connect(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket: %s", strerror(errno)));
+  }
+  // Streamed batches are small and latency-sensitive; don't let Nagle batch
+  // them behind an unacked final frame.
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s =
+        Status::Internal(StrFormat("connect: %s", strerror(errno)));
+    close(fd);
+    return s;
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+  }
+  return *this;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  shutdown(fd_, SHUT_RDWR);
+  close(fd_);
+  fd_ = -1;
+}
+
+Result<uint64_t> Client::SendQuery(const engine::QueryRequest& request) {
+  if (fd_ < 0) return Status::Aborted("client is closed");
+  const uint64_t request_id = next_request_id_++;
+  const std::string frame = EncodeQueryFrame(request_id, request);
+  XK_RETURN_NOT_OK(WriteAll(fd_, frame.data(), frame.size()));
+  return request_id;
+}
+
+Status Client::SendCancel(uint64_t request_id) {
+  if (fd_ < 0) return Status::Aborted("client is closed");
+  const std::string frame = EncodeCancelFrame(request_id);
+  return WriteAll(fd_, frame.data(), frame.size());
+}
+
+Result<Client::Event> Client::ReadEvent() {
+  if (fd_ < 0) return Status::Aborted("client is closed");
+  std::vector<uint8_t> payload;
+  XK_RETURN_NOT_OK(ReadFrame(fd_, &payload));
+  XK_ASSIGN_OR_RETURN(const FrameHead head, DecodeFrameHead(payload));
+  Event event;
+  event.request_id = head.request_id;
+  switch (head.type) {
+    case FrameType::kBatch: {
+      event.kind = Event::Kind::kBatch;
+      XK_ASSIGN_OR_RETURN(event.batch, DecodeBatchBody(payload));
+      return event;
+    }
+    case FrameType::kFinal: {
+      event.kind = Event::Kind::kFinal;
+      XK_ASSIGN_OR_RETURN(FinalBody body, DecodeFinalBody(payload));
+      event.response = std::move(body.response);
+      event.tail_start = body.tail_start;
+      return event;
+    }
+    case FrameType::kError: {
+      event.kind = Event::Kind::kError;
+      XK_RETURN_NOT_OK(DecodeErrorBody(payload, &event.error));
+      return event;
+    }
+    default:
+      return Status::Corruption("unexpected client-bound frame type");
+  }
+}
+
+Result<engine::QueryResponse> Client::Run(
+    const engine::QueryRequest& request,
+    std::vector<std::vector<present::Mtton>>* batches) {
+  XK_ASSIGN_OR_RETURN(const uint64_t request_id, SendQuery(request));
+  std::vector<present::Mtton> streamed;
+  while (true) {
+    XK_ASSIGN_OR_RETURN(Event event, ReadEvent());
+    if (event.request_id != request_id) {
+      return Status::Corruption("response for a request this client never sent");
+    }
+    switch (event.kind) {
+      case Event::Kind::kBatch:
+        if (batches != nullptr) batches->push_back(event.batch);
+        streamed.insert(streamed.end(),
+                        std::make_move_iterator(event.batch.begin()),
+                        std::make_move_iterator(event.batch.end()));
+        break;
+      case Event::Kind::kFinal: {
+        if (event.tail_start != streamed.size()) {
+          return Status::Corruption(StrFormat(
+              "final frame expects %llu streamed results, saw %zu",
+              static_cast<unsigned long long>(event.tail_start),
+              streamed.size()));
+        }
+        engine::QueryResponse response = std::move(event.response);
+        // The batches are a prefix (ResultSink contract); the final frame
+        // carries only the tail. Reassemble the full list in place.
+        streamed.insert(streamed.end(),
+                        std::make_move_iterator(response.mttons.begin()),
+                        std::make_move_iterator(response.mttons.end()));
+        response.mttons = std::move(streamed);
+        return response;
+      }
+      case Event::Kind::kError:
+        return event.error;
+    }
+  }
+}
+
+}  // namespace xk::net

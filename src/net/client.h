@@ -1,0 +1,93 @@
+// Copyright (c) the XKeyword authors.
+//
+// net::Client: the in-repo counterpart of net::Server for tests, benches and
+// tools. One Client owns one blocking loopback connection and is not
+// thread-safe; open one per thread.
+//
+// Two levels of API:
+//
+//   * Run() — synchronous convenience: send the query, consume kBatch
+//     frames until kFinal / kError, and reassemble the exact QueryResponse
+//     the in-process QueryService::Submit(...).Wait() would have returned
+//     (concat(batches) + final-frame tail; same hits, same order). The
+//     optional `batches` out-param exposes the raw streaming boundaries for
+//     differential tests.
+//   * SendQuery() / ReadEvent() / SendCancel() — frame-level control for
+//     tests that need to act mid-stream (cancel after the first batch,
+//     disconnect with the query still running, ...).
+
+#ifndef XK_NET_CLIENT_H_
+#define XK_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/wire.h"
+
+namespace xk::net {
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:port.
+  static Result<Client> Connect(uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Severs the connection immediately (idempotent; the destructor calls
+  /// it). With a query in flight this is the client-abort path: the server
+  /// cancels the query server-side.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  // --- Synchronous convenience --------------------------------------------
+
+  /// Sends `request` and blocks until the response is complete. When
+  /// `batches` is non-null every kBatch frame's MTTON list is appended to it
+  /// in arrival order (their concatenation is a prefix of the returned
+  /// response's mttons).
+  Result<engine::QueryResponse> Run(
+      const engine::QueryRequest& request,
+      std::vector<std::vector<present::Mtton>>* batches = nullptr);
+
+  // --- Frame-level control ------------------------------------------------
+
+  /// One server->client protocol event.
+  struct Event {
+    enum class Kind { kBatch, kFinal, kError };
+    Kind kind = Kind::kError;
+    uint64_t request_id = 0;
+    /// kBatch only.
+    std::vector<present::Mtton> batch;
+    /// kFinal only: response carries the tail; tail_start echoes how many
+    /// results the server streamed ahead of it.
+    engine::QueryResponse response;
+    uint64_t tail_start = 0;
+    /// kError only.
+    Status error;
+  };
+
+  /// Sends one kQuery frame and returns its request id without waiting.
+  Result<uint64_t> SendQuery(const engine::QueryRequest& request);
+  /// Sends a kCancel for an outstanding request.
+  Status SendCancel(uint64_t request_id);
+  /// Blocks for the next server frame. kAborted = the server closed the
+  /// connection; kCorruption = undecodable frame.
+  Result<Event> ReadEvent();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace xk::net
+
+#endif  // XK_NET_CLIENT_H_

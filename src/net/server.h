@@ -1,0 +1,118 @@
+// Copyright (c) the XKeyword authors.
+//
+// net::Server: the socket serving front-end over one service::QueryService.
+// Accepts loopback TCP connections speaking the length-prefixed frame
+// protocol of net/wire.h and serves one query at a time per connection,
+// streaming finalized top-k prefixes to the client while the engine still
+// runs (see engine::ResultSink).
+//
+// Thread model — thread-per-connection, split in two:
+//
+//   * a reader thread owns recv(): it decodes kQuery / kCancel frames,
+//     submits to the QueryService with streaming hooks attached, and is the
+//     disconnect detector — EOF or a socket error with a query still in
+//     flight turns into a cooperative cancel of exactly that query
+//     (Metrics::OnClientAbort) so an abandoned expensive query stops
+//     consuming a worker at its next cancellation poll;
+//   * a writer thread owns send(): it drains the connection's bounded
+//     outbox of kBatch frames and, once the query completes, emits the
+//     kFinal frame carrying status/completeness/coverage/stats plus the
+//     MTTON tail no batch already shipped.
+//
+// Backpressure: the outbox is bounded in bytes. A client that stops reading
+// eventually fills its socket buffer, then its outbox; the streaming sink
+// then blocks the *query's own* engine thread (polling its CancelToken, so
+// deadline or cancel still breaks the stall) — other connections and other
+// queries are unaffected. When a stall ends in cancellation the sink drops
+// the batch and goes silent; the kFinal tail still carries every result the
+// response kept, so the client never sees a gap.
+
+#ifndef XK_NET_SERVER_H_
+#define XK_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "net/wire.h"
+#include "service/query_service.h"
+
+namespace xk::net {
+
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 = kernel-assigned ephemeral port
+  /// (read it back with Server::port()).
+  uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// Byte bound of each connection's outbox of streamed batch frames; a
+  /// slow client blocks its own query once the outbox is full.
+  size_t outbox_capacity_bytes = 4u << 20;
+  /// Per-frame payload ceiling enforced on received frames.
+  uint32_t max_frame_bytes = kMaxFrameBytes;
+
+  Status Validate() const {
+    if (backlog < 1) return Status::InvalidArgument("backlog must be >= 1");
+    if (outbox_capacity_bytes == 0) {
+      return Status::InvalidArgument("outbox_capacity_bytes must be >= 1");
+    }
+    if (max_frame_bytes < 64 || max_frame_bytes > kMaxFrameBytes) {
+      return Status::InvalidArgument("max_frame_bytes out of range");
+    }
+    return Status::OK();
+  }
+};
+
+class Server {
+ public:
+  /// Binds and listens on 127.0.0.1:port and starts the accept loop. The
+  /// service must outlive the server.
+  static Result<std::unique_ptr<Server>> Start(service::QueryService* service,
+                                               ServerOptions options = {});
+
+  /// Stops accepting, severs every connection (in-flight queries are
+  /// cancelled through the usual client-abort path), and joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (the kernel's pick when options.port was 0).
+  uint16_t port() const { return port_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Implementation detail, public only so the .cc's file-local streaming
+  /// sink can name it.
+  struct Connection;
+
+ private:
+  Server(service::QueryService* service, ServerOptions options, int listen_fd,
+         uint16_t port);
+
+  void AcceptLoop();
+  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  void WriterLoop(const std::shared_ptr<Connection>& conn);
+  /// Handles one decoded kQuery frame; returns false when the connection
+  /// must close (protocol violation already answered with kError).
+  bool HandleQuery(const std::shared_ptr<Connection>& conn,
+                   uint64_t request_id, std::span<const uint8_t> payload);
+
+  service::QueryService* const service_;
+  const ServerOptions options_;
+  const int listen_fd_;
+  const uint16_t port_;
+
+  std::thread accept_thread_;
+  std::mutex mutex_;  // guards connections_, stopping_
+  bool stopping_ = false;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace xk::net
+
+#endif  // XK_NET_SERVER_H_

@@ -71,6 +71,15 @@ void Metrics::OnStart() {
   }
 }
 
+void Metrics::OnConnectionOpened() {
+  const int64_t now = active_connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int64_t peak = peak_connections_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_connections_.compare_exchange_weak(peak, now,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
 void Metrics::CountOutcome(const Status& status) {
   if (status.IsDeadlineExceeded()) {
     deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
@@ -135,6 +144,13 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.coalesced = coalesced_.load(std::memory_order_relaxed);
   snap.cache_stale = cache_stale_.load(std::memory_order_relaxed);
   snap.cache_evicted = cache_evicted_.load(std::memory_order_relaxed);
+  snap.active_connections = active_connections_.load(std::memory_order_relaxed);
+  snap.peak_connections = peak_connections_.load(std::memory_order_relaxed);
+  snap.streamed_batches = streamed_batches_.load(std::memory_order_relaxed);
+  snap.streamed_results = streamed_results_.load(std::memory_order_relaxed);
+  snap.streamed_bytes = streamed_bytes_.load(std::memory_order_relaxed);
+  snap.client_aborts = client_aborts_.load(std::memory_order_relaxed);
+  snap.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   snap.latency_count = latency_.count();
   snap.latency_p50_us = latency_.PercentileMicros(50);
@@ -173,6 +189,21 @@ void Metrics::MergeFrom(const Metrics& other) {
   fold(coalesced_, other.coalesced_);
   fold(cache_stale_, other.cache_stale_);
   fold(cache_evicted_, other.cache_evicted_);
+  fold(streamed_batches_, other.streamed_batches_);
+  fold(streamed_results_, other.streamed_results_);
+  fold(streamed_bytes_, other.streamed_bytes_);
+  fold(client_aborts_, other.client_aborts_);
+  fold(malformed_frames_, other.malformed_frames_);
+  active_connections_.fetch_add(
+      other.active_connections_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  const int64_t other_conn_peak =
+      other.peak_connections_.load(std::memory_order_relaxed);
+  int64_t conn_peak = peak_connections_.load(std::memory_order_relaxed);
+  while (other_conn_peak > conn_peak &&
+         !peak_connections_.compare_exchange_weak(conn_peak, other_conn_peak,
+                                                  std::memory_order_relaxed)) {
+  }
   queue_depth_.fetch_add(other.queue_depth_.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
   in_flight_.fetch_add(other.in_flight_.load(std::memory_order_relaxed),

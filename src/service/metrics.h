@@ -112,6 +112,19 @@ struct MetricsSnapshot {
   uint64_t shard_fanout = 0;
   uint64_t shard_bound_prunes = 0;
   uint64_t shard_early_stops = 0;
+
+  /// Socket front-end (net::Server) gauges and counters. Connections
+  /// currently open / the high-water mark; result batches, MTTONs and frame
+  /// bytes pushed to clients ahead of the final frame; queries cancelled
+  /// server-side because the client hung up mid-query; and frames rejected
+  /// as malformed (bad type, oversized, short payload).
+  int64_t active_connections = 0;
+  int64_t peak_connections = 0;
+  uint64_t streamed_batches = 0;
+  uint64_t streamed_results = 0;
+  uint64_t streamed_bytes = 0;
+  uint64_t client_aborts = 0;
+  uint64_t malformed_frames = 0;
 };
 
 /// The registry one QueryService owns. Thread-safe.
@@ -159,6 +172,35 @@ class Metrics {
   }
   void OnCacheEvicted(uint64_t n) {
     if (n > 0) cache_evicted_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Socket front-end accounting (net::Server calls these; see the
+  /// MetricsSnapshot field docs).
+  void OnConnectionOpened();
+  void OnConnectionClosed() {
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  /// One streamed batch of `results` MTTONs shipped as `bytes` on the wire
+  /// (frame header included), ahead of the final frame.
+  void OnStreamedBatch(uint64_t results, uint64_t bytes) {
+    streamed_batches_.fetch_add(1, std::memory_order_relaxed);
+    streamed_results_.fetch_add(results, std::memory_order_relaxed);
+    streamed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  /// The client disconnected with a query still running; the server turned
+  /// that into a cooperative cancel.
+  void OnClientAbort() {
+    client_aborts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnMalformedFrame() {
+    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int64_t active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+  uint64_t client_aborts() const {
+    return client_aborts_.load(std::memory_order_relaxed);
   }
 
   uint64_t cache_hits() const {
@@ -215,6 +257,14 @@ class Metrics {
   std::atomic<uint64_t> coalesced_{0};
   std::atomic<uint64_t> cache_stale_{0};
   std::atomic<uint64_t> cache_evicted_{0};
+
+  std::atomic<int64_t> active_connections_{0};
+  std::atomic<int64_t> peak_connections_{0};
+  std::atomic<uint64_t> streamed_batches_{0};
+  std::atomic<uint64_t> streamed_results_{0};
+  std::atomic<uint64_t> streamed_bytes_{0};
+  std::atomic<uint64_t> client_aborts_{0};
+  std::atomic<uint64_t> malformed_frames_{0};
 
   void CountOutcome(const Status& status);
   /// Degraded counter + exhausted-class histogram for one served response.

@@ -40,24 +40,36 @@ struct QueryState {
   std::shared_ptr<CoalesceGroup> attached_group;
   std::shared_ptr<Metrics> metrics;
 
+  /// Leader executions only: streamed through to the engine (see
+  /// QueryService::StreamHooks). Null for cache hits and followers.
+  engine::ResultSink* sink = nullptr;
+
   std::mutex mutex;
   std::condition_variable cv;
   bool done = false;
   Result<engine::QueryResponse> result = Status::Internal("query not finished");
+  /// Completion hook, moved out (and thus fired at most once) by
+  /// CompleteState. Runs outside the state lock.
+  std::function<void()> on_done;
 };
 
 namespace {
 
 /// Publishes the outcome and wakes every waiter; first completion wins.
+/// Fires the state's on_done hook (if any) after the waiters are woken,
+/// outside the lock — so the hook may itself call Wait() without deadlock.
 void CompleteState(const std::shared_ptr<QueryState>& state,
                    Result<engine::QueryResponse> result) {
+  std::function<void()> on_done;
   {
     std::lock_guard<std::mutex> lock(state->mutex);
     if (state->done) return;
     state->result = std::move(result);
     state->done = true;
+    on_done = std::move(state->on_done);
   }
   state->cv.notify_all();
+  if (on_done) on_done();
 }
 
 std::chrono::nanoseconds LatencySince(
@@ -172,10 +184,12 @@ QueryService::QueryService(const engine::QueryEngine* engine,
 
 QueryService::~QueryService() { Shutdown(); }
 
-Result<QueryHandle> QueryService::Submit(engine::QueryRequest request) {
+Result<QueryHandle> QueryService::Submit(engine::QueryRequest request,
+                                         StreamHooks hooks) {
   metrics_->OnSubmitted();
   auto state = std::make_shared<QueryState>();
   state->request = std::move(request);
+  state->on_done = std::move(hooks.on_done);
   state->submit_time = std::chrono::steady_clock::now();
   // The wall-clock budget starts at admission: time spent waiting for a
   // worker counts against the deadline, as a saturated service must not
@@ -239,6 +253,9 @@ Result<QueryHandle> QueryService::Submit(engine::QueryRequest request) {
                     options_.queue_capacity));
     }
     if (use_cache) metrics_->OnCacheMiss();
+    // Only the leader's private execution streams; cache hits and followers
+    // (above) deliver everything through the final response instead.
+    state->sink = hooks.sink;
     ++queued_;
     live_.emplace(state->id, state);
     if (coalesce) {
@@ -264,7 +281,8 @@ void QueryService::Execute(const std::shared_ptr<QueryState>& state,
   }
   metrics_->OnStart();
 
-  Result<engine::QueryResponse> result = engine_->Run(state->request, &state->token);
+  Result<engine::QueryResponse> result =
+      engine_->Run(state->request, &state->token, state->sink);
   const Status outcome = result.ok() ? result.value().status : result.status();
   metrics_->OnFinish(state->request.decomposition, outcome,
                      result.ok() ? &result.value() : nullptr,

@@ -40,10 +40,12 @@
 #define XK_SERVICE_QUERY_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "engine/query_engine.h"
 #include "engine/thread_pool.h"
@@ -127,12 +129,36 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
+  /// Streaming attachment for one Submit: the serving bridge used by the
+  /// socket front-end (net::Server), usable by any caller that wants results
+  /// incrementally.
+  struct StreamHooks {
+    /// Receives finalized result prefixes while the query executes (see
+    /// engine::ResultSink). Only a leader execution streams: a cache hit or
+    /// a coalesced follower delivers the whole answer at completion (on_done
+    /// fires, Wait() returns everything) and never calls the sink — the
+    /// final response is byte-identical either way. May be null.
+    engine::ResultSink* sink = nullptr;
+    /// Fired exactly once when the query completes (from the completing
+    /// thread, outside the state lock), including the cache-hit and
+    /// follower-detach paths. Wait() is then non-blocking. Keep it cheap
+    /// (signal a condition variable); it must not call back into Submit,
+    /// which may hold the service lock on the cache-hit path. May be empty.
+    std::function<void()> on_done;
+  };
+
   /// Admits one query. Fails fast with kResourceExhausted when the admission
   /// queue is full and kAborted after Shutdown. A fresh cached answer
   /// completes the handle immediately; a request identical to one already
   /// in flight attaches to it as a follower; otherwise the query runs on a
   /// pool worker and the returned handle joins it.
-  Result<QueryHandle> Submit(engine::QueryRequest request);
+  Result<QueryHandle> Submit(engine::QueryRequest request) {
+    return Submit(std::move(request), StreamHooks{});
+  }
+
+  /// Submit with streaming hooks attached (see StreamHooks). On a non-OK
+  /// return (queue full, shutdown) the hooks are dropped unfired.
+  Result<QueryHandle> Submit(engine::QueryRequest request, StreamHooks hooks);
 
   /// Stops admitting, cancels every queued and running query, and waits for
   /// the workers to drain. Idempotent.

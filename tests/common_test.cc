@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
 
 #include "common/cancel_token.h"
 #include "common/logging.h"
@@ -108,6 +110,52 @@ TEST(CancelTokenTest, CancelWinsOverExpiredDeadline) {
                     std::chrono::milliseconds(1));
   token.RequestCancel();
   EXPECT_TRUE(token.ToStatus().IsCancelled());
+}
+
+TEST(CancelTokenTest, ZeroNanosDeadlineStaysArmed) {
+  // Regression: a time point whose nanos-since-epoch is exactly 0 used to
+  // store the "no deadline armed" sentinel, silently disarming the deadline.
+  // It must instead behave like any other past deadline.
+  CancelToken token;
+  token.SetDeadline(std::chrono::steady_clock::time_point(
+      std::chrono::nanoseconds(0)));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.deadline_exceeded());
+  EXPECT_TRUE(token.StopRequested());
+  EXPECT_TRUE(token.ToStatus().IsDeadlineExceeded());
+}
+
+TEST(CancelTokenTest, ZeroNanosDeadlineCannotDisarmEarlierDeadline) {
+  CancelToken token;
+  token.SetDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  ASSERT_TRUE(token.deadline_exceeded());
+  token.SetDeadline(std::chrono::steady_clock::time_point(
+      std::chrono::nanoseconds(0)));
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.deadline_exceeded());
+}
+
+TEST(CancelTokenTest, DeadlinePollsAgreeAcrossThreads) {
+  // deadline_exceeded() and has_deadline() must observe the same armed state
+  // (both acquire, pairing with SetDeadline's release): a thread that sees
+  // StopRequested() must also see has_deadline().
+  CancelToken token;
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (token.deadline_exceeded()) {
+        EXPECT_TRUE(token.has_deadline());
+        break;
+      }
+    }
+  });
+  token.SetDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  done.store(true, std::memory_order_release);
+  poller.join();
+  EXPECT_TRUE(token.deadline_exceeded());
 }
 
 TEST(StatusTest, CopyPreservesState) {

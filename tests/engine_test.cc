@@ -286,9 +286,8 @@ TEST_F(EngineTest, AddDecompositionTwiceRejected) {
 }
 
 // An unbounded query (no deadline, no cost budget) must come back complete
-// in every mode: full coverage, kComplete, and the deprecated truncated()
-// accessor false — the contract the answer cache and the migration of the
-// retired per-mode wrappers both rely on.
+// in every mode: full coverage and kComplete — the contract the answer cache
+// and the migration of the retired per-mode wrappers both rely on.
 TEST_F(EngineTest, RunReportsCompleteForUnboundedQueries) {
   QueryOptions options;
   options.max_size_z = 6;
@@ -306,7 +305,6 @@ TEST_F(EngineTest, RunReportsCompleteForUnboundedQueries) {
     XK_ASSERT_OK_AND_ASSIGN(QueryResponse response, xk_->Run(request));
     EXPECT_TRUE(response.status.ok());
     EXPECT_EQ(response.completeness, Completeness::kComplete);
-    EXPECT_FALSE(response.truncated());
     EXPECT_TRUE(response.coverage.complete());
     EXPECT_EQ(response.coverage.cns_skipped, 0u);
     EXPECT_GT(response.coverage.cns_executed, 0u);

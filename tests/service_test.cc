@@ -500,6 +500,85 @@ TEST_F(ServiceTest, CancelMidQueryReturnsCancelled) {
   EXPECT_EQ(service->metrics().Snapshot().cancelled, 1u);
 }
 
+TEST_F(ServiceTest, CoalescedFollowerDeadlineExpiryDetachesUnderLoad) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 64;
+  XK_ASSERT_OK_AND_ASSIGN(std::unique_ptr<QueryService> service,
+                          QueryService::Create(xk_, options));
+
+  // Park a convoy of bypass queries on the only worker so the leader below
+  // is admitted (and registered for coalescing) but never starts executing
+  // while the followers' deadlines run out. This keeps the test independent
+  // of how fast one expensive query happens to finish on this machine.
+  QueryRequest blocker_request = Expensive();
+  blocker_request.cache_mode = engine::CacheMode::kBypass;
+  std::vector<QueryHandle> blockers;
+  for (int i = 0; i < 16; ++i) {
+    XK_ASSERT_OK_AND_ASSIGN(QueryHandle blocker,
+                            service->Submit(blocker_request));
+    blockers.push_back(std::move(blocker));
+  }
+  XK_ASSERT_OK_AND_ASSIGN(QueryHandle leader, service->Submit(Expensive()));
+
+  // Followers: the identical request (the deadline is not part of the
+  // coalescing key) with a short wall-clock budget. No executor ever polls
+  // a follower's token, so QueryHandle::Wait itself must observe the expiry
+  // and detach — the self-detach path at the bottom of Wait's loop.
+  constexpr int kFollowers = 8;
+  QueryRequest follower_request = Expensive();
+  follower_request.deadline = milliseconds(20);
+  std::vector<QueryHandle> followers;
+  for (int i = 0; i < kFollowers; ++i) {
+    XK_ASSERT_OK_AND_ASSIGN(QueryHandle handle,
+                            service->Submit(follower_request));
+    followers.push_back(std::move(handle));
+  }
+  EXPECT_EQ(service->metrics().coalesced(),
+            static_cast<uint64_t>(kFollowers));
+
+  // Wait on every follower from its own thread: the expiries race their
+  // concurrent detaches against each other and against the (still running)
+  // leader.
+  std::vector<std::thread> waiters;
+  std::vector<Status> outcomes(kFollowers);
+  for (int i = 0; i < kFollowers; ++i) {
+    waiters.emplace_back([&, i] {
+      Result<QueryResponse> result = followers[static_cast<size_t>(i)].Wait();
+      outcomes[static_cast<size_t>(i)] =
+          result.ok() ? result.value().status : result.status();
+    });
+  }
+  for (std::thread& waiter : waiters) waiter.join();
+  for (int i = 0; i < kFollowers; ++i) {
+    EXPECT_TRUE(outcomes[static_cast<size_t>(i)].IsDeadlineExceeded())
+        << "follower " << i << ": "
+        << outcomes[static_cast<size_t>(i)].ToString();
+  }
+
+  // The detaches never touched the shared execution: the leader is still
+  // queued behind the convoy, untouched.
+  EXPECT_FALSE(leader.Done());
+
+  // Drain: cancel everything still pending and confirm the leader completes
+  // as cancelled, not as deadline-exceeded.
+  leader.Cancel();
+  for (const QueryHandle& blocker : blockers) blocker.Cancel();
+  XK_ASSERT_OK_AND_ASSIGN(QueryResponse leader_response, leader.Wait());
+  EXPECT_TRUE(leader_response.status.IsCancelled())
+      << leader_response.status.ToString();
+  for (const QueryHandle& blocker : blockers) {
+    XK_ASSERT_OK_AND_ASSIGN(QueryResponse drained, blocker.Wait());
+    EXPECT_TRUE(drained.status.ok() || drained.status.IsCancelled())
+        << drained.status.ToString();
+  }
+
+  const MetricsSnapshot snap = service->metrics().Snapshot();
+  EXPECT_EQ(snap.deadline_exceeded, static_cast<uint64_t>(kFollowers));
+  EXPECT_EQ(snap.coalesced, static_cast<uint64_t>(kFollowers));
+  EXPECT_GE(snap.cancelled, 1u);
+}
+
 TEST_F(ServiceTest, QueueFullReturnsResourceExhausted) {
   QueryServiceOptions options;
   options.num_workers = 1;
