@@ -1,0 +1,425 @@
+#include "common/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/simd_internal.h"
+
+#if !defined(XK_SIMD_DISABLED)
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define XK_SIMD_SSE2 1
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define XK_SIMD_NEON 1
+#endif
+#endif  // !XK_SIMD_DISABLED
+
+namespace xk::simd {
+
+namespace {
+
+bool EnvForcesScalar() {
+  const char* v = std::getenv("XK_FORCE_SCALAR_KERNELS");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "") != 0 && std::strcmp(v, "0") != 0 &&
+         std::strcmp(v, "false") != 0 && std::strcmp(v, "off") != 0;
+}
+
+IsaLevel Detect() {
+  if (EnvForcesScalar()) return IsaLevel::kScalar;
+#if defined(XK_SIMD_DISABLED)
+  return IsaLevel::kScalar;
+#else
+#if defined(XK_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return IsaLevel::kAvx2;
+#endif
+#if defined(XK_SIMD_NEON)
+  return IsaLevel::kNeon;
+#elif defined(XK_SIMD_SSE2)
+  return IsaLevel::kSse2;
+#else
+  return IsaLevel::kScalar;
+#endif
+#endif  // XK_SIMD_DISABLED
+}
+
+}  // namespace
+
+const char* IsaLevelToString(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar: return "scalar";
+    case IsaLevel::kSse2: return "sse2";
+    case IsaLevel::kNeon: return "neon";
+    case IsaLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+IsaLevel CompiledIsaLevel() {
+#if defined(XK_SIMD_DISABLED)
+  return IsaLevel::kScalar;
+#elif defined(XK_HAVE_AVX2)
+  return IsaLevel::kAvx2;
+#elif defined(XK_SIMD_NEON)
+  return IsaLevel::kNeon;
+#elif defined(XK_SIMD_SSE2)
+  return IsaLevel::kSse2;
+#else
+  return IsaLevel::kScalar;
+#endif
+}
+
+IsaLevel DetectedIsaLevel() {
+  // One-shot: the function-local static resolves once, thread-safely.
+  static const IsaLevel level = Detect();
+  return level;
+}
+
+bool ScalarForcedByEnv() {
+  static const bool forced = EnvForcesScalar();
+  return forced;
+}
+
+// --- 128-bit variants ----------------------------------------------------
+//
+// SSE2 (x86-64 baseline) and NEON (aarch64 baseline) run two 64-bit lanes.
+// Values are gathered by scalar loads (neither ISA gathers); the compare and
+// — on SSE2 — the 64-bit hash arithmetic are vectorized. The compress step
+// stays scalar-driven (2 conditional writes per compare), which preserves
+// the exact output order of the scalar kernel.
+
+#if defined(XK_SIMD_SSE2)
+
+namespace {
+
+/// 64-bit lanewise equality out of SSE2's 32-bit compare: both halves of a
+/// lane must match.
+inline __m128i CmpEq64(__m128i a, __m128i b) {
+  const __m128i eq32 = _mm_cmpeq_epi32(a, b);
+  return _mm_and_si128(eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+
+/// Exact 64-bit lanewise multiply (SSE2 has only 32x32->64): the high cross
+/// products shifted in, as wraparound arithmetic demands.
+inline __m128i Mul64(__m128i a, __m128i b) {
+  const __m128i lo = _mm_mul_epu32(a, b);
+  const __m128i cross =
+      _mm_add_epi64(_mm_mul_epu32(_mm_srli_epi64(a, 32), b),
+                    _mm_mul_epu32(a, _mm_srli_epi64(b, 32)));
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+/// The SplitMix64 finalizer on two lanes, bit-identical to the scalar chain.
+inline __m128i Finalize64(__m128i h) {
+  const __m128i c1 = _mm_set1_epi64x(static_cast<int64_t>(0xbf58476d1ce4e5b9ULL));
+  const __m128i c2 = _mm_set1_epi64x(static_cast<int64_t>(0x94d049bb133111ebULL));
+  h = Mul64(_mm_xor_si128(h, _mm_srli_epi64(h, 30)), c1);
+  h = Mul64(_mm_xor_si128(h, _mm_srli_epi64(h, 27)), c2);
+  return _mm_xor_si128(h, _mm_srli_epi64(h, 31));
+}
+
+inline uint64_t Lane0(__m128i v) {
+  return static_cast<uint64_t>(_mm_cvtsi128_si64(v));
+}
+inline uint64_t Lane1(__m128i v) {
+  return static_cast<uint64_t>(_mm_cvtsi128_si64(_mm_unpackhi_epi64(v, v)));
+}
+
+size_t SelCompressEqualSse2(const int64_t* base, uint64_t arity,
+                            uint64_t column, const uint32_t* row_ids,
+                            uint32_t* sel, size_t n, int64_t value) {
+  const __m128i target = _mm_set1_epi64x(value);
+  size_t out = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint32_t s0 = sel[i];
+    const uint32_t s1 = sel[i + 1];
+    const __m128i v = _mm_set_epi64x(
+        base[static_cast<uint64_t>(row_ids[s1]) * arity + column],
+        base[static_cast<uint64_t>(row_ids[s0]) * arity + column]);
+    const __m128i eq = CmpEq64(v, target);
+    sel[out] = s0;
+    out += Lane0(eq) & 1;
+    sel[out] = s1;
+    out += Lane1(eq) & 1;
+  }
+  for (; i < n; ++i) {
+    const uint32_t s = sel[i];
+    sel[out] = s;
+    out += base[static_cast<uint64_t>(row_ids[s]) * arity + column] == value
+               ? 1
+               : 0;
+  }
+  return out;
+}
+
+size_t SelCompressInSetSse2(const int64_t* base, uint64_t arity,
+                            uint64_t column, const uint32_t* row_ids,
+                            uint32_t* sel, size_t n, const int64_t* vals,
+                            size_t num_vals) {
+  __m128i targets[kMaxInlineInSet];
+  for (size_t j = 0; j < num_vals; ++j) targets[j] = _mm_set1_epi64x(vals[j]);
+  size_t out = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint32_t s0 = sel[i];
+    const uint32_t s1 = sel[i + 1];
+    const __m128i v = _mm_set_epi64x(
+        base[static_cast<uint64_t>(row_ids[s1]) * arity + column],
+        base[static_cast<uint64_t>(row_ids[s0]) * arity + column]);
+    __m128i eq = CmpEq64(v, targets[0]);
+    for (size_t j = 1; j < num_vals; ++j) {
+      eq = _mm_or_si128(eq, CmpEq64(v, targets[j]));
+    }
+    sel[out] = s0;
+    out += Lane0(eq) & 1;
+    sel[out] = s1;
+    out += Lane1(eq) & 1;
+  }
+  for (; i < n; ++i) {
+    const uint32_t s = sel[i];
+    const int64_t v = base[static_cast<uint64_t>(row_ids[s]) * arity + column];
+    int hit = 0;
+    for (size_t j = 0; j < num_vals; ++j) hit |= v == vals[j] ? 1 : 0;
+    sel[out] = s;
+    out += static_cast<size_t>(hit);
+  }
+  return out;
+}
+
+void HashJoinKeysSse2(const int64_t* keys, size_t count, size_t key_width,
+                      uint64_t* out) {
+  const __m128i prime = _mm_set1_epi64x(1099511628211LL);
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const int64_t* k0 = keys + i * key_width;
+    const int64_t* k1 = k0 + key_width;
+    __m128i h = _mm_set1_epi64x(static_cast<int64_t>(1469598103934665603ULL));
+    for (size_t j = 0; j < key_width; ++j) {
+      h = Mul64(_mm_xor_si128(h, _mm_set_epi64x(k1[j], k0[j])), prime);
+    }
+    h = Finalize64(h);
+    out[i] = Lane0(h);
+    out[i + 1] = Lane1(h);
+  }
+  for (; i < count; ++i) {
+    out[i] = detail::HashTupleFnvScalar(keys + i * key_width, key_width);
+  }
+}
+
+void BloomMixBatchSse2(const int64_t* keys, size_t count, uint64_t* out) {
+  const __m128i golden =
+      _mm_set1_epi64x(static_cast<int64_t>(0x9e3779b97f4a7c15ULL));
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    __m128i h = _mm_add_epi64(
+        _mm_set_epi64x(keys[i + 1], keys[i]), golden);
+    h = Finalize64(h);
+    out[i] = Lane0(h);
+    out[i + 1] = Lane1(h);
+  }
+  for (; i < count; ++i) out[i] = detail::BloomMixScalar(keys[i]);
+}
+
+}  // namespace
+
+#elif defined(XK_SIMD_NEON)
+
+namespace {
+
+size_t SelCompressEqualNeon(const int64_t* base, uint64_t arity,
+                            uint64_t column, const uint32_t* row_ids,
+                            uint32_t* sel, size_t n, int64_t value) {
+  const int64x2_t target = vdupq_n_s64(value);
+  size_t out = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint32_t s0 = sel[i];
+    const uint32_t s1 = sel[i + 1];
+    const int64x2_t v = vcombine_s64(
+        vcreate_s64(static_cast<uint64_t>(
+            base[static_cast<uint64_t>(row_ids[s0]) * arity + column])),
+        vcreate_s64(static_cast<uint64_t>(
+            base[static_cast<uint64_t>(row_ids[s1]) * arity + column])));
+    const uint64x2_t eq = vceqq_s64(v, target);
+    sel[out] = s0;
+    out += vgetq_lane_u64(eq, 0) & 1;
+    sel[out] = s1;
+    out += vgetq_lane_u64(eq, 1) & 1;
+  }
+  for (; i < n; ++i) {
+    const uint32_t s = sel[i];
+    sel[out] = s;
+    out += base[static_cast<uint64_t>(row_ids[s]) * arity + column] == value
+               ? 1
+               : 0;
+  }
+  return out;
+}
+
+size_t SelCompressInSetNeon(const int64_t* base, uint64_t arity,
+                            uint64_t column, const uint32_t* row_ids,
+                            uint32_t* sel, size_t n, const int64_t* vals,
+                            size_t num_vals) {
+  int64x2_t targets[kMaxInlineInSet];
+  for (size_t j = 0; j < num_vals; ++j) targets[j] = vdupq_n_s64(vals[j]);
+  size_t out = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint32_t s0 = sel[i];
+    const uint32_t s1 = sel[i + 1];
+    const int64x2_t v = vcombine_s64(
+        vcreate_s64(static_cast<uint64_t>(
+            base[static_cast<uint64_t>(row_ids[s0]) * arity + column])),
+        vcreate_s64(static_cast<uint64_t>(
+            base[static_cast<uint64_t>(row_ids[s1]) * arity + column])));
+    uint64x2_t eq = vceqq_s64(v, targets[0]);
+    for (size_t j = 1; j < num_vals; ++j) {
+      eq = vorrq_u64(eq, vceqq_s64(v, targets[j]));
+    }
+    sel[out] = s0;
+    out += vgetq_lane_u64(eq, 0) & 1;
+    sel[out] = s1;
+    out += vgetq_lane_u64(eq, 1) & 1;
+  }
+  for (; i < n; ++i) {
+    const uint32_t s = sel[i];
+    const int64_t v = base[static_cast<uint64_t>(row_ids[s]) * arity + column];
+    int hit = 0;
+    for (size_t j = 0; j < num_vals; ++j) hit |= v == vals[j] ? 1 : 0;
+    sel[out] = s;
+    out += static_cast<size_t>(hit);
+  }
+  return out;
+}
+
+}  // namespace
+
+#endif  // XK_SIMD_SSE2 / XK_SIMD_NEON
+
+// --- Dispatchers ---------------------------------------------------------
+//
+// Per-kernel: a level whose variant does not exist for a kernel (NEON has no
+// 64-bit vector multiply, so its hash kernels are scalar) falls through to
+// the next implemented one. Callers must not pass a level above
+// DetectedIsaLevel() — the AVX2 variant really executes AVX2 instructions.
+
+size_t SelCompressEqual(const int64_t* base, uint64_t arity, uint64_t column,
+                        const uint32_t* row_ids, uint32_t* sel, size_t n,
+                        int64_t value, IsaLevel level) {
+#if defined(XK_HAVE_AVX2)
+  if (level == IsaLevel::kAvx2) {
+    return detail::SelCompressEqualAvx2(base, arity, column, row_ids, sel, n,
+                                        value);
+  }
+#endif
+#if defined(XK_SIMD_SSE2)
+  if (level != IsaLevel::kScalar) {
+    return SelCompressEqualSse2(base, arity, column, row_ids, sel, n, value);
+  }
+#elif defined(XK_SIMD_NEON)
+  if (level != IsaLevel::kScalar) {
+    return SelCompressEqualNeon(base, arity, column, row_ids, sel, n, value);
+  }
+#endif
+  (void)level;
+  return detail::SelCompressEqualScalar(base, arity, column, row_ids, sel, n,
+                                        value);
+}
+
+size_t SelCompressInSet(const int64_t* base, uint64_t arity, uint64_t column,
+                        const uint32_t* row_ids, uint32_t* sel, size_t n,
+                        const int64_t* vals, size_t num_vals, IsaLevel level) {
+#if defined(XK_HAVE_AVX2)
+  if (level == IsaLevel::kAvx2) {
+    return detail::SelCompressInSetAvx2(base, arity, column, row_ids, sel, n,
+                                        vals, num_vals);
+  }
+#endif
+#if defined(XK_SIMD_SSE2)
+  if (level != IsaLevel::kScalar) {
+    return SelCompressInSetSse2(base, arity, column, row_ids, sel, n, vals,
+                                num_vals);
+  }
+#elif defined(XK_SIMD_NEON)
+  if (level != IsaLevel::kScalar) {
+    return SelCompressInSetNeon(base, arity, column, row_ids, sel, n, vals,
+                                num_vals);
+  }
+#endif
+  (void)level;
+  return detail::SelCompressInSetScalar(base, arity, column, row_ids, sel, n,
+                                        vals, num_vals);
+}
+
+uint64_t HashTupleFnv(const int64_t* key, size_t width) {
+  return detail::HashTupleFnvScalar(key, width);
+}
+
+void HashJoinKeys(const int64_t* keys, size_t count, size_t key_width,
+                  uint64_t* out, IsaLevel level) {
+#if defined(XK_HAVE_AVX2)
+  if (level == IsaLevel::kAvx2) {
+    detail::HashJoinKeysAvx2(keys, count, key_width, out);
+    return;
+  }
+#endif
+#if defined(XK_SIMD_SSE2)
+  if (level != IsaLevel::kScalar) {
+    HashJoinKeysSse2(keys, count, key_width, out);
+    return;
+  }
+#endif
+  (void)level;
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = detail::HashTupleFnvScalar(keys + i * key_width, key_width);
+  }
+}
+
+uint64_t BloomMix(int64_t key) { return detail::BloomMixScalar(key); }
+
+void BloomMixBatch(const int64_t* keys, size_t count, uint64_t* out,
+                   IsaLevel level) {
+#if defined(XK_HAVE_AVX2)
+  if (level == IsaLevel::kAvx2) {
+    detail::BloomMixBatchAvx2(keys, count, out);
+    return;
+  }
+#endif
+#if defined(XK_SIMD_SSE2)
+  if (level != IsaLevel::kScalar) {
+    BloomMixBatchSse2(keys, count, out);
+    return;
+  }
+#endif
+  (void)level;
+  for (size_t i = 0; i < count; ++i) out[i] = detail::BloomMixScalar(keys[i]);
+}
+
+void ProbeSlots(const uint64_t* slot_tag_head, uint64_t mask,
+                const uint64_t* hashes, size_t n, uint64_t* slot_out,
+                IsaLevel level) {
+  if (level != IsaLevel::kScalar) {
+    // Sweep every home slot's line into cache before any walk starts: the
+    // whole chunk's misses overlap instead of paying one round-trip per key.
+    // Only the dispatched arms prefetch — the scalar reference stays the
+    // plain per-key walk the A/B series baselines against.
+    for (size_t j = 0; j < n; ++j) {
+      PrefetchRead(slot_tag_head + (hashes[j] & mask));
+    }
+  }
+#if defined(XK_HAVE_AVX2)
+  if (level == IsaLevel::kAvx2) {
+    detail::ProbeSlotsAvx2(slot_tag_head, mask, hashes, n, slot_out);
+    return;
+  }
+#endif
+  // The 128-bit levels walk scalar after the prefetch sweep: the walk is
+  // gather-bound and SSE2/NEON cannot gather, so a 2-lane emulation only
+  // adds shuffles.
+  (void)level;
+  detail::ProbeSlotsScalar(slot_tag_head, mask, hashes, n, slot_out);
+}
+
+}  // namespace xk::simd

@@ -1,0 +1,155 @@
+// Copyright (c) the XKeyword authors.
+//
+// Portable SIMD kernels for the execution engine's hot block loops:
+// compare-and-compress selection over selection vectors, batched join-key
+// hashing (FNV-1a + SplitMix64, bit-exact with the scalar path), gathered
+// group-probe of the flat open-addressing JoinHashTable, and batched Bloom
+// mixing. Three instruction-set levels with one scalar fallback:
+//
+//   kScalar — plain C++, the correctness oracle every other level must match
+//   kSse2   — 128-bit lanes (x86-64 baseline, always compiled on x86)
+//   kNeon   — 128-bit lanes (aarch64 baseline)
+//   kAvx2   — 256-bit lanes with hardware gathers, compiled in a separate
+//             translation unit under -mavx2 and reached only when the CPU
+//             reports AVX2 at runtime
+//
+// Dispatch is one-shot: DetectedIsaLevel() resolves (compiled-in levels ∩
+// hardware support, minus the XK_FORCE_SCALAR_KERNELS escape hatch) on first
+// call and caches the answer. Every kernel takes the level as an explicit
+// parameter so callers can pin the scalar arm per query (ExecOptions::
+// force_scalar_kernels) and tests can difference the levels directly.
+//
+// All kernels are exact: each level computes bit-identical hashes and the
+// identical, order-preserving selection compress, so results downstream are
+// byte-identical by construction, not merely equivalent.
+
+#ifndef XK_COMMON_SIMD_H_
+#define XK_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xk::simd {
+
+/// Instruction-set level a kernel runs at. Values are stable (they appear in
+/// ExecutionStats::simd_isa and the metrics snapshot).
+enum class IsaLevel : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kNeon = 2,
+  kAvx2 = 3,
+};
+
+const char* IsaLevelToString(IsaLevel level);
+
+/// Best level this binary was compiled with (upper bound of dispatch).
+IsaLevel CompiledIsaLevel();
+
+/// One-shot runtime dispatch: compiled levels ∩ CPU support, forced to
+/// kScalar when XK_FORCE_SCALAR_KERNELS is set (1/true/on/yes). Resolved on
+/// first call, then cached — cheap enough for per-kernel consultation.
+IsaLevel DetectedIsaLevel();
+
+/// True when the XK_FORCE_SCALAR_KERNELS environment escape hatch disabled
+/// SIMD dispatch for this process.
+bool ScalarForcedByEnv();
+
+/// The level a kernel call should run at: the detected level, or kScalar when
+/// the caller's per-query knob demands the fallback arm.
+inline IsaLevel KernelLevel(bool force_scalar) {
+  return force_scalar ? IsaLevel::kScalar : DetectedIsaLevel();
+}
+
+/// Read-prefetch hint (no-op on compilers without __builtin_prefetch). The
+/// batched kernels sweep a whole chunk's target lines ahead of the dependent
+/// walks, so the misses overlap instead of serializing per key — the block
+/// layout is what makes that sweep possible, and on miss-bound probes it is
+/// worth more than the lane arithmetic itself.
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+// --- Selection kernels ---------------------------------------------------
+//
+// The engine's selection-vector layout: `sel[0..n)` indexes candidates,
+// candidate s refers to table row `row_ids[s]`, and the value under test is
+// `base[row_ids[s] * arity + column]` (row-major table storage). Each kernel
+// compacts sel in place to the survivors, preserving order, and returns the
+// survivor count. In-place compaction is safe: the write cursor never passes
+// the read cursor.
+
+/// Keeps candidates whose gathered value equals `value`.
+size_t SelCompressEqual(const int64_t* base, uint64_t arity, uint64_t column,
+                        const uint32_t* row_ids, uint32_t* sel, size_t n,
+                        int64_t value, IsaLevel level);
+
+/// Largest IN-set handled by the unrolled compare ladder below.
+inline constexpr size_t kMaxInlineInSet = 4;
+
+/// Keeps candidates whose gathered value equals any of `vals[0..num_vals)`
+/// (1 <= num_vals <= kMaxInlineInSet): an unrolled compare ladder instead of
+/// a hash-set probe, the right trade for tiny IN-lists.
+size_t SelCompressInSet(const int64_t* base, uint64_t arity, uint64_t column,
+                        const uint32_t* row_ids, uint32_t* sel, size_t n,
+                        const int64_t* vals, size_t num_vals, IsaLevel level);
+
+// --- Hash kernels --------------------------------------------------------
+
+/// The join-key hash: FNV-1a 64 over the key's ObjectIds, then a SplitMix64
+/// finalizer (the power-of-two slot mask uses only low bits; sequential ids
+/// need the avalanche). Single-key scalar reference — JoinHashTable::HashKey
+/// delegates here so batch and single-key hashing can never drift.
+uint64_t HashTupleFnv(const int64_t* key, size_t width);
+
+/// Batched HashTupleFnv: keys are row-major, `key_width` ids each;
+/// `out[i]` receives the hash of key i. Bit-identical to the scalar
+/// reference at every level.
+void HashJoinKeys(const int64_t* keys, size_t count, size_t key_width,
+                  uint64_t* out, IsaLevel level);
+
+/// The Bloom-filter first hash: SplitMix64 over one ObjectId (the golden-
+/// ratio increment then the finalizer). storage::BloomFilter delegates here.
+uint64_t BloomMix(int64_t key);
+
+/// Batched BloomMix; `out[i]` receives BloomMix(keys[i]).
+void BloomMixBatch(const int64_t* keys, size_t count, uint64_t* out,
+                   IsaLevel level);
+
+// --- Group probe ---------------------------------------------------------
+
+/// Slot-head value marking an empty slot (JoinHashTable::kNil).
+inline constexpr uint32_t kEmptyHead = 0xFFFFFFFFu;
+
+/// The probed slot array packs each slot into one 64-bit word: the high half
+/// is the key hash's top 32 bits (the "tag" — the slot index already encodes
+/// low bits), the low half is the slot's head (kEmptyHead when empty). One
+/// word per slot means the walk costs a single gather per step instead of
+/// two parallel-array gathers, and the resolve reads the head off a line the
+/// walk just touched.
+inline constexpr uint64_t kSlotTagMask = 0xFFFFFFFF00000000ull;
+
+/// Packs a slot's fused tag+head word.
+inline uint64_t PackSlotTagHead(uint64_t hash, uint32_t head) {
+  return (hash & kSlotTagMask) | head;
+}
+
+/// Gathered group-probe of an open-addressing slot array (power-of-two size,
+/// linear probing, fused tag+head words — see kSlotTagMask). For each probe
+/// hash, walks slots from `hash & mask` and writes the index of the first
+/// slot that is either empty (key absent) or tag-equal (candidate match —
+/// the caller verifies the full hash/key and resumes the walk one slot past
+/// the parking spot on a tag collision, which is provably the slot the
+/// all-scalar walk would find: a full-hash match is also a tag match, so the
+/// walk can never park past the true slot). The table must contain at least
+/// one empty slot (guaranteed below the load-factor ceiling).
+void ProbeSlots(const uint64_t* slot_tag_head, uint64_t mask,
+                const uint64_t* hashes, size_t n, uint64_t* slot_out,
+                IsaLevel level);
+
+}  // namespace xk::simd
+
+#endif  // XK_COMMON_SIMD_H_

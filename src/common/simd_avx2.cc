@@ -1,0 +1,309 @@
+// Copyright (c) the XKeyword authors.
+//
+// AVX2 kernel variants, isolated in this translation unit so only it is
+// compiled under -mavx2 (the rest of the binary stays baseline-ISA and the
+// runtime dispatcher guards entry with __builtin_cpu_supports). The kernels
+// here run 8 selection candidates or 4 hashes/probes per step with hardware
+// gathers, and are bit-identical to the scalar references in
+// simd_internal.h — the 64-bit multiplies SplitMix64/FNV need are emulated
+// exactly out of 32x32 products, and the selection compress is an
+// order-preserving permutation, so downstream results cannot diverge.
+
+#include "common/simd_internal.h"
+
+#if defined(XK_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace xk::simd::detail {
+
+namespace {
+
+/// sel-compress permutations: row m lists the set-bit positions of mask m in
+/// ascending order, which is exactly the order-preserving left-pack of eight
+/// 32-bit lanes under _mm256_permutevar8x32_epi32.
+struct CompressLut {
+  alignas(32) uint32_t perm[256][8];
+};
+
+constexpr CompressLut MakeCompressLut() {
+  CompressLut lut{};
+  for (unsigned m = 0; m < 256; ++m) {
+    unsigned out = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+      if ((m >> b) & 1u) lut.perm[m][out++] = b;
+    }
+    for (; out < 8; ++out) lut.perm[m][out] = 0;
+  }
+  return lut;
+}
+
+constexpr CompressLut kCompress = MakeCompressLut();
+
+/// Exact 64-bit lanewise multiply: AVX2 has only 32x32->64, so compose the
+/// low product with both shifted cross products (the high-high term wraps
+/// out of 64 bits).
+inline __m256i Mul64(__m256i a, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                       _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// The SplitMix64 finalizer on four lanes, bit-identical to the scalar chain.
+inline __m256i Finalize64(__m256i h) {
+  const __m256i c1 =
+      _mm256_set1_epi64x(static_cast<int64_t>(0xbf58476d1ce4e5b9ULL));
+  const __m256i c2 =
+      _mm256_set1_epi64x(static_cast<int64_t>(0x94d049bb133111ebULL));
+  h = Mul64(_mm256_xor_si256(h, _mm256_srli_epi64(h, 30)), c1);
+  h = Mul64(_mm256_xor_si256(h, _mm256_srli_epi64(h, 27)), c2);
+  return _mm256_xor_si256(h, _mm256_srli_epi64(h, 31));
+}
+
+/// Gathers the tested column of 8 candidates — sel indexes row_ids, row_ids
+/// index the row-major table — and returns the 8-bit equality mask built by
+/// `cmp` over the two 4x64 halves.
+template <typename Cmp>
+inline unsigned GatherCompare8(const int64_t* base, __m256i arity_v,
+                               __m256i col_v, const uint32_t* row_ids,
+                               __m256i sel_v, Cmp cmp) {
+  const __m256i rows8 = _mm256_i32gather_epi32(
+      reinterpret_cast<const int*>(row_ids), sel_v, 4);
+  const __m256i rows_lo = _mm256_cvtepu32_epi64(_mm256_castsi256_si128(rows8));
+  const __m256i rows_hi =
+      _mm256_cvtepu32_epi64(_mm256_extracti128_si256(rows8, 1));
+  // row * arity + column in 64 bits; rows and arity both fit 32, so one
+  // 32x32->64 product is exact.
+  const __m256i idx_lo =
+      _mm256_add_epi64(_mm256_mul_epu32(rows_lo, arity_v), col_v);
+  const __m256i idx_hi =
+      _mm256_add_epi64(_mm256_mul_epu32(rows_hi, arity_v), col_v);
+  const __m256i v_lo = _mm256_i64gather_epi64(
+      reinterpret_cast<const long long*>(base), idx_lo, 8);
+  const __m256i v_hi = _mm256_i64gather_epi64(
+      reinterpret_cast<const long long*>(base), idx_hi, 8);
+  const unsigned m_lo = static_cast<unsigned>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(cmp(v_lo))));
+  const unsigned m_hi = static_cast<unsigned>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(cmp(v_hi))));
+  return m_lo | (m_hi << 4);
+}
+
+/// Left-packs the surviving sel entries of one 8-lane group to sel[out].
+/// In place is safe: out <= i always, and the 8 source lanes were loaded
+/// before the store.
+inline size_t CompressStore8(uint32_t* sel, size_t out, __m256i sel_v,
+                             unsigned mask) {
+  const __m256i perm = _mm256_load_si256(
+      reinterpret_cast<const __m256i*>(kCompress.perm[mask]));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(sel + out),
+                      _mm256_permutevar8x32_epi32(sel_v, perm));
+  return out + static_cast<size_t>(__builtin_popcount(mask));
+}
+
+}  // namespace
+
+size_t SelCompressEqualAvx2(const int64_t* base, uint64_t arity,
+                            uint64_t column, const uint32_t* row_ids,
+                            uint32_t* sel, size_t n, int64_t value) {
+  const __m256i target = _mm256_set1_epi64x(value);
+  const __m256i arity_v = _mm256_set1_epi64x(static_cast<int64_t>(arity));
+  const __m256i col_v = _mm256_set1_epi64x(static_cast<int64_t>(column));
+  size_t out = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i sel_v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    const unsigned mask = GatherCompare8(
+        base, arity_v, col_v, row_ids, sel_v,
+        [&](__m256i v) { return _mm256_cmpeq_epi64(v, target); });
+    out = CompressStore8(sel, out, sel_v, mask);
+  }
+  for (; i < n; ++i) {
+    const uint32_t s = sel[i];
+    sel[out] = s;
+    out += base[static_cast<uint64_t>(row_ids[s]) * arity + column] == value
+               ? 1
+               : 0;
+  }
+  return out;
+}
+
+size_t SelCompressInSetAvx2(const int64_t* base, uint64_t arity,
+                            uint64_t column, const uint32_t* row_ids,
+                            uint32_t* sel, size_t n, const int64_t* vals,
+                            size_t num_vals) {
+  __m256i targets[kMaxInlineInSet];
+  for (size_t j = 0; j < num_vals; ++j) {
+    targets[j] = _mm256_set1_epi64x(vals[j]);
+  }
+  const __m256i arity_v = _mm256_set1_epi64x(static_cast<int64_t>(arity));
+  const __m256i col_v = _mm256_set1_epi64x(static_cast<int64_t>(column));
+  size_t out = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i sel_v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    const unsigned mask =
+        GatherCompare8(base, arity_v, col_v, row_ids, sel_v, [&](__m256i v) {
+          __m256i eq = _mm256_cmpeq_epi64(v, targets[0]);
+          for (size_t j = 1; j < num_vals; ++j) {
+            eq = _mm256_or_si256(eq, _mm256_cmpeq_epi64(v, targets[j]));
+          }
+          return eq;
+        });
+    out = CompressStore8(sel, out, sel_v, mask);
+  }
+  for (; i < n; ++i) {
+    const uint32_t s = sel[i];
+    const int64_t v = base[static_cast<uint64_t>(row_ids[s]) * arity + column];
+    int hit = 0;
+    for (size_t j = 0; j < num_vals; ++j) hit |= v == vals[j] ? 1 : 0;
+    sel[out] = s;
+    out += static_cast<size_t>(hit);
+  }
+  return out;
+}
+
+void HashJoinKeysAvx2(const int64_t* keys, size_t count, size_t key_width,
+                      uint64_t* out) {
+  const __m256i prime = _mm256_set1_epi64x(1099511628211LL);
+  const int64_t kw = static_cast<int64_t>(key_width);
+  size_t i = 0;
+  if (key_width == 1) {
+    // Width-1 keys are contiguous: plain 256-bit loads instead of gathers
+    // (a 4-lane gather of adjacent qwords costs an order of magnitude more
+    // than the load), two groups in flight to keep the multiply ports fed.
+    const __m256i basis =
+        _mm256_set1_epi64x(static_cast<int64_t>(1469598103934665603ULL));
+    for (; i + 8 <= count; i += 8) {
+      const __m256i v0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+      const __m256i v1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i + 4));
+      const __m256i h0 = Finalize64(Mul64(_mm256_xor_si256(basis, v0), prime));
+      const __m256i h1 = Finalize64(Mul64(_mm256_xor_si256(basis, v1), prime));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h0);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4), h1);
+    }
+    for (; i < count; ++i) out[i] = HashTupleFnvScalar(keys + i, 1);
+    return;
+  }
+  // Four row-major keys per step; column j of the group gathers at stride
+  // key_width.
+  const __m256i offsets = _mm256_setr_epi64x(0, kw, 2 * kw, 3 * kw);
+  for (; i + 4 <= count; i += 4) {
+    const int64_t* kbase = keys + i * key_width;
+    __m256i h =
+        _mm256_set1_epi64x(static_cast<int64_t>(1469598103934665603ULL));
+    for (size_t j = 0; j < key_width; ++j) {
+      const __m256i v = _mm256_i64gather_epi64(
+          reinterpret_cast<const long long*>(kbase + j), offsets, 8);
+      h = Mul64(_mm256_xor_si256(h, v), prime);
+    }
+    h = Finalize64(h);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+  }
+  for (; i < count; ++i) {
+    out[i] = HashTupleFnvScalar(keys + i * key_width, key_width);
+  }
+}
+
+void BloomMixBatchAvx2(const int64_t* keys, size_t count, uint64_t* out) {
+  const __m256i golden =
+      _mm256_set1_epi64x(static_cast<int64_t>(0x9e3779b97f4a7c15ULL));
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i h = Finalize64(_mm256_add_epi64(k, golden));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+  }
+  for (; i < count; ++i) out[i] = BloomMixScalar(keys[i]);
+}
+
+void ProbeSlotsAvx2(const uint64_t* slot_tag_head, uint64_t mask,
+                    const uint64_t* hashes, size_t n, uint64_t* slot_out) {
+  const __m256i mask_v = _mm256_set1_epi64x(static_cast<int64_t>(mask));
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i tag_mask =
+      _mm256_set1_epi64x(static_cast<int64_t>(kSlotTagMask));
+  const __m256i lo_ones =
+      _mm256_set1_epi64x(static_cast<int64_t>(0x00000000FFFFFFFFull));
+  // One latch-and-advance step for a 4-lane group: a single gather pulls the
+  // group's fused tag+head words, `idx` latches into `out` for lanes whose
+  // slot is empty (head half all-ones) or tag-equal, and every lane advances
+  // one slot (masked in-bounds, so resolved lanes keep gathering harmlessly
+  // while their latch stays put). A drain-and-refill pipeline (keep four
+  // walks in flight, refill a lane the step it parks) was measured slower
+  // here: the gather port is the bottleneck, so a parked lane's wasted
+  // gathers cost less than the refill's permute/blend/scatter traffic.
+  const auto step = [&](__m256i probe_tag, __m256i& idx, __m256i& out,
+                        __m256i& active) {
+    const __m256i v = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(slot_tag_head), idx, 8);
+    const __m256i empty =
+        _mm256_cmpeq_epi64(_mm256_and_si256(v, lo_ones), lo_ones);
+    const __m256i eq =
+        _mm256_cmpeq_epi64(_mm256_and_si256(v, tag_mask), probe_tag);
+    const __m256i done = _mm256_and_si256(_mm256_or_si256(eq, empty), active);
+    out = _mm256_blendv_epi8(out, idx, done);
+    active = _mm256_andnot_si256(done, active);
+    idx = _mm256_and_si256(_mm256_add_epi64(idx, one), mask_v);
+  };
+  size_t i = 0;
+  // Two independent 4-lane groups walk side by side so eight probes' gather
+  // misses overlap; a group whose four lanes have all parked stops stepping,
+  // so each group pays its own longest walk, not the combined one.
+  for (; i + 8 <= n; i += 8) {
+    const __m256i probe_a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + i));
+    const __m256i probe_b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + i + 4));
+    const __m256i tag_a = _mm256_and_si256(probe_a, tag_mask);
+    const __m256i tag_b = _mm256_and_si256(probe_b, tag_mask);
+    __m256i idx_a = _mm256_and_si256(probe_a, mask_v);
+    __m256i idx_b = _mm256_and_si256(probe_b, mask_v);
+    __m256i out_a = _mm256_setzero_si256();
+    __m256i out_b = _mm256_setzero_si256();
+    __m256i active_a = _mm256_set1_epi64x(-1);
+    __m256i active_b = _mm256_set1_epi64x(-1);
+    // Every lane terminates: the table keeps at least one empty slot below
+    // the load-factor ceiling.
+    int live_a = _mm256_movemask_epi8(active_a);
+    int live_b = _mm256_movemask_epi8(active_b);
+    while ((live_a | live_b) != 0) {
+      if (live_a != 0) {
+        step(tag_a, idx_a, out_a, active_a);
+        live_a = _mm256_movemask_epi8(active_a);
+      }
+      if (live_b != 0) {
+        step(tag_b, idx_b, out_b, active_b);
+        live_b = _mm256_movemask_epi8(active_b);
+      }
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(slot_out + i), out_a);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(slot_out + i + 4), out_b);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256i probe =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + i));
+    const __m256i tag = _mm256_and_si256(probe, tag_mask);
+    __m256i idx = _mm256_and_si256(probe, mask_v);
+    __m256i out = _mm256_setzero_si256();
+    __m256i active = _mm256_set1_epi64x(-1);
+    while (_mm256_movemask_epi8(active) != 0) {
+      step(tag, idx, out, active);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(slot_out + i), out);
+  }
+  if (i < n) {
+    ProbeSlotsScalar(slot_tag_head, mask, hashes + i, n - i, slot_out + i);
+  }
+}
+
+}  // namespace xk::simd::detail
+
+#endif  // XK_HAVE_AVX2

@@ -1,0 +1,109 @@
+// Copyright (c) the XKeyword authors.
+//
+// Internals shared by simd.cc and the ISA-specific translation units
+// (simd_avx2.cc is compiled under -mavx2, so anything it shares with the
+// baseline TU lives here, not in simd.cc). The scalar reference kernels are
+// inline: every vector variant delegates its ragged tail to them, which is
+// what keeps tails bit-identical with the pure-scalar level for free.
+
+#ifndef XK_COMMON_SIMD_INTERNAL_H_
+#define XK_COMMON_SIMD_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd.h"
+
+namespace xk::simd::detail {
+
+// --- Scalar reference kernels -------------------------------------------
+
+inline size_t SelCompressEqualScalar(const int64_t* base, uint64_t arity,
+                                     uint64_t column, const uint32_t* row_ids,
+                                     uint32_t* sel, size_t n, int64_t value) {
+  size_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t s = sel[i];
+    sel[out] = s;
+    out += base[static_cast<uint64_t>(row_ids[s]) * arity + column] == value
+               ? 1
+               : 0;
+  }
+  return out;
+}
+
+inline size_t SelCompressInSetScalar(const int64_t* base, uint64_t arity,
+                                     uint64_t column, const uint32_t* row_ids,
+                                     uint32_t* sel, size_t n,
+                                     const int64_t* vals, size_t num_vals) {
+  size_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t s = sel[i];
+    const int64_t v =
+        base[static_cast<uint64_t>(row_ids[s]) * arity + column];
+    // Unrolled-by-the-compiler ladder: num_vals <= kMaxInlineInSet.
+    int hit = 0;
+    for (size_t j = 0; j < num_vals; ++j) hit |= v == vals[j] ? 1 : 0;
+    sel[out] = s;
+    out += static_cast<size_t>(hit);
+  }
+  return out;
+}
+
+/// FNV-1a 64 over the key ids (storage::HashIds) then the SplitMix64
+/// finalizer — must stay bit-identical to every vector variant.
+inline uint64_t HashTupleFnvScalar(const int64_t* key, size_t width) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t j = 0; j < width; ++j) {
+    h ^= static_cast<uint64_t>(key[j]);
+    h *= 1099511628211ULL;
+  }
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+/// SplitMix64 over one id (storage::BloomFilter's first hash).
+inline uint64_t BloomMixScalar(int64_t key) {
+  uint64_t h = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+inline void ProbeSlotsScalar(const uint64_t* slot_tag_head, uint64_t mask,
+                             const uint64_t* hashes, size_t n,
+                             uint64_t* slot_out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t tag = hashes[i] & kSlotTagMask;
+    uint64_t s = hashes[i] & mask;
+    while (true) {
+      const uint64_t v = slot_tag_head[s];
+      if (static_cast<uint32_t>(v) == kEmptyHead || (v & kSlotTagMask) == tag)
+        break;
+      s = (s + 1) & mask;
+    }
+    slot_out[i] = s;
+  }
+}
+
+// --- AVX2 variants (defined in simd_avx2.cc, compiled under -mavx2) ------
+
+#if defined(XK_HAVE_AVX2)
+size_t SelCompressEqualAvx2(const int64_t* base, uint64_t arity,
+                            uint64_t column, const uint32_t* row_ids,
+                            uint32_t* sel, size_t n, int64_t value);
+size_t SelCompressInSetAvx2(const int64_t* base, uint64_t arity,
+                            uint64_t column, const uint32_t* row_ids,
+                            uint32_t* sel, size_t n, const int64_t* vals,
+                            size_t num_vals);
+void HashJoinKeysAvx2(const int64_t* keys, size_t count, size_t key_width,
+                      uint64_t* out);
+void BloomMixBatchAvx2(const int64_t* keys, size_t count, uint64_t* out);
+void ProbeSlotsAvx2(const uint64_t* slot_tag_head, uint64_t mask,
+                    const uint64_t* hashes, size_t n, uint64_t* slot_out);
+#endif  // XK_HAVE_AVX2
+
+}  // namespace xk::simd::detail
+
+#endif  // XK_COMMON_SIMD_INTERNAL_H_

@@ -144,18 +144,23 @@ void HashJoinOnScans(const opt::CtssnPlan& plan,
 
     if (exec_options.vectorized) {
       // Build: flat open-addressing table keyed on the eq columns; duplicate
-      // rows chain in scan order, so probe output matches the map path.
-      exec::JoinHashTable table(static_cast<int>(s.eq.size()));
+      // rows chain in scan order, so probe output matches the map path. Keys
+      // gather flat per chunk so each chunk hashes in one batched pass.
+      exec::JoinHashTable table(static_cast<int>(s.eq.size()),
+                                exec_options.force_scalar_kernels);
       table.Reserve(build_rows.size());
-      std::vector<storage::ObjectId> key(s.eq.size());
-      for (uint32_t r = 0; r < build_rows.size(); ++r) {
-        for (size_t k = 0; k < s.eq.size(); ++k) {
-          key[k] = build_rows[r][static_cast<size_t>(s.eq[k].first)];
+      key_buf.resize(block * s.eq.size());
+      for (size_t bbase = 0; bbase < build_rows.size(); bbase += block) {
+        const size_t bn = std::min(block, build_rows.size() - bbase);
+        for (size_t r = 0; r < bn; ++r) {
+          for (size_t k = 0; k < s.eq.size(); ++k) {
+            key_buf[r * s.eq.size() + k] =
+                build_rows[bbase + r][static_cast<size_t>(s.eq[k].first)];
+          }
         }
-        table.Insert(key.data(), r);
+        table.InsertBatch(key_buf.data(), bn, static_cast<uint32_t>(bbase));
       }
       // Probe in blocks: gather keys, batch-lookup, walk match chains.
-      key_buf.resize(block * s.eq.size());
       head_buf.resize(block);
       for (size_t base = 0; base < rows; base += block) {
         if (stop_requested()) return;

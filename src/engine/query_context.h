@@ -15,10 +15,25 @@
 #include "cn/candidate_network.h"
 #include "cn/ctssn.h"
 #include "common/cancel_token.h"
+#include "common/simd.h"
 #include "exec/operators.h"
 #include "opt/optimizer.h"
 
 namespace xk::engine {
+
+/// Block-kernel ISA dispatch policy (common/simd.h). The SIMD variants are
+/// bit-identical to the scalar references, so this is a debugging and
+/// benchmarking knob, never a correctness one.
+enum class KernelDispatch : uint8_t {
+  /// Best ISA the build and the CPU support (scalar when the environment
+  /// forces it via XK_FORCE_SCALAR_KERNELS=1).
+  kAuto = 0,
+  /// Pin every kernel to the scalar reference.
+  kForceScalar = 1,
+  /// Like kAuto, but Validate() rejects the query when dispatch would land
+  /// on scalar — for benches that must not silently measure the wrong arm.
+  kRequireSimd = 2,
+};
 
 /// Join strategy for full-result (QueryMode::kAll) runs.
 enum class FullMode {
@@ -95,6 +110,13 @@ struct QueryOptions {
   /// Off = the row-at-a-time legacy path. Results are byte-identical either
   /// way (kept as a knob so benches can A/B the two engines).
   bool vectorized = true;
+
+  /// Block-kernel ISA dispatch: kAuto picks the best supported level,
+  /// kForceScalar pins the scalar references (also forced by the
+  /// XK_FORCE_SCALAR_KERNELS=1 environment escape hatch), kRequireSimd makes
+  /// Validate() reject queries that would dispatch to scalar. The level that
+  /// actually served the query is reported in ExecutionStats::simd_isa.
+  KernelDispatch kernel_dispatch = KernelDispatch::kAuto;
 
   /// Sharded data plane (engine::ShardedEngine only; the single-instance
   /// XKeyword facade ignores these). Number of shard groups a query scatters
@@ -183,6 +205,12 @@ struct QueryOptions {
     if (anytime_min_plan_rows == 0) {
       return Status::InvalidArgument("anytime_min_plan_rows must be >= 1");
     }
+    if (kernel_dispatch == KernelDispatch::kRequireSimd &&
+        simd::DetectedIsaLevel() == simd::IsaLevel::kScalar) {
+      return Status::InvalidArgument(
+          "kernel_dispatch = kRequireSimd, but dispatch would be scalar "
+          "(build without SIMD, unsupported CPU, or XK_FORCE_SCALAR_KERNELS)");
+    }
     return Status::OK();
   }
 };
@@ -237,6 +265,10 @@ struct ExecutionStats {
   uint64_t shard_fanout = 0;
   uint64_t shard_bound_prunes = 0;
   uint64_t shard_early_stops = 0;
+  /// ISA level the block kernels dispatched to (simd::IsaLevel as an int;
+  /// stringify with simd::IsaLevelToString). Merges take the max so a
+  /// scatter-gather response reports the level its shards actually ran.
+  uint32_t simd_isa = 0;
 
   void Add(const ExecutionStats& o) {
     probes.Add(o.probes);
@@ -253,6 +285,7 @@ struct ExecutionStats {
     shard_fanout += o.shard_fanout;
     shard_bound_prunes += o.shard_bound_prunes;
     shard_early_stops += o.shard_early_stops;
+    simd_isa = std::max(simd_isa, o.simd_isa);
   }
 };
 

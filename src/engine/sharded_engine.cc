@@ -308,6 +308,8 @@ void ShardedEngine::RunShardedTopK(const PreparedQuery& query,
   exec::ExecOptions exec_options = query.exec_options;
   exec_options.cancel = cancel;
   exec_options.vectorized = options.vectorized;
+  exec_options.force_scalar_kernels =
+      options.kernel_dispatch == KernelDispatch::kForceScalar;
 
   auto skip_plan = [&](size_t p) {
     return options.max_network_size > 0 &&
@@ -440,6 +442,8 @@ void ShardedEngine::RunShardedTopK(const PreparedQuery& query,
   }
   for (const ExecutionStats& s : per_plan_stats) response->stats.Add(s);
   response->stats.results = results.size();
+  response->stats.simd_isa = static_cast<uint32_t>(
+      simd::KernelLevel(exec_options.force_scalar_kernels));
   response->mttons = std::move(results);
   response->coverage = budget.Finish();
 }
@@ -568,6 +572,8 @@ void ShardedEngine::RunShardedAll(const PreparedQuery& query,
 
   SortMttons(&results);
   stats->results = results.size();
+  stats->simd_isa = static_cast<uint32_t>(
+      simd::KernelLevel(exec_options.force_scalar_kernels));
   stats->reuse_hits += view_cache.hits();
   stats->reuse_misses += view_cache.misses();
   response->mttons = std::move(results);

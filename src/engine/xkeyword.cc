@@ -53,6 +53,8 @@ Result<PreparedQuery> XKeyword::Prepare(const std::vector<std::string>& keywords
   q.keywords = keywords;
   q.exec_options.use_indexes = d->use_indexes_at_runtime;
   q.exec_options.vectorized = options.vectorized;
+  q.exec_options.force_scalar_kernels =
+      options.kernel_dispatch == KernelDispatch::kForceScalar;
 
   // Keyword discoverer: which schema nodes hold each keyword.
   std::vector<std::vector<schema::SchemaNodeId>> keyword_schema_nodes;
@@ -159,6 +161,10 @@ Result<QueryResponse> XKeyword::Run(const QueryRequest& request,
     }
   }
   if (!results.ok()) return results.status();
+  // Which kernel ISA served this query (for metrics and the benches' A/B
+  // bookkeeping): the dispatch level under the request's policy.
+  response.stats.simd_isa = static_cast<uint32_t>(simd::KernelLevel(
+      options.kernel_dispatch == KernelDispatch::kForceScalar));
   response.mttons = results.MoveValueUnsafe();
   if (tok->StopRequested()) {
     response.status = tok->ToStatus();

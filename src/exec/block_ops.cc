@@ -5,28 +5,39 @@
 
 #include "common/cancel_token.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace xk::exec {
 
 // --- Kernels -------------------------------------------------------------
 
 size_t SelEqual(const storage::Table& table, RowBlock* block, int column,
-                storage::ObjectId value) {
-  uint32_t* sel = block->sel.data();
-  const storage::RowId* rows = block->row_ids.data();
-  size_t out = 0;
-  for (size_t i = 0; i < block->num_selected; ++i) {
-    const uint32_t s = sel[i];
-    sel[out] = s;
-    out += table.At(rows[s], column) == value ? 1 : 0;
-  }
+                storage::ObjectId value, bool force_scalar) {
+  const size_t out = simd::SelCompressEqual(
+      table.RowData(), static_cast<uint64_t>(table.arity()),
+      static_cast<uint64_t>(column), block->row_ids.data(), block->sel.data(),
+      block->num_selected, value, simd::KernelLevel(force_scalar));
   block->num_selected = out;
   return out;
 }
 
 size_t SelInSet(const storage::Table& table, RowBlock* block, int column,
-                const storage::IdSet& set) {
+                const storage::IdSet& set, bool force_scalar) {
   uint32_t* sel = block->sel.data();
+  // Small sets (single-keyword containing lists are often 1-4 ids) compare
+  // against an unrolled ladder instead of hashing per candidate; the ladder
+  // is the vectorizable form.
+  if (!set.empty() && set.size() <= simd::kMaxInlineInSet) {
+    int64_t vals[simd::kMaxInlineInSet];
+    size_t k = 0;
+    for (storage::ObjectId v : set) vals[k++] = v;
+    const size_t out = simd::SelCompressInSet(
+        table.RowData(), static_cast<uint64_t>(table.arity()),
+        static_cast<uint64_t>(column), block->row_ids.data(), sel,
+        block->num_selected, vals, k, simd::KernelLevel(force_scalar));
+    block->num_selected = out;
+    return out;
+  }
   const storage::RowId* rows = block->row_ids.data();
   size_t out = 0;
   for (size_t i = 0; i < block->num_selected; ++i) {
@@ -246,14 +257,15 @@ bool RowPasses(const storage::Table& table, storage::RowId r,
 /// short-circuiting once the selection empties.
 void ApplyFilters(const storage::Table& table,
                   const std::vector<ColumnBinding>& bindings,
-                  const std::vector<ColumnInSet>& in_filters, RowBlock* block) {
+                  const std::vector<ColumnInSet>& in_filters,
+                  const ExecOptions& opts, RowBlock* block) {
   for (const ColumnBinding& f : bindings) {
     if (block->num_selected == 0) return;
-    SelEqual(table, block, f.column, f.value);
+    SelEqual(table, block, f.column, f.value, opts.force_scalar_kernels);
   }
   for (const ColumnInSet& f : in_filters) {
     if (block->num_selected == 0) return;
-    SelInSet(table, block, f.column, *f.set);
+    SelInSet(table, block, f.column, *f.set, opts.force_scalar_kernels);
   }
 }
 
@@ -335,7 +347,7 @@ void RunBlockLoop(const storage::Table& table,
     if (n == 0) return;
     step = std::min(cap, step * 4);
     block.SelectAll(n);
-    ApplyFilters(table, bindings, in_filters, &block);
+    ApplyFilters(table, bindings, in_filters, opts, &block);
     if (stats != nullptr) {
       stats->rows_scanned += block.size;
       stats->rows_matched += block.num_selected;
@@ -440,7 +452,7 @@ bool ScanBlockIterator::Next(RowBlock* out) {
     span_pos_ = cursor.pos;
     if (n == 0) return false;
     out->SelectAll(n);
-    ApplyFilters(table_, bindings_, in_filters_, out);
+    ApplyFilters(table_, bindings_, in_filters_, opts_, out);
     if (out->num_selected == 0) continue;  // all-filtered block: keep pulling
     out->Materialize(table_);
     return true;
@@ -458,6 +470,25 @@ IndexNestedLoopBlockIterator::IndexNestedLoopBlockIterator(
       in_filters_(std::move(inner_in_filters)),
       opts_(opts) {
   bindings_.reserve(keys_.size());
+}
+
+void IndexNestedLoopBlockIterator::PruneOuterBlock() {
+  if (blooms_.empty()) return;
+  const size_t before = outer_block_.num_selected;
+  for (const ColumnBloom& pb : blooms_) {
+    if (outer_block_.num_selected == 0) break;
+    for (const JoinKey& k : keys_) {
+      if (k.inner_column != pb.column) continue;
+      outer_block_.num_selected = pb.bloom->MayContainBlock(
+          outer_block_.column(k.outer_column), outer_block_.sel.data(),
+          outer_block_.num_selected, opts_.force_scalar_kernels);
+    }
+  }
+  // Each pruned outer row is a probe the Bloom rejected, exactly as the
+  // per-row path would have counted it.
+  const size_t pruned = before - outer_block_.num_selected;
+  stats_.probes += pruned;
+  stats_.bloom_skips += pruned;
 }
 
 void IndexNestedLoopBlockIterator::EmitMatches(RowBlock* out) {
@@ -494,9 +525,11 @@ bool IndexNestedLoopBlockIterator::Next(RowBlock* out) {
       }
       outer_valid_ = true;
       outer_pos_ = 0;
+      PruneOuterBlock();
       continue;
     }
-    const size_t orow = outer_pos_++;
+    // Indirect through sel: identity unless the Bloom prune compacted it.
+    const size_t orow = outer_block_.sel[outer_pos_++];
     bindings_.clear();
     for (const JoinKey& k : keys_) {
       bindings_.push_back(

@@ -23,15 +23,19 @@ namespace xk::exec {
 //
 // Each kernel compacts block->sel in place to the selected candidates that
 // also pass the predicate, preserving ascending order, and returns the
-// survivor count. No allocation.
+// survivor count. No allocation. Both run as branchless compare-and-compress
+// SIMD kernels (common/simd.h) when the CPU supports them; `force_scalar`
+// pins the scalar reference. Results are bit-identical either way.
 
 /// Keeps candidates whose `column` equals `value`.
 size_t SelEqual(const storage::Table& table, RowBlock* block, int column,
-                storage::ObjectId value);
+                storage::ObjectId value, bool force_scalar = false);
 
-/// Keeps candidates whose `column` value is in `set`.
+/// Keeps candidates whose `column` value is in `set`. Sets of up to
+/// simd::kMaxInlineInSet distinct values run an unrolled compare ladder
+/// (vectorizable); larger sets probe the hash set per candidate.
 size_t SelInSet(const storage::Table& table, RowBlock* block, int column,
-                const storage::IdSet& set);
+                const storage::IdSet& set, bool force_scalar = false);
 
 // --- Batch probe ---------------------------------------------------------
 
@@ -140,7 +144,19 @@ class IndexNestedLoopBlockIterator : public BlockIterator {
   int arity() const override { return outer_->arity() + inner_.arity(); }
   const ProbeStats& stats() const { return stats_; }
 
+  /// Semi-join prune Blooms keyed by inner join column: outer rows whose join
+  /// value is definitely absent from the inner side are dropped by one block
+  /// kernel pass (BloomFilter::MayContainBlock) when each outer block
+  /// arrives, before any per-row probe. Each pruned row counts as one
+  /// bloom-skipped probe, matching the per-row BloomPruned accounting.
+  void set_inner_blooms(std::vector<ColumnBloom> blooms) {
+    blooms_ = std::move(blooms);
+  }
+
  private:
+  /// Compacts the fresh outer block's selection through blooms_.
+  void PruneOuterBlock();
+
   /// Appends combined rows for matches_[match_pos_..] of the current outer
   /// row until `out` is full or the matches are consumed.
   void EmitMatches(RowBlock* out);
@@ -149,6 +165,7 @@ class IndexNestedLoopBlockIterator : public BlockIterator {
   const storage::Table& inner_;
   std::vector<JoinKey> keys_;
   std::vector<ColumnInSet> in_filters_;
+  std::vector<ColumnBloom> blooms_;
   ExecOptions opts_;
   ProbeStats stats_;
 

@@ -140,22 +140,26 @@ Status HashJoinExecutor::RunVectorized(const RowSink& sink) {
     scan_step(i);
 
     // Build: flat open-addressing table over the step's scan, keyed by its
-    // eq columns; duplicate rows chain in scan order.
-    JoinHashTable table(key_width);
+    // eq columns; duplicate rows chain in scan order. Keys are gathered flat
+    // per chunk so each chunk hashes in one batched pass.
+    JoinHashTable table(key_width, opts_.force_scalar_kernels);
     table.Reserve(scans[i].size());
-    std::vector<storage::ObjectId> key(s.eq.size());
-    for (uint32_t r = 0; r < scans[i].size(); ++r) {
-      for (size_t k = 0; k < s.eq.size(); ++k) {
-        key[k] = s.table->At(scans[i][r], static_cast<size_t>(s.eq[k].first));
+    key_buf.resize(block * s.eq.size());
+    for (size_t bbase = 0; bbase < scans[i].size(); bbase += block) {
+      const size_t bn = std::min(block, scans[i].size() - bbase);
+      for (size_t r = 0; r < bn; ++r) {
+        for (size_t k = 0; k < s.eq.size(); ++k) {
+          key_buf[r * s.eq.size() + k] = s.table->At(
+              scans[i][bbase + r], static_cast<size_t>(s.eq[k].first));
+        }
       }
-      table.Insert(key.data(), r);
+      table.InsertBatch(key_buf.data(), bn, static_cast<uint32_t>(bbase));
     }
 
     // Probe: blocks of intermediate rows — gather keys, batch-probe, then
     // walk the match chains. One cancellation poll per block.
     next.clear();
     const size_t rows = current.size() / width;
-    key_buf.resize(block * s.eq.size());
     head_buf.resize(block);
     for (size_t base = 0; base < rows; base += block) {
       if (opts_.cancel != nullptr && opts_.cancel->StopRequested()) {

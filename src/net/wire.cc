@@ -71,6 +71,7 @@ void PutOptions(std::string* out, const engine::QueryOptions& o) {
   PutU64(out, o.subplan_cache_budget_bytes);
   PutU8(out, o.cost_ordered_scheduling ? 1 : 0);
   PutU8(out, o.vectorized ? 1 : 0);
+  PutU8(out, static_cast<uint8_t>(o.kernel_dispatch));
   PutI32(out, o.num_shards);
   PutI32(out, o.shard_parallelism);
   PutU8(out, o.shard_bound_pushdown ? 1 : 0);
@@ -100,6 +101,7 @@ void PutStats(std::string* out, const engine::ExecutionStats& s) {
   PutU64(out, s.shard_fanout);
   PutU64(out, s.shard_bound_prunes);
   PutU64(out, s.shard_early_stops);
+  PutU32(out, s.simd_isa);
 }
 
 /// Starts a frame: 4-byte length placeholder + payload head. SealFrame
@@ -322,6 +324,11 @@ Result<engine::QueryRequest> DecodeQueryBody(std::span<const uint8_t> payload) {
   o.subplan_cache_budget_bytes = r.GetU64();
   o.cost_ordered_scheduling = r.GetU8() != 0;
   o.vectorized = r.GetU8() != 0;
+  const uint8_t kernel_dispatch = r.GetU8();
+  if (kernel_dispatch > static_cast<uint8_t>(engine::KernelDispatch::kRequireSimd)) {
+    return MalformedError("bad kernel dispatch");
+  }
+  o.kernel_dispatch = static_cast<engine::KernelDispatch>(kernel_dispatch);
   o.num_shards = r.GetI32();
   o.shard_parallelism = r.GetI32();
   o.shard_bound_pushdown = r.GetU8() != 0;
@@ -387,6 +394,7 @@ Result<FinalBody> DecodeFinalBody(std::span<const uint8_t> payload) {
   s.shard_fanout = r.GetU64();
   s.shard_bound_prunes = r.GetU64();
   s.shard_early_stops = r.GetU64();
+  s.simd_isa = r.GetU32();
   body.tail_start = r.GetU64();
   body.response.mttons = r.GetMttons();
   if (!r.AtEnd()) return MalformedError("bad final body");

@@ -64,6 +64,10 @@ class Table {
     return rows_[static_cast<size_t>(r) * arity_ + static_cast<size_t>(col)];
   }
 
+  /// Raw row-major storage (`arity()` ids per row). The vectorized kernels
+  /// gather through this directly instead of calling At() per lane.
+  const ObjectId* RowData() const { return rows_.data(); }
+
   // --- Physical design -------------------------------------------------
 
   /// Sorts rows by the given column order (index-organized table). Must be

@@ -400,7 +400,10 @@ TEST_P(VectorizedDifferential, RowAndBlockPathsAreByteIdentical) {
       ProbeStats row_stats;
       const std::vector<RowId> expected =
           ProbeTrace(*t, c.bindings, c.filters, row_opts, &row_stats);
-      for (size_t bs : {size_t{1}, size_t{7}, size_t{1024}}) {
+      // 15/16/17 straddle the SIMD kernels' 8-candidate groups (one short,
+      // exact multiples, one ragged-tail lane).
+      for (size_t bs : {size_t{1}, size_t{7}, size_t{15}, size_t{16},
+                        size_t{17}, size_t{1024}}) {
         ExecOptions blk_opts;
         blk_opts.block_size = bs;
         ProbeStats blk_stats;
@@ -605,6 +608,251 @@ TEST(JoinHashTableTest, LookupBatchAgreesWithScalarLookup) {
     EXPECT_EQ(heads[i], table.Lookup(&keys[i])) << "key " << keys[i];
     if (keys[i] >= 50) EXPECT_EQ(heads[i], JoinHashTable::kNil);
   }
+}
+
+// --- SIMD kernel dispatch -------------------------------------------------
+
+/// Scalar-pinned vs dispatched kernels must be byte-identical on every
+/// surface: selection traces, hash-table probes, and whole-table builds —
+/// across seeds, block sizes straddling the 8-lane groups, and
+/// duplicate-heavy key distributions.
+class ScalarVsSimdKernels : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalarVsSimdKernels, ProbeTracesAreByteIdentical) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  storage::IdSet small_set = {1, 3};                 // ladder path
+  storage::IdSet big_set = {0, 2, 4, 6, 8, 10, 12};  // hash-set path
+
+  struct Case {
+    std::vector<ColumnBinding> bindings;
+    std::vector<ColumnInSet> filters;
+  };
+  const std::vector<Case> cases = {
+      {{{0, 3}}, {}},
+      {{{0, 3}, {1, 5}}, {}},
+      {{{0, 3}}, {{1, &small_set}}},
+      {{}, {{0, &small_set}, {1, &big_set}}},
+  };
+
+  for (int domain : {5, 40}) {  // 5 = duplicate-heavy (~60 rows per value)
+    auto t = MakeEdgeTable(Physical::kNone, seed, /*rows=*/301, domain);
+    for (size_t ci = 0; ci < cases.size(); ++ci) {
+      const Case& c = cases[ci];
+      for (size_t bs : {size_t{1}, size_t{7}, size_t{15}, size_t{16},
+                        size_t{17}, size_t{1024}}) {
+        ExecOptions scalar_opts;
+        scalar_opts.block_size = bs;
+        scalar_opts.force_scalar_kernels = true;
+        ProbeStats scalar_stats;
+        const std::vector<RowId> expected =
+            ProbeTrace(*t, c.bindings, c.filters, scalar_opts, &scalar_stats);
+        ExecOptions simd_opts;
+        simd_opts.block_size = bs;
+        ProbeStats simd_stats;
+        EXPECT_EQ(ProbeTrace(*t, c.bindings, c.filters, simd_opts, &simd_stats),
+                  expected)
+            << "domain=" << domain << " case=" << ci << " block_size=" << bs;
+        EXPECT_EQ(simd_stats.rows_scanned, scalar_stats.rows_scanned);
+        EXPECT_EQ(simd_stats.rows_matched, scalar_stats.rows_matched);
+      }
+    }
+  }
+}
+
+TEST_P(ScalarVsSimdKernels, HashTableArmsAgreeOnDuplicateHeavyKeys) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Random rng(seed);
+  for (int key_width : {1, 2}) {
+    // ~8 duplicate rows per distinct key; enough rows to force rehashes and
+    // straddle the 64-key hash/probe chunks.
+    const uint32_t rows = 333;
+    std::vector<ObjectId> keys(rows * static_cast<size_t>(key_width));
+    for (auto& v : keys) v = rng.Uniform(0, 40);
+    JoinHashTable scalar_table(key_width, /*force_scalar=*/true);
+    JoinHashTable simd_table(key_width);
+    scalar_table.Reserve(rows);
+    simd_table.Reserve(rows);
+    for (uint32_t r = 0; r < rows; ++r) {
+      scalar_table.Insert(keys.data() + r * static_cast<size_t>(key_width), r);
+    }
+    simd_table.InsertBatch(keys.data(), rows, /*first_row=*/0);
+    ASSERT_EQ(simd_table.num_keys(), scalar_table.num_keys());
+    ASSERT_EQ(simd_table.num_rows(), scalar_table.num_rows());
+
+    // Probe with the build keys plus misses, batched on both tables, and
+    // walk every chain: the row sequences must match node for node.
+    std::vector<ObjectId> probes = keys;
+    for (int i = 0; i < 64 * key_width; ++i) probes.push_back(1000 + i);
+    const size_t n = probes.size() / static_cast<size_t>(key_width);
+    std::vector<uint32_t> scalar_heads(n), simd_heads(n);
+    scalar_table.LookupBatch(probes.data(), n, scalar_heads.data());
+    simd_table.LookupBatch(probes.data(), n, simd_heads.data());
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<uint32_t> scalar_rows, simd_rows;
+      for (uint32_t node = scalar_heads[i]; node != JoinHashTable::kNil;
+           node = scalar_table.NextMatch(node)) {
+        scalar_rows.push_back(scalar_table.MatchRow(node));
+      }
+      for (uint32_t node = simd_heads[i]; node != JoinHashTable::kNil;
+           node = simd_table.NextMatch(node)) {
+        simd_rows.push_back(simd_table.MatchRow(node));
+      }
+      EXPECT_EQ(simd_rows, scalar_rows) << "key_width=" << key_width
+                                        << " probe=" << i;
+      // And the single-key path agrees with the batch on the same table.
+      EXPECT_EQ(simd_table.Lookup(
+                    probes.data() + i * static_cast<size_t>(key_width)),
+                simd_heads[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalarVsSimdKernels, ::testing::Range(1, 6));
+
+namespace hashinv {
+
+/// Modular inverse of an odd 64-bit constant (Newton: x *= 2 - a*x).
+uint64_t InvMul(uint64_t a) {
+  uint64_t x = a;
+  for (int i = 0; i < 6; ++i) x *= 2 - a * x;
+  return x;
+}
+
+/// Inverse of z = x ^ (x >> s).
+uint64_t UnXorShift(uint64_t z, int s) {
+  uint64_t x = z;
+  for (int i = 0; i < 6; ++i) x = z ^ (x >> s);
+  return x;
+}
+
+/// Inverts the width-1 join-key hash: every stage (xorshift, odd multiply,
+/// constant xor) is a bijection on 64 bits, so any target hash maps back to
+/// exactly one key.
+ObjectId KeyForHash(uint64_t h) {
+  h = UnXorShift(h, 31);
+  h *= InvMul(0x94d049bb133111ebULL);
+  h = UnXorShift(h, 27);
+  h *= InvMul(0xbf58476d1ce4e5b9ULL);
+  h = UnXorShift(h, 30);
+  h *= InvMul(1099511628211ULL);  // FNV prime
+  return static_cast<ObjectId>(h ^ 1469598103934665603ULL);  // FNV basis
+}
+
+}  // namespace hashinv
+
+TEST(JoinHashTableTest, TagCollisionsResolveByFullHash) {
+  // The group-probe parks on the hash's top-32-bit tag and verifies the full
+  // hash afterwards; random keys hit a tag-equal-but-hash-unequal slot with
+  // probability ~2^-32, so build the collision deliberately by inverting the
+  // (bijective) hash chain. Slot layout with 32 slots (Reserve(20)):
+  //   h_far  -> home 0x10, different tag — occupies the walk's first slot
+  //   h_near -> home 0x11, SAME tag as h_probe — the false park target
+  //   h_probe-> home 0x10, walks over h_far, parks on h_near's slot, and
+  //             must resume past it on the full-hash mismatch.
+  const uint64_t h_probe = (0xDEADBEEFULL << 32) | 0x10;
+  const uint64_t h_near = h_probe ^ 1;                    // same tag
+  const uint64_t h_far = (0x0BADF00DULL << 32) | 0x10;    // same home slot
+  const ObjectId k_probe = hashinv::KeyForHash(h_probe);
+  const ObjectId k_near = hashinv::KeyForHash(h_near);
+  const ObjectId k_far = hashinv::KeyForHash(h_far);
+  ASSERT_EQ(simd::HashTupleFnv(&k_probe, 1), h_probe);
+  ASSERT_EQ(simd::HashTupleFnv(&k_near, 1), h_near);
+  ASSERT_EQ(simd::HashTupleFnv(&k_far, 1), h_far);
+
+  for (bool insert_probe_key : {false, true}) {
+    JoinHashTable scalar_table(1, /*force_scalar=*/true);
+    JoinHashTable simd_table(1);
+    for (JoinHashTable* t : {&scalar_table, &simd_table}) {
+      t->Reserve(20);
+      t->Insert(&k_far, 0);
+      t->Insert(&k_near, 1);
+      t->Insert(&k_near, 2);  // chained duplicate behind the false park
+      if (insert_probe_key) t->Insert(&k_probe, 3);
+    }
+    const ObjectId probes[] = {k_probe, k_near, k_far};
+    uint32_t scalar_heads[3], simd_heads[3];
+    scalar_table.LookupBatch(probes, 3, scalar_heads);
+    simd_table.LookupBatch(probes, 3, simd_heads);
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(simd_heads[i], scalar_heads[i])
+          << "insert_probe_key=" << insert_probe_key << " probe=" << i;
+      EXPECT_EQ(simd_heads[i], simd_table.Lookup(&probes[i]));
+    }
+    // The collision probe must land on its own chain or miss — never on the
+    // tag-equal neighbor's chain.
+    if (insert_probe_key) {
+      ASSERT_NE(simd_heads[0], JoinHashTable::kNil);
+      EXPECT_EQ(simd_table.MatchRow(simd_heads[0]), 3u);
+    } else {
+      EXPECT_EQ(simd_heads[0], JoinHashTable::kNil);
+    }
+    EXPECT_EQ(simd_table.MatchRow(simd_heads[1]), 1u);
+  }
+}
+
+TEST(SelectionKernelTest, InSetLadderCoversSetSizesOneThroughFive) {
+  // Sizes 1-4 take the unrolled compare ladder, size 5 the hash-set probe;
+  // all must agree with a by-hand filter, scalar and dispatched.
+  auto t = MakeEdgeTable(Physical::kNone, 13, /*rows=*/100, /*domain=*/8);
+  for (size_t set_size = 1; set_size <= 5; ++set_size) {
+    storage::IdSet set;
+    for (ObjectId v = 0; v < static_cast<ObjectId>(set_size); ++v) {
+      set.insert(v * 2);  // {0}, {0,2}, ... {0,2,4,6,8}
+    }
+    for (bool force_scalar : {false, true}) {
+      RowBlock block;
+      block.Reset(t->arity(), 128);
+      for (size_t i = 0; i < 100; ++i) block.row_ids[i] = static_cast<RowId>(i);
+      block.SelectAll(100);
+      const size_t n = SelInSet(*t, &block, 1, set, force_scalar);
+      std::vector<RowId> got(block.sel.begin(), block.sel.begin() + n);
+      std::vector<RowId> want;
+      for (RowId r = 0; r < 100; ++r) {
+        if (set.contains(t->At(r, 1))) want.push_back(r);
+      }
+      EXPECT_EQ(got, want) << "set_size=" << set_size
+                           << " force_scalar=" << force_scalar;
+    }
+  }
+}
+
+TEST(IndexNestedLoopBlockIteratorTest, InnerBloomsPruneWithoutChangingRows) {
+  auto outer_t = MakeEdgeTable(Physical::kNone, 31, /*rows=*/150, /*domain=*/30);
+  auto inner_t = MakeEdgeTable(Physical::kHash, 32, /*rows=*/150, /*domain=*/30);
+
+  // Bloom over the inner join column's actual values: outer rows joining on
+  // a value the inner side never has are pruned without probing.
+  storage::BloomFilter bloom(inner_t->NumRows());
+  for (RowId r = 0; r < inner_t->NumRows(); ++r) bloom.Add(inner_t->At(r, 0));
+
+  auto run = [&](bool with_blooms, ProbeStats* stats) {
+    ScanBlockIterator outer(*outer_t, {}, {});
+    IndexNestedLoopBlockIterator join(
+        &outer, *inner_t, {{.inner_column = 0, .outer_column = 1}});
+    if (with_blooms) join.set_inner_blooms({ColumnBloom{0, &bloom}});
+    std::vector<std::vector<ObjectId>> rows;
+    RowBlock block;
+    while (join.Next(&block)) {
+      for (size_t i = 0; i < block.num_selected; ++i) {
+        std::vector<ObjectId> row;
+        for (int c = 0; c < join.arity(); ++c) {
+          row.push_back(block.column(c)[block.sel[i]]);
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+    *stats = join.stats();
+    return rows;
+  };
+
+  ProbeStats plain_stats, bloom_stats;
+  const auto expected = run(/*with_blooms=*/false, &plain_stats);
+  EXPECT_EQ(run(/*with_blooms=*/true, &bloom_stats), expected);
+  // Every pruned outer row still counts as a (bloom-skipped) probe, so probe
+  // totals match the per-row accounting; scanned rows can only shrink.
+  EXPECT_EQ(bloom_stats.probes, plain_stats.probes);
+  EXPECT_LE(bloom_stats.rows_scanned, plain_stats.rows_scanned);
+  EXPECT_EQ(bloom_stats.rows_matched, plain_stats.rows_matched);
 }
 
 }  // namespace
